@@ -1,0 +1,65 @@
+// google-benchmark microbenchmarks of every codec's encode/decode
+// throughput on CAM-like data (the per-element cost behind Table 5).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/variants.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cesm;
+
+std::vector<float> cam_like_field(std::size_t n) {
+  Pcg32 rng(0xbe6c4);
+  std::vector<float> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(std::sin(i * 0.013) * 40.0 + 10.0 +
+                                 rng.uniform(-2.0, 2.0));
+  }
+  return data;
+}
+
+void encode_benchmark(benchmark::State& state, const char* variant) {
+  const comp::CodecPtr codec = comp::make_variant(variant);
+  const auto data = cam_like_field(static_cast<std::size_t>(state.range(0)));
+  const comp::Shape shape = comp::Shape::d1(data.size());
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    Bytes stream = codec->encode(data, shape);
+    bytes = stream.size();
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(data.size()));
+  state.counters["CR"] = comp::compression_ratio(bytes, data.size());
+}
+
+void decode_benchmark(benchmark::State& state, const char* variant) {
+  const comp::CodecPtr codec = comp::make_variant(variant);
+  const auto data = cam_like_field(static_cast<std::size_t>(state.range(0)));
+  const Bytes stream = codec->encode(data, comp::Shape::d1(data.size()));
+  for (auto _ : state) {
+    std::vector<float> out = codec->decode(stream);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(data.size()));
+}
+
+}  // namespace
+
+#define CODEC_BENCH(name, variant)                                               \
+  BENCHMARK_CAPTURE(encode_benchmark, name##_encode, variant)->Arg(1 << 16);     \
+  BENCHMARK_CAPTURE(decode_benchmark, name##_decode, variant)->Arg(1 << 16)
+
+CODEC_BENCH(apax2, "APAX-2");
+CODEC_BENCH(apax5, "APAX-5");
+CODEC_BENCH(fpzip24, "fpzip-24");
+CODEC_BENCH(fpzip16, "fpzip-16");
+CODEC_BENCH(isabela05, "ISA-0.5");
+CODEC_BENCH(grib2, "GRIB2:3");
+CODEC_BENCH(netcdf4, "NetCDF-4");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Reproduces paper Figure 4: the bias plots — for each spotlight variable,
+// every variant's 95% confidence rectangle in (slope, intercept) space
+// from regressing the reconstructed ensemble's RMSZ scores on the
+// original's, with the eq. (9) acceptance verdict.
+
+#include <cstdio>
+
+#include "common.h"
+#include "compress/variants.h"
+#include "core/grib_tuning.h"
+#include "core/report.h"
+
+int main(int argc, char** argv) {
+  using namespace cesm;
+  const bench::Options options = bench::Options::parse(argc, argv);
+  const climate::EnsembleGenerator ens = bench::make_ensemble(options);
+
+  std::printf("Figure 4: Bias plots (slope vs intercept, 95%% confidence) for U, Z3,\n"
+              "FSDSC, CCN3 — all data compression methods.\n");
+  std::printf("(grid: %zu columns x %zu levels, %zu members)\n\n", ens.grid().columns(),
+              ens.grid().levels(), options.members);
+
+  for (const char* name : {"U", "Z3", "FSDSC", "CCN3"}) {
+    const climate::VariableSpec& spec = ens.variable(name);
+    const std::optional<float> fill =
+        spec.has_fill ? std::optional<float>(climate::kFillValue) : std::nullopt;
+    const core::EnsembleStats stats(ens.ensemble_fields(spec));
+    const core::PvtVerifier verifier(stats);
+
+    const std::vector<std::size_t> probes = core::PvtVerifier::pick_members(
+        3, stats.member_count(), options.seed ^ spec.stream);
+    const core::GribTuning tuning =
+        core::rmsz_guided_decimal_scale(stats, fill, probes);
+
+    std::printf("Bias: %s (GRIB2 D=%d)\n", name, tuning.decimal_scale);
+    std::vector<core::LabelledRect> rects;
+    for (const comp::CodecPtr& codec :
+         comp::paper_variants(tuning.decimal_scale, fill)) {
+      const std::vector<double> recon = verifier.reconstructed_rmsz(*codec);
+      const core::BiasResult bias =
+          core::bias_test(stats.rmsz_distribution(), recon);
+      rects.push_back(core::LabelledRect{codec->name(), bias.rect, bias.pass});
+    }
+    std::fputs(core::render_bias_rects(rects).c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Paper shape checks: near-transparent variants hug (1, 0) with tiny\n"
+      "rectangles; tiny off-origin rectangles (uniform but insignificant bias)\n"
+      "still pass eq. (9); large-uncertainty rectangles fail even at slope ~ 1;\n"
+      "GRIB2 on CCN3 is far off the plot, as in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// The CESM-PVT's original use case (paper §4.3): decide whether simulation
+// results from a *new machine* are statistically distinguishable from the
+// trusted ensemble — i.e. whether a port is "climate-changing".
+//
+// We model the new machine by running extra ensemble members (ids beyond
+// the base ensemble): bit-level differences from compilers or math
+// libraries act exactly like an initial-condition perturbation, which is
+// the PVT's premise. The library API (core::verify_port) scores three new
+// runs per variable: the RMSZ of each must fall within the base RMSZ
+// distribution, and its global mean must not shift outside the base range.
+//
+// Usage: ./build/examples/port_verification [vars]   (default 12 variables)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/port_verification.h"
+#include "core/report.h"
+
+int main(int argc, char** argv) {
+  using namespace cesm;
+  const std::size_t var_count = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 12;
+
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec::reduced();
+  spec.members = 31;  // trusted ensemble (101 in production, smaller here)
+  const climate::EnsembleGenerator model(spec);
+
+  const std::vector<std::uint32_t> new_runs = {200, 201, 202};  // "new machine"
+
+  std::printf("CESM-PVT port verification: %zu-member trusted ensemble, %zu new runs\n\n",
+              spec.members, new_runs.size());
+
+  const std::vector<core::PortVerdict> verdicts =
+      core::verify_port(model, new_runs, {}, var_count);
+
+  core::TextTable table({"variable", "RMSZ range (trusted)", "worst new RMSZ",
+                         "mean shift", "verdict"});
+  std::size_t passed = 0;
+  for (const core::PortVerdict& v : verdicts) {
+    if (v.pass()) ++passed;
+    table.add_row({v.variable,
+                   core::format_fixed(v.rmsz_lo, 3) + " - " + core::format_fixed(v.rmsz_hi, 3),
+                   core::format_fixed(v.worst_new_rmsz, 3),
+                   core::format_sci(v.worst_mean_shift), v.pass() ? "pass" : "FAIL"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\n%zu/%zu variables pass: the port is %s.\n", passed, verdicts.size(),
+              passed == verdicts.size() ? "not climate-changing" : "suspect — investigate");
+  if (passed != verdicts.size()) {
+    std::printf(
+        "(With a small trusted ensemble the distribution extremes are poorly\n"
+        "sampled, so occasional false alarms are expected — the production\n"
+        "PVT uses 101 members and flags variables for human review.)\n");
+  }
+  return 0;
+}

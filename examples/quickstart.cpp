@@ -1,0 +1,51 @@
+// Quickstart: generate a CAM-like field, compress it with several methods,
+// and evaluate the reconstruction with the paper's §4.2 metrics.
+//
+// Build & run:   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "climate/ensemble.h"
+#include "compress/variants.h"
+#include "core/metrics.h"
+#include "core/report.h"
+
+int main() {
+  using namespace cesm;
+
+  // 1. A small synthetic climate model run (one ensemble member).
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec::reduced();
+  spec.members = 3;
+  const climate::EnsembleGenerator model(spec);
+
+  // 2. Pull one variable's data — zonal wind, a 3-D field.
+  const climate::Field u = model.field("U", /*member=*/1);
+  std::printf("variable %s: %zu values, shape rank %zu\n", u.name.c_str(), u.size(),
+              u.shape.rank());
+
+  // 3. Characterize it (paper §4.1): moments + lossless compressibility.
+  const core::Characterization c = core::characterize(u);
+  std::printf("min %.3g  max %.3g  mean %.3g  sd %.3g  lossless CR %.2f\n\n",
+              c.summary.min, c.summary.max, c.summary.mean, c.summary.stddev,
+              c.lossless_cr);
+
+  // 4. Compress with a few methods and compare (paper §4.2).
+  core::TextTable table({"codec", "CR", "NRMSE", "e_nmax", "pearson"});
+  for (const char* variant : {"fpzip-24", "fpzip-16", "APAX-4", "ISA-0.5", "GRIB2:3",
+                              "NetCDF-4"}) {
+    const comp::CodecPtr codec = comp::make_variant(variant);
+    const comp::RoundTrip rt = comp::round_trip(*codec, u.data, u.shape);
+    const core::ErrorMetrics m = core::compare_fields(u, rt.reconstructed);
+    table.add_row({codec->name(), core::format_fixed(rt.cr, 3),
+                   core::format_sci(m.nrmse), core::format_sci(m.e_nmax),
+                   core::format_fixed(m.pearson, 7)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf(
+      "\nThe paper's acceptance bar for the correlation test is rho >= %.5f.\n"
+      "Run the bench/ binaries to regenerate the paper's tables and figures.\n",
+      core::kPearsonThreshold);
+  return 0;
+}

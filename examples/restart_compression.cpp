@@ -1,0 +1,62 @@
+// Lossless compression of restart-file-like data — the paper's deferred
+// case (§1): "CESM also writes restart files in full precision (8-byte
+// floating point)... we will examine lossless techniques for these data in
+// the future". This example builds a synthetic restart file (full-precision
+// prognostic state) and compares the library's lossless methods on it:
+// fpzip-64, Burtscher's FPC, the ISOBAR preconditioner, and the NetCDF-4
+// deflate baseline.
+//
+// Usage: ./build/examples/restart_compression
+
+#include <cstdio>
+#include <vector>
+
+#include "climate/restart.h"
+#include "compress/deflate/deflate.h"
+#include "compress/fpc/fpc.h"
+#include "compress/fpz/fpz.h"
+#include "compress/isobar.h"
+#include "compress/mafisc.h"
+#include "core/report.h"
+
+int main() {
+  using namespace cesm;
+
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{24, 72, 6};
+  spec.members = 3;
+  const climate::EnsembleGenerator model(spec);
+  const ncio::Dataset restart = climate::make_restart(model, 1, ncio::Storage::kRaw);
+
+  // Concatenate the prognostic state into one stream, as an archiver would.
+  std::vector<double> state;
+  for (const std::string& name : climate::restart_variables()) {
+    const auto& v = restart.find_variable(name)->f64;
+    state.insert(state.end(), v.begin(), v.end());
+  }
+  const comp::Shape shape = comp::Shape::d1(state.size());
+  std::printf("Restart-file compression study: %zu float64 values (%zu bytes)\n\n",
+              state.size(), state.size() * 8);
+
+  core::TextTable table({"method", "bytes", "CR", "exact"});
+  const auto row = [&](const char* label, const comp::Codec& codec) {
+    const Bytes s = codec.encode64(state, shape);
+    const std::vector<double> back = codec.decode64(s);
+    table.add_row({label, std::to_string(s.size()),
+                   core::format_fixed(comp::compression_ratio(s.size(), state.size(), 8), 3),
+                   back == state ? "yes" : "NO"});
+  };
+  row("fpzip-64", comp::FpzCodec(64));
+  row("FPC-16 (Burtscher)", comp::FpcCodec(16));
+  row("ISOBAR + deflate", comp::IsobarCodec());
+  row("MAFISC + deflate", comp::MafiscCodec());
+  row("NetCDF-4 deflate", comp::DeflateCodec());
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf(
+      "\nAs the paper notes, lossless ratios on full-precision floating-point\n"
+      "state are modest — the mantissa tail is close to random — which is why\n"
+      "checkpoint compression was deferred and the storage win lives in lossy\n"
+      "compression of the analysis data.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#pragma once
+// The perturbation ensemble (paper §4.3).
+//
+// Generates the CESM-PVT setup: `members` one-year simulations differing
+// only in an O(1e-14) initial-condition perturbation. Fields for any
+// (variable, member) pair are synthesized on demand — the full ensemble is
+// far too large to keep resident, and the verification loops stream it
+// variable by variable.
+//
+// Members beyond the base ensemble (ids >= members()) model the "runs on
+// the new machine" of the original port-verification use case and are
+// generated on demand the same way.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "climate/field.h"
+#include "climate/grid.h"
+#include "climate/lorenz.h"
+#include "climate/synthesis.h"
+#include "climate/variables.h"
+
+namespace cesm::climate {
+
+struct EnsembleSpec {
+  GridSpec grid = GridSpec::reduced();
+  std::size_t members = 101;  ///< paper: 101 one-year runs
+  Lorenz96Spec latent;
+};
+
+class EnsembleGenerator {
+ public:
+  explicit EnsembleGenerator(const EnsembleSpec& spec);
+
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] const std::vector<VariableSpec>& catalog() const { return catalog_; }
+  [[nodiscard]] std::size_t members() const { return spec_.members; }
+
+  /// Synthesize one variable for one member. Thread-safe.
+  [[nodiscard]] Field field(const VariableSpec& var, std::uint32_t member) const;
+  [[nodiscard]] Field field(const std::string& name, std::uint32_t member) const;
+
+  /// All `members()` fields of one variable, synthesized in parallel.
+  [[nodiscard]] std::vector<Field> ensemble_fields(const VariableSpec& var) const;
+
+  [[nodiscard]] const VariableSpec& variable(const std::string& name) const {
+    return find_variable(catalog_, name);
+  }
+
+ private:
+  [[nodiscard]] const FieldSynthesizer& synthesizer(const VariableSpec& var) const;
+  [[nodiscard]] const std::vector<double>& member_means(std::uint32_t member) const;
+
+  EnsembleSpec spec_;
+  Grid grid_;
+  Lorenz96 latent_;
+  std::vector<VariableSpec> catalog_;
+  std::vector<std::vector<double>> base_means_;  // precomputed for members 0..members-1
+
+  mutable std::mutex mu_;
+  mutable std::map<std::string, std::unique_ptr<FieldSynthesizer>> synths_;
+  mutable std::map<std::uint32_t, std::vector<double>> extra_means_;
+};
+
+}  // namespace cesm::climate

@@ -1,0 +1,32 @@
+#pragma once
+// A single variable's data for one ensemble member / history file.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace cesm::climate {
+
+struct Field {
+  std::string name;
+  comp::Shape shape;         ///< {ncol} for 2-D, {nlev, ncol} for 3-D
+  std::vector<float> data;   ///< row-major, level-major for 3-D
+  std::optional<float> fill; ///< special value marking undefined points
+
+  [[nodiscard]] std::size_t size() const { return data.size(); }
+
+  /// 1 where the point is valid, 0 where it equals the fill value.
+  /// Empty when the field has no fill value (all points valid).
+  [[nodiscard]] std::vector<std::uint8_t> valid_mask() const {
+    if (!fill) return {};
+    std::vector<std::uint8_t> mask(data.size(), 1);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data[i] == *fill) mask[i] = 0;
+    }
+    return mask;
+  }
+};
+
+}  // namespace cesm::climate

@@ -1,0 +1,37 @@
+#include "climate/grid.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace cesm::climate {
+
+Grid::Grid(const GridSpec& spec) : spec_(spec) {
+  CESM_REQUIRE(spec.nlat >= 4 && spec.nlon >= 4 && spec.nlev >= 1);
+  lat_.resize(spec.nlat);
+  lon_.resize(spec.nlon);
+  constexpr double pi = std::numbers::pi;
+  // Cell-centered latitudes avoid singular pole points.
+  for (std::size_t j = 0; j < spec.nlat; ++j) {
+    lat_[j] = -pi / 2.0 + pi * (static_cast<double>(j) + 0.5) / static_cast<double>(spec.nlat);
+  }
+  for (std::size_t i = 0; i < spec.nlon; ++i) {
+    lon_[i] = 2.0 * pi * static_cast<double>(i) / static_cast<double>(spec.nlon);
+  }
+  weights_.resize(columns());
+  double total = 0.0;
+  for (std::size_t c = 0; c < columns(); ++c) {
+    weights_[c] = std::cos(lat_[c / spec.nlon]);
+    total += weights_[c];
+  }
+  for (double& w : weights_) w /= total;
+}
+
+double Grid::level_fraction(std::size_t l) const {
+  CESM_REQUIRE(l < spec_.nlev);
+  if (spec_.nlev == 1) return 0.5;
+  return static_cast<double>(l) / static_cast<double>(spec_.nlev - 1);
+}
+
+}  // namespace cesm::climate

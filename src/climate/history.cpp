@@ -1,0 +1,60 @@
+#include "climate/history.h"
+
+#include "util/error.h"
+
+namespace cesm::climate {
+
+ncio::Dataset make_history(const EnsembleGenerator& ens, std::uint32_t member,
+                           const std::vector<std::string>& variables,
+                           ncio::Storage storage) {
+  ncio::Dataset ds;
+  ds.attrs()["title"] = std::string("synthetic CAM history file");
+  ds.attrs()["member"] = static_cast<std::int64_t>(member);
+  ds.attrs()["source"] = std::string("cesmcomp ensemble generator");
+
+  const std::uint32_t ncol_dim =
+      ds.add_dimension("ncol", ens.grid().columns());
+  const std::uint32_t lev_dim = ds.add_dimension("lev", ens.grid().levels());
+
+  const auto add_one = [&](const VariableSpec& spec) {
+    Field f = ens.field(spec, member);
+    ncio::Variable v;
+    v.name = spec.name;
+    v.dtype = ncio::DataType::kFloat32;
+    v.storage = storage;
+    if (spec.is_3d) {
+      v.dim_ids = {lev_dim, ncol_dim};
+    } else {
+      v.dim_ids = {ncol_dim};
+    }
+    if (f.fill) v.fill_value = static_cast<double>(*f.fill);
+    v.attrs["units"] = spec.units;
+    v.attrs["long_name"] = spec.description;
+    v.f32 = std::move(f.data);
+    ds.add_variable(std::move(v));
+  };
+
+  if (variables.empty()) {
+    for (const VariableSpec& spec : ens.catalog()) add_one(spec);
+  } else {
+    for (const std::string& name : variables) add_one(ens.variable(name));
+  }
+  return ds;
+}
+
+Field field_from_history(const ncio::Dataset& ds, const std::string& name) {
+  const ncio::Variable* v = ds.find_variable(name);
+  if (v == nullptr) throw InvalidArgument("variable not in history file: " + name);
+  CESM_REQUIRE(v->dtype == ncio::DataType::kFloat32);
+
+  Field f;
+  f.name = v->name;
+  f.data = v->f32;
+  if (v->fill_value) f.fill = static_cast<float>(*v->fill_value);
+  std::vector<std::size_t> dims;
+  for (std::uint32_t id : v->dim_ids) dims.push_back(ds.dimension(id).length);
+  f.shape = comp::Shape{dims};
+  return f;
+}
+
+}  // namespace cesm::climate

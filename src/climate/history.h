@@ -1,0 +1,24 @@
+#pragma once
+// History-file assembly: ensemble member fields -> an ncio::Dataset laid
+// out like a CAM history file (dims "ncol" and "lev", per-variable units /
+// description / fill attributes, optional NetCDF-4-style deflate storage).
+
+#include <string>
+#include <vector>
+
+#include "climate/ensemble.h"
+#include "ncio/dataset.h"
+
+namespace cesm::climate {
+
+/// Build a history file for `member` containing `variables` (all catalog
+/// variables when empty). `storage` selects raw or deflate (the lossless
+/// configuration whose CR the paper reports).
+ncio::Dataset make_history(const EnsembleGenerator& ens, std::uint32_t member,
+                           const std::vector<std::string>& variables = {},
+                           ncio::Storage storage = ncio::Storage::kRaw);
+
+/// Extract one variable from a history dataset as a Field.
+Field field_from_history(const ncio::Dataset& ds, const std::string& name);
+
+}  // namespace cesm::climate

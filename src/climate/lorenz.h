@@ -1,0 +1,62 @@
+#pragma once
+// Chaotic latent dynamics: the Lorenz-96 system.
+//
+// The CESM-PVT ensemble (§4.3) relies on one physical fact: an O(1e-14)
+// perturbation of the initial state produces trajectories that diverge
+// completely within the run yet share all statistical properties. Lorenz-96
+// is the standard minimal atmosphere surrogate with exactly this behaviour
+// (positive Lyapunov exponent ~ 1.7/t.u. at F = 8), so we use its
+// time-averaged state ("annual means") as the latent weather driving the
+// synthetic CAM fields.
+
+#include <cstdint>
+#include <vector>
+
+namespace cesm::climate {
+
+struct Lorenz96Spec {
+  std::size_t k = 128;       ///< state dimension
+  double forcing = 8.0;      ///< F; 8 is the classic chaotic regime
+  double dt = 0.05;          ///< RK4 step
+  std::size_t spinup_steps = 600;   ///< discarded transient
+  std::size_t average_steps = 1600; ///< window for the "annual mean"
+  std::uint64_t seed = 0x5eedc11ae5ull;  ///< base initial-condition seed
+};
+
+/// Integrates Lorenz-96 and reports time averages of the state.
+class Lorenz96 {
+ public:
+  explicit Lorenz96(const Lorenz96Spec& spec);
+
+  /// Time-averaged state for ensemble member `member`: the shared base
+  /// initial condition plus an O(1e-14) Gaussian perturbation drawn from a
+  /// member-specific stream (mirroring the PVT's temperature perturbation).
+  /// member 0 uses the unperturbed base IC.
+  [[nodiscard]] std::vector<double> member_time_means(std::uint32_t member) const;
+
+  /// Climatological mean and standard deviation of each time-mean
+  /// component, estimated once from a long control integration; used to
+  /// standardize latent features independently of any particular ensemble.
+  struct Climatology {
+    std::vector<double> mean;
+    std::vector<double> stddev;
+  };
+  [[nodiscard]] const Climatology& climatology() const { return climatology_; }
+
+  [[nodiscard]] const Lorenz96Spec& spec() const { return spec_; }
+
+ private:
+  /// d/dt of the state (cyclic advection + damping + forcing).
+  static void tendency(const std::vector<double>& x, double forcing,
+                       std::vector<double>& dxdt);
+
+  /// RK4 integration from `state` for `steps`, accumulating the running
+  /// time mean over the final `average` steps.
+  std::vector<double> integrate_means(std::vector<double> state) const;
+
+  Lorenz96Spec spec_;
+  std::vector<double> base_ic_;
+  Climatology climatology_;
+};
+
+}  // namespace cesm::climate

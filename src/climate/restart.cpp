@@ -1,0 +1,69 @@
+#include "climate/restart.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cesm::climate {
+
+std::vector<std::string> restart_variables() {
+  // The prognostic core of an atmosphere model: winds, temperature,
+  // moisture, surface pressure.
+  return {"U", "V", "T", "Q", "PS"};
+}
+
+ncio::Dataset make_restart(const EnsembleGenerator& ens, std::uint32_t member,
+                           ncio::Storage storage) {
+  CESM_REQUIRE(storage != ncio::Storage::kCodec);  // checkpoints must be exact
+
+  ncio::Dataset ds;
+  ds.attrs()["title"] = std::string("synthetic CESM restart file");
+  ds.attrs()["member"] = static_cast<std::int64_t>(member);
+  ds.attrs()["precision"] = std::string("float64");
+
+  const std::uint32_t ncol_dim = ds.add_dimension("ncol", ens.grid().columns());
+  const std::uint32_t lev_dim = ds.add_dimension("lev", ens.grid().levels());
+
+  for (const std::string& name : restart_variables()) {
+    const VariableSpec& spec = ens.variable(name);
+    const Field f32_field = ens.field(spec, member);
+
+    ncio::Variable v;
+    v.name = name;
+    v.dtype = ncio::DataType::kFloat64;
+    v.storage = storage;
+    v.dim_ids = spec.is_3d ? std::vector<std::uint32_t>{lev_dim, ncol_dim}
+                           : std::vector<std::uint32_t>{ncol_dim};
+    v.attrs["units"] = spec.units;
+
+    // Widen to double and append a full-precision tail below float32's
+    // resolution — restart state carries every bit the model computed,
+    // unlike the truncated history files.
+    v.f64.resize(f32_field.size());
+    NormalSampler tail(hash_combine(spec.stream, 0x2e57a27ull + member));
+    for (std::size_t i = 0; i < v.f64.size(); ++i) {
+      const double base = static_cast<double>(f32_field.data[i]);
+      const double ulp = std::max(std::fabs(base), 1e-30) * 1e-8;
+      v.f64[i] = base + ulp * tail.next();
+    }
+    ds.add_variable(std::move(v));
+  }
+
+  // Latent model state (the actual integration state one would resume).
+  const std::uint32_t k_dim = ds.add_dimension("latent_k", 128);
+  ncio::Variable latent;
+  latent.name = "latent_state";
+  latent.dtype = ncio::DataType::kFloat64;
+  latent.storage = storage;
+  latent.dim_ids = {k_dim};
+  // The time-means stand in for the state snapshot here.
+  Lorenz96Spec lspec;
+  const Lorenz96 model(lspec);
+  latent.f64 = model.member_time_means(member);
+  latent.f64.resize(128, 0.0);
+  ds.add_variable(std::move(latent));
+  return ds;
+}
+
+}  // namespace cesm::climate

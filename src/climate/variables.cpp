@@ -1,0 +1,354 @@
+#include "climate/variables.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cesm::climate {
+
+namespace {
+
+VariableSpec make(std::string name, std::string units, std::string desc, bool is_3d,
+                  TransformKind t) {
+  VariableSpec v;
+  v.name = std::move(name);
+  v.units = std::move(units);
+  v.description = std::move(desc);
+  v.is_3d = is_3d;
+  v.transform = t;
+  return v;
+}
+
+/// Hand-crafted CAM variables. The four spotlight variables target the
+/// magnitudes of paper Table 2:
+///   U     [-25.6, 54.5]   mean 6.39   sd 12.2
+///   FSDSC [124, 326]      mean 243    sd 48.3
+///   Z3    [41.2, 37700]   mean 11200  sd 10100
+///   CCN3  [3.4e-5, 1240]  mean 26.6   sd 55.7
+std::vector<VariableSpec> named_variables() {
+  std::vector<VariableSpec> cat;
+
+  {  // Zonal wind: smooth, signed, level-dependent westerly maximum.
+    VariableSpec v = make("U", "m/s", "zonal wind", true, TransformKind::kLinear);
+    v.center = 2.0;
+    v.scale = 7.5;
+    v.vertical_gradient = 9.0;  // stronger aloft
+    v.vertical_scale = 0.7;
+    v.smoothness = 2.2;
+    v.noise_frac = 0.015;
+    cat.push_back(v);
+  }
+  {  // Clear-sky downwelling solar flux at surface (2-D, positive, smooth).
+    VariableSpec v = make("FSDSC", "W/m2", "clearsky downwelling solar flux at surface",
+                          false, TransformKind::kPositive);
+    v.center = 243.0;
+    v.scale = 26.0;
+    v.smoothness = 2.5;
+    v.noise_frac = 0.012;
+    cat.push_back(v);
+  }
+  {  // Geopotential height: enormous vertical gradient dominates.
+    VariableSpec v = make("Z3", "m", "geopotential height above sea level", true,
+                          TransformKind::kLinear);
+    v.center = 160.0;
+    v.scale = 40.0;
+    v.vertical_gradient = 37500.0;
+    v.vertical_scale = 2.5;  // more spread aloft
+    v.smoothness = 2.8;
+    v.noise_frac = 0.006;
+    cat.push_back(v);
+  }
+  {  // Cloud condensation nuclei concentration: log-normal, huge range.
+    VariableSpec v = make("CCN3", "#/cm3", "CCN concentration at S=0.1%", true,
+                          TransformKind::kLogNormal);
+    // Paper Table 2: CCN3 spans [3.37e-5, 1.24e3] — nearly eight decades.
+    // That huge range is precisely what defeats GRIB2's absolute
+    // quantization in §5.3.
+    v.log_mu = 0.3;
+    v.log_sigma = 2.6;
+    v.smoothness = 1.2;
+    v.noise_frac = 0.06;
+    cat.push_back(v);
+  }
+  {  // Sulfur dioxide: the paper's O(1e-8) magnitude example (§3.1).
+    VariableSpec v = make("SO2", "kg/kg", "sulfur dioxide concentration", true,
+                          TransformKind::kLogNormal);
+    v.log_mu = -23.0;
+    v.log_sigma = 1.8;
+    v.smoothness = 1.1;
+    v.noise_frac = 0.09;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("V", "m/s", "meridional wind", true, TransformKind::kLinear);
+    v.center = 0.0;
+    v.scale = 6.0;
+    v.vertical_scale = 1.4;
+    v.smoothness = 2.0;
+    v.noise_frac = 0.02;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("T", "K", "temperature", true, TransformKind::kLinear);
+    v.center = 212.0;
+    v.scale = 9.0;
+    v.vertical_gradient = 72.0;  // warm at the surface
+    v.smoothness = 2.6;
+    v.noise_frac = 0.01;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("Q", "kg/kg", "specific humidity", true, TransformKind::kLogNormal);
+    v.log_mu = -7.5;
+    v.log_sigma = 1.6;
+    v.vertical_gradient = 0.0;
+    v.smoothness = 1.8;
+    v.noise_frac = 0.04;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("OMEGA", "Pa/s", "vertical pressure velocity", true,
+                          TransformKind::kLinear);
+    v.center = 0.0;
+    v.scale = 0.12;
+    v.smoothness = 1.0;
+    v.noise_frac = 0.1;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("RELHUM", "percent", "relative humidity", true,
+                          TransformKind::kBounded01);
+    v.bound_lo = 0.0;
+    v.bound_hi = 100.0;
+    v.smoothness = 1.6;
+    v.noise_frac = 0.06;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("CLOUD", "fraction", "cloud fraction", true,
+                          TransformKind::kBounded01);
+    v.smoothness = 1.3;
+    v.noise_frac = 0.09;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("PS", "Pa", "surface pressure", false, TransformKind::kLinear);
+    v.center = 98000.0;
+    v.scale = 2500.0;
+    v.smoothness = 2.7;
+    v.noise_frac = 0.01;
+    cat.push_back(v);
+  }
+  {  // Surface temperature with ocean-only validity (fill over land),
+     // exercising the special-value path end to end.
+    VariableSpec v = make("SST", "K", "sea surface temperature (fill over land)", false,
+                          TransformKind::kLinear);
+    v.center = 291.0;
+    v.scale = 6.5;
+    v.smoothness = 2.4;
+    v.noise_frac = 0.015;
+    v.has_fill = true;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("TS", "K", "surface (skin) temperature", false,
+                          TransformKind::kLinear);
+    v.center = 287.0;
+    v.scale = 12.0;
+    v.smoothness = 2.3;
+    v.noise_frac = 0.02;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("PRECT", "m/s", "total precipitation rate", false,
+                          TransformKind::kLogNormal);
+    v.log_mu = -18.7;
+    v.log_sigma = 1.4;
+    v.smoothness = 1.1;
+    v.noise_frac = 0.1;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("FLNT", "W/m2", "net longwave flux at top of model", false,
+                          TransformKind::kPositive);
+    v.center = 235.0;
+    v.scale = 32.0;
+    v.smoothness = 2.2;
+    v.noise_frac = 0.025;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("FSNT", "W/m2", "net solar flux at top of model", false,
+                          TransformKind::kPositive);
+    v.center = 240.0;
+    v.scale = 60.0;
+    v.smoothness = 2.4;
+    v.noise_frac = 0.02;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("LHFLX", "W/m2", "surface latent heat flux", false,
+                          TransformKind::kPositive);
+    v.center = 88.0;
+    v.scale = 40.0;
+    v.smoothness = 1.7;
+    v.noise_frac = 0.05;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("SHFLX", "W/m2", "surface sensible heat flux", false,
+                          TransformKind::kLinear);
+    v.center = 18.0;
+    v.scale = 16.0;
+    v.smoothness = 1.7;
+    v.noise_frac = 0.05;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("TAUX", "N/m2", "zonal surface stress (fill over land)", false,
+                          TransformKind::kLinear);
+    v.center = 0.0;
+    v.scale = 0.08;
+    v.smoothness = 1.9;
+    v.noise_frac = 0.04;
+    v.has_fill = true;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("CLDLOW", "fraction", "low cloud fraction", false,
+                          TransformKind::kBounded01);
+    v.smoothness = 1.4;
+    v.noise_frac = 0.08;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("CLDHGH", "fraction", "high cloud fraction", false,
+                          TransformKind::kBounded01);
+    v.smoothness = 1.4;
+    v.noise_frac = 0.08;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("TMQ", "kg/m2", "total precipitable water", false,
+                          TransformKind::kPositive);
+    v.center = 24.0;
+    v.scale = 12.0;
+    v.smoothness = 2.0;
+    v.noise_frac = 0.025;
+    cat.push_back(v);
+  }
+  {
+    VariableSpec v = make("PBLH", "m", "planetary boundary layer height", false,
+                          TransformKind::kPositive);
+    v.center = 800.0;
+    v.scale = 350.0;
+    v.smoothness = 1.3;
+    v.noise_frac = 0.08;
+    cat.push_back(v);
+  }
+  return cat;
+}
+
+}  // namespace
+
+std::vector<VariableSpec> build_catalog() {
+  constexpr std::size_t kTarget2d = 83;
+  constexpr std::size_t kTarget3d = 87;
+
+  std::vector<VariableSpec> cat = named_variables();
+  std::size_t n2 = 0, n3 = 0;
+  for (const VariableSpec& v : cat) (v.is_3d ? n3 : n2) += 1;
+  CESM_REQUIRE(n2 <= kTarget2d && n3 <= kTarget3d);
+
+  // Procedural remainder: tracer ("TRC*") and diagnostic ("DGN*") fields
+  // cycling through transform kinds, magnitudes spanning ~18 decades, a
+  // spread of smoothness and noise levels, and periodic fill-masked
+  // entries — mirroring the diversity axes of §3.1.
+  std::size_t idx = 0;
+  auto synth = [&idx](bool is_3d) {
+    VariableSpec v;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%03zu", is_3d ? "TRC" : "DGN", idx);
+    v.name = buf;
+    v.is_3d = is_3d;
+    SplitMix64 h(hash_combine(0x7a11bull, idx * 2 + (is_3d ? 1 : 0)));
+    const std::uint64_t r0 = h.next();
+    switch (r0 % 4) {
+      case 0: {
+        v.transform = TransformKind::kLinear;
+        // Magnitudes 1e-6 .. 1e6 by index.
+        const double mag = std::pow(10.0, static_cast<double>(static_cast<int>(idx % 13)) - 6.0);
+        v.center = mag * (1.0 + 0.3 * static_cast<double>(h.next() % 100) / 100.0);
+        v.scale = 0.25 * v.center + 1e-30;
+        v.units = "arbitrary";
+        v.description = "synthetic linear diagnostic";
+        break;
+      }
+      case 1: {
+        v.transform = TransformKind::kPositive;
+        const double mag = std::pow(10.0, static_cast<double>(static_cast<int>(idx % 9)) - 3.0);
+        v.center = mag * 2.0;
+        v.scale = 0.4 * v.center;
+        v.units = "arbitrary";
+        v.description = "synthetic positive flux";
+        break;
+      }
+      case 2: {
+        v.transform = TransformKind::kLogNormal;
+        v.log_mu = -24.0 + 3.0 * static_cast<double>(static_cast<int>(idx % 13));
+        v.log_sigma = 1.0 + 0.15 * static_cast<double>(static_cast<int>(idx % 8));
+        v.units = "kg/kg";
+        v.description = "synthetic trace species";
+        break;
+      }
+      default: {
+        v.transform = TransformKind::kBounded01;
+        v.bound_lo = 0.0;
+        v.bound_hi = (idx % 3 == 0) ? 100.0 : 1.0;
+        v.units = v.bound_hi > 1.0 ? "percent" : "fraction";
+        v.description = "synthetic bounded fraction";
+        break;
+      }
+    }
+    v.smoothness = 0.9 + 0.25 * static_cast<double>(static_cast<int>(idx % 9));
+    v.noise_frac = 0.01 + 0.015 * static_cast<double>(static_cast<int>(idx % 7));
+    if (is_3d) {
+      v.vertical_scale = 0.6 + 0.2 * static_cast<double>(static_cast<int>(idx % 6));
+      if (v.transform == TransformKind::kLinear && idx % 4 == 0) {
+        v.vertical_gradient = 10.0 * v.scale;
+      }
+    }
+    // Every 12th synthetic 2-D variable is ocean-masked.
+    if (!is_3d && idx % 12 == 5) v.has_fill = true;
+    ++idx;
+    return v;
+  };
+
+  while (n2 < kTarget2d) {
+    cat.push_back(synth(false));
+    ++n2;
+  }
+  while (n3 < kTarget3d) {
+    cat.push_back(synth(true));
+    ++n3;
+  }
+
+  // Assign deterministic stream ids.
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    cat[i].stream = hash_combine(0xca7a106ull, i);
+  }
+  CESM_REQUIRE(cat.size() == kTarget2d + kTarget3d);
+  return cat;
+}
+
+const VariableSpec& find_variable(const std::vector<VariableSpec>& catalog,
+                                  const std::string& name) {
+  for (const VariableSpec& v : catalog) {
+    if (v.name == name) return v;
+  }
+  throw InvalidArgument("unknown variable: " + name);
+}
+
+}  // namespace cesm::climate

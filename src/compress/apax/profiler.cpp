@@ -1,0 +1,48 @@
+#include "compress/apax/profiler.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+
+namespace cesm::comp {
+
+ApaxProfile apax_profile(std::span<const float> data, const Shape& shape,
+                         double min_pearson, std::span<const double> ratios) {
+  static constexpr std::array<double, 5> kDefaultLadder = {2.0, 4.0, 5.0, 6.0, 7.0};
+  if (ratios.empty()) ratios = kDefaultLadder;
+
+  const stats::Summary summary = stats::summarize(data);
+  const double range = summary.range() > 0.0 ? summary.range() : 1.0;
+
+  ApaxProfile profile;
+  for (double ratio : ratios) {
+    const ApaxCodec codec = ApaxCodec::fixed_rate(ratio);
+    const RoundTrip rt = round_trip(codec, data, shape);
+
+    ApaxProfilePoint p;
+    p.ratio = ratio;
+    p.cr = rt.cr;
+    p.pearson = stats::pearson(data, std::span<const float>(rt.reconstructed));
+    double se = 0.0, emax = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double e = static_cast<double>(data[i]) - static_cast<double>(rt.reconstructed[i]);
+      se += e * e;
+      emax = std::max(emax, std::fabs(e));
+    }
+    p.nrmse = std::sqrt(se / static_cast<double>(data.size())) / range;
+    p.max_abs_err = emax;
+    profile.points.push_back(p);
+
+    if (p.pearson >= min_pearson) {
+      if (!profile.recommended_ratio || ratio > *profile.recommended_ratio) {
+        profile.recommended_ratio = ratio;
+      }
+    }
+  }
+  return profile;
+}
+
+}  // namespace cesm::comp

@@ -1,0 +1,40 @@
+#pragma once
+// APAX-style profiler.
+//
+// The paper (§3.2.4) highlights the APAX profiler as a practical advantage:
+// it "illustrates the quality of the reconstructed data and recommends
+// encoding rates". This reimplementation sweeps the fixed-rate ladder on a
+// sample of the data, reports quality metrics per rate, and recommends the
+// most aggressive rate whose Pearson correlation stays above a threshold
+// (the paper adopts the profiler's own 0.99999 rule as its ρ test).
+
+#include <optional>
+#include <vector>
+
+#include "compress/apax/apax.h"
+#include "compress/codec.h"
+
+namespace cesm::comp {
+
+/// Quality achieved by one candidate rate.
+struct ApaxProfilePoint {
+  double ratio = 0.0;      ///< compression factor (2 => CR 0.5)
+  double cr = 0.0;         ///< achieved compressed/original ratio
+  double pearson = 0.0;    ///< correlation original vs reconstructed
+  double nrmse = 0.0;      ///< RMSE normalized by data range
+  double max_abs_err = 0.0;
+};
+
+struct ApaxProfile {
+  std::vector<ApaxProfilePoint> points;            ///< one per rate tried
+  std::optional<double> recommended_ratio;         ///< most aggressive passing rate
+};
+
+/// Profile `data` over `ratios` (default the paper ladder 2,4,5 plus the
+/// untried 6 and 7) and recommend the largest ratio with
+/// pearson >= `min_pearson`.
+ApaxProfile apax_profile(std::span<const float> data, const Shape& shape,
+                         double min_pearson = 0.99999,
+                         std::span<const double> ratios = {});
+
+}  // namespace cesm::comp

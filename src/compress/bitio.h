@@ -1,0 +1,102 @@
+#pragma once
+// Bit-level I/O used by every entropy-coding stage.
+//
+// Bits are packed MSB-first within each byte: the first bit written becomes
+// the most significant bit of the first output byte. This ordering makes
+// streams readable in a debugger and matches the GRIB2 packing convention.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace cesm::comp {
+
+/// MSB-first bit sink appending to a caller-owned byte vector.
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes& out) : out_(out) {}
+
+  /// Write the low `nbits` bits of `value`, most significant first.
+  void put(std::uint64_t value, unsigned nbits) {
+    CESM_ASSERT(nbits <= 57);
+    CESM_ASSERT(nbits == 64 || (value >> nbits) == 0);
+    acc_ = (acc_ << nbits) | value;
+    fill_ += nbits;
+    while (fill_ >= 8) {
+      fill_ -= 8;
+      out_.push_back(static_cast<std::uint8_t>(acc_ >> fill_));
+    }
+  }
+
+  void put_bit(bool bit) { put(bit ? 1u : 0u, 1); }
+
+  /// Unary code: `n` zero bits then a one bit. Used by Rice coding.
+  void put_unary(std::uint32_t n) {
+    while (n >= 32) {
+      put(0, 32);
+      n -= 32;
+    }
+    put(1u, n + 1);
+  }
+
+  /// Flush a partial byte, zero-padding the tail. Idempotent per chunk.
+  void align() {
+    if (fill_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - fill_)));
+      fill_ = 0;
+      acc_ = 0;
+    }
+  }
+
+  /// Bits written so far (including pending unflushed bits).
+  [[nodiscard]] std::size_t bit_count() const { return out_.size() * 8 + fill_; }
+
+ private:
+  Bytes& out_;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+/// MSB-first bit source over a byte span; throws FormatError past the end.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint64_t get(unsigned nbits) {
+    CESM_ASSERT(nbits <= 57);
+    while (fill_ < nbits) {
+      if (pos_ >= data_.size()) throw FormatError("bitstream exhausted");
+      acc_ = (acc_ << 8) | data_[pos_++];
+      fill_ += 8;
+    }
+    fill_ -= nbits;
+    const std::uint64_t v = (acc_ >> fill_) & ((nbits == 64) ? ~0ull : ((1ull << nbits) - 1));
+    return v;
+  }
+
+  bool get_bit() { return get(1) != 0; }
+
+  std::uint32_t get_unary() {
+    std::uint32_t n = 0;
+    while (!get_bit()) {
+      if (++n > (1u << 28)) throw FormatError("runaway unary code");
+    }
+    return n;
+  }
+
+  /// Discard bits to the next byte boundary.
+  void align() { fill_ -= fill_ % 8; }
+
+  [[nodiscard]] std::size_t bits_consumed() const { return pos_ * 8 - fill_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  unsigned fill_ = 0;
+};
+
+}  // namespace cesm::comp

@@ -1,0 +1,88 @@
+#include "compress/chunked.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace cesm::comp {
+
+namespace {
+constexpr std::uint32_t kChunkMagic = 0x314b4843;  // "CHK1"
+}
+
+ChunkedCodec::ChunkedCodec(CodecPtr inner, std::size_t target_chunk_elems)
+    : inner_(std::move(inner)), target_chunk_elems_(target_chunk_elems) {
+  CESM_REQUIRE(inner_ != nullptr);
+  CESM_REQUIRE(target_chunk_elems_ >= 1024);
+}
+
+std::vector<std::size_t> ChunkedCodec::chunk_offsets(const Shape& shape) const {
+  const std::size_t total = shape.count();
+  std::vector<std::size_t> offsets = {0};
+  if (total == 0) return offsets;
+
+  // Whole slices of the slowest dimension keep inner-codec geometry sane.
+  std::size_t slice = total;
+  if (shape.rank() > 1) {
+    slice = total / shape.dims[0];
+  }
+  const std::size_t slices_per_chunk =
+      std::max<std::size_t>(1, target_chunk_elems_ / slice);
+  const std::size_t step = shape.rank() > 1 ? slices_per_chunk * slice
+                                            : std::min(total, target_chunk_elems_);
+  for (std::size_t off = step; off < total; off += step) offsets.push_back(off);
+  offsets.push_back(total);
+  return offsets;
+}
+
+Bytes ChunkedCodec::encode(std::span<const float> data, const Shape& shape) const {
+  CESM_REQUIRE(shape.count() == data.size());
+  const std::vector<std::size_t> offsets = chunk_offsets(shape);
+  const std::size_t chunks = offsets.size() - 1;
+  const std::size_t slice = shape.rank() > 1 ? data.size() / shape.dims[0] : 0;
+
+  std::vector<Bytes> streams(chunks);
+  parallel_for(0, chunks, [&](std::size_t c) {
+    const std::size_t lo = offsets[c];
+    const std::size_t hi = offsets[c + 1];
+    Shape chunk_shape;
+    if (shape.rank() > 1) {
+      chunk_shape = shape;
+      chunk_shape.dims[0] = (hi - lo) / slice;
+    } else {
+      chunk_shape = Shape::d1(hi - lo);
+    }
+    streams[c] = inner_->encode(data.subspan(lo, hi - lo), chunk_shape);
+  });
+
+  Bytes out;
+  ByteWriter w(out);
+  wire::write_header(w, kChunkMagic, shape);
+  w.u32(static_cast<std::uint32_t>(chunks));
+  for (const Bytes& s : streams) w.u64(s.size());
+  for (const Bytes& s : streams) w.raw(s);
+  return out;
+}
+
+std::vector<float> ChunkedCodec::decode(std::span<const std::uint8_t> stream) const {
+  ByteReader r(stream);
+  const Shape shape = wire::read_header(r, kChunkMagic);
+  const std::uint32_t chunks = r.u32();
+  if (chunks == 0 || chunks > (1u << 24)) throw FormatError("chunked: bad chunk count");
+
+  std::vector<std::span<const std::uint8_t>> payloads(chunks);
+  std::vector<std::uint64_t> sizes(chunks);
+  for (auto& s : sizes) s = r.u64();
+  for (std::uint32_t c = 0; c < chunks; ++c) payloads[c] = r.raw(sizes[c]);
+
+  std::vector<std::vector<float>> parts(chunks);
+  parallel_for(0, chunks, [&](std::size_t c) { parts[c] = inner_->decode(payloads[c]); });
+
+  std::vector<float> out;
+  out.reserve(shape.count());
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  if (out.size() != shape.count()) throw FormatError("chunked: element count mismatch");
+  return out;
+}
+
+}  // namespace cesm::comp

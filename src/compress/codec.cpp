@@ -1,0 +1,52 @@
+#include "compress/codec.h"
+
+namespace cesm::comp {
+
+Bytes Codec::encode64(std::span<const double>, const Shape&) const {
+  throw InvalidArgument(name() + " does not support 64-bit data");
+}
+
+std::vector<double> Codec::decode64(std::span<const std::uint8_t>) const {
+  throw InvalidArgument(name() + " does not support 64-bit data");
+}
+
+RoundTrip round_trip(const Codec& codec, std::span<const float> data, const Shape& shape) {
+  RoundTrip rt;
+  Bytes stream = codec.encode(data, shape);
+  rt.compressed_bytes = stream.size();
+  rt.cr = compression_ratio(stream.size(), data.size());
+  rt.reconstructed = codec.decode(stream);
+  return rt;
+}
+
+namespace wire {
+
+void write_header(ByteWriter& w, std::uint32_t magic, const Shape& shape) {
+  w.u32(magic);
+  w.u8(static_cast<std::uint8_t>(shape.rank()));
+  for (std::size_t d : shape.dims) w.u64(d);
+}
+
+Shape read_header(ByteReader& r, std::uint32_t magic) {
+  const std::uint32_t got = r.u32();
+  if (got != magic) throw FormatError("bad stream magic");
+  const unsigned rank = r.u8();
+  if (rank == 0 || rank > 8) throw FormatError("bad rank");
+  Shape s;
+  s.dims.resize(rank);
+  std::uint64_t count = 1;
+  for (unsigned i = 0; i < rank; ++i) {
+    s.dims[i] = r.u64();
+    if (s.dims[i] == 0 || s.dims[i] > kMaxDecodeElements) {
+      throw FormatError("bad dimension");
+    }
+    count *= s.dims[i];
+    // A corrupt header must not drive a multi-gigabyte allocation: cap
+    // the total decoded element count (see kMaxDecodeElements).
+    if (count > kMaxDecodeElements) throw FormatError("implausible element count");
+  }
+  return s;
+}
+
+}  // namespace wire
+}  // namespace cesm::comp

@@ -1,0 +1,256 @@
+#include "compress/deflate/deflate.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "compress/bitio.h"
+#include "compress/deflate/huffman.h"
+#include "compress/deflate/lz77.h"
+#include "util/error.h"
+
+namespace cesm::comp {
+
+namespace {
+
+// RFC 1951 length/distance code tables.
+constexpr unsigned kNumLenCodes = 29;
+constexpr std::array<std::uint16_t, kNumLenCodes> kLenBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<std::uint8_t, kNumLenCodes> kLenExtra = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+constexpr unsigned kNumDistCodes = 30;
+constexpr std::array<std::uint16_t, kNumDistCodes> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<std::uint8_t, kNumDistCodes> kDistExtra = {
+    0, 0, 0, 0, 1, 1, 2, 2,  3,  3,  4,  4,  5,  5,  6,
+    6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+constexpr unsigned kEob = 256;
+constexpr unsigned kLitLenSymbols = 257 + kNumLenCodes;  // 286
+constexpr std::uint8_t kModeStored = 0;
+constexpr std::uint8_t kModeHuffman = 1;
+
+unsigned length_code(unsigned len) {
+  CESM_ASSERT(len >= 3 && len <= 258);
+  unsigned c = 0;
+  while (c + 1 < kNumLenCodes && kLenBase[c + 1] <= len) ++c;
+  return c;
+}
+
+unsigned distance_code(unsigned dist) {
+  CESM_ASSERT(dist >= 1 && dist <= 32768);
+  unsigned c = 0;
+  while (c + 1 < kNumDistCodes && kDistBase[c + 1] <= dist) ++c;
+  return c;
+}
+
+Lz77Params params_for_effort(int effort) {
+  Lz77Params p;
+  effort = std::clamp(effort, 1, 9);
+  p.max_chain = 1u << (effort + 1);  // 4 .. 1024 probes
+  p.lazy = effort >= 4;
+  return p;
+}
+
+}  // namespace
+
+Bytes deflate_compress(std::span<const std::uint8_t> input, int effort) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u64(input.size());
+
+  if (input.empty()) {
+    w.u8(kModeStored);
+    return out;
+  }
+
+  const std::vector<Lz77Token> tokens = lz77_tokenize(input, params_for_effort(effort));
+
+  // Gather symbol frequencies.
+  std::vector<std::uint64_t> lit_freq(kLitLenSymbols, 0);
+  std::vector<std::uint64_t> dist_freq(kNumDistCodes, 0);
+  for (const Lz77Token& t : tokens) {
+    if (t.length == 0) {
+      ++lit_freq[t.literal];
+    } else {
+      ++lit_freq[257 + length_code(t.length)];
+      ++dist_freq[distance_code(t.distance)];
+    }
+  }
+  ++lit_freq[kEob];
+
+  const auto lit_lens = huffman_code_lengths(lit_freq);
+  const auto dist_lens = huffman_code_lengths(dist_freq);
+  const HuffmanEncoder lit_enc(lit_lens);
+  const HuffmanEncoder dist_enc(dist_lens);
+
+  Bytes body;
+  {
+    // Code-length tables, 4 bits per symbol, then the token stream.
+    BitWriter bw(body);
+    for (auto l : lit_lens) bw.put(l, 4);
+    for (auto l : dist_lens) bw.put(l, 4);
+    for (const Lz77Token& t : tokens) {
+      if (t.length == 0) {
+        lit_enc.put(bw, t.literal);
+      } else {
+        const unsigned lc = length_code(t.length);
+        lit_enc.put(bw, 257 + lc);
+        if (kLenExtra[lc]) bw.put(t.length - kLenBase[lc], kLenExtra[lc]);
+        const unsigned dc = distance_code(t.distance);
+        dist_enc.put(bw, dc);
+        if (kDistExtra[dc]) bw.put(t.distance - kDistBase[dc], kDistExtra[dc]);
+      }
+    }
+    lit_enc.put(bw, kEob);
+    bw.align();
+  }
+
+  if (body.size() >= input.size()) {
+    // Entropy coding lost: store raw (mirrors deflate's stored blocks).
+    w.u8(kModeStored);
+    w.raw(input);
+  } else {
+    w.u8(kModeHuffman);
+    w.raw(body);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> deflate_decompress(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  const std::uint64_t raw_size = r.u64();
+  if (raw_size > (1ull << 31)) throw FormatError("implausible deflate size");
+  const std::uint8_t mode = r.u8();
+
+  if (mode == kModeStored) {
+    auto payload = r.raw(raw_size);
+    return std::vector<std::uint8_t>(payload.begin(), payload.end());
+  }
+  if (mode != kModeHuffman) throw FormatError("unknown deflate mode");
+
+  BitReader br(stream.subspan(r.position()));
+  std::vector<std::uint8_t> lit_lens(kLitLenSymbols);
+  std::vector<std::uint8_t> dist_lens(kNumDistCodes);
+  for (auto& l : lit_lens) l = static_cast<std::uint8_t>(br.get(4));
+  for (auto& l : dist_lens) l = static_cast<std::uint8_t>(br.get(4));
+  const HuffmanDecoder lit_dec(lit_lens);
+  const HuffmanDecoder dist_dec(dist_lens);
+
+  std::vector<std::uint8_t> out;
+  // Reserve conservatively: a corrupt header must not drive a huge
+  // up-front allocation; genuine large outputs grow geometrically.
+  out.reserve(std::min<std::uint64_t>(raw_size, 1u << 22));
+  for (;;) {
+    const unsigned sym = lit_dec.get(br);
+    if (sym == kEob) break;
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    const unsigned lc = sym - 257;
+    if (lc >= kNumLenCodes) throw FormatError("bad length code");
+    const unsigned len =
+        kLenBase[lc] + (kLenExtra[lc] ? static_cast<unsigned>(br.get(kLenExtra[lc])) : 0);
+    const unsigned dc = dist_dec.get(br);
+    if (dc >= kNumDistCodes) throw FormatError("bad distance code");
+    const unsigned dist =
+        kDistBase[dc] + (kDistExtra[dc] ? static_cast<unsigned>(br.get(kDistExtra[dc])) : 0);
+    if (dist == 0 || dist > out.size()) throw FormatError("deflate distance out of range");
+    const std::size_t start = out.size() - dist;
+    for (unsigned k = 0; k < len; ++k) out.push_back(out[start + k]);
+    if (out.size() > raw_size) throw FormatError("deflate output overrun");
+  }
+  if (out.size() != raw_size) throw FormatError("deflate size mismatch");
+  return out;
+}
+
+Bytes shuffle_bytes(std::span<const std::uint8_t> input, std::size_t elem_size) {
+  CESM_REQUIRE(elem_size > 0);
+  CESM_REQUIRE(input.size() % elem_size == 0);
+  const std::size_t n = input.size() / elem_size;
+  Bytes out(input.size());
+  for (std::size_t b = 0; b < elem_size; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[b * n + i] = input[i * elem_size + b];
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> unshuffle_bytes(std::span<const std::uint8_t> input,
+                                          std::size_t elem_size) {
+  CESM_REQUIRE(elem_size > 0);
+  CESM_REQUIRE(input.size() % elem_size == 0);
+  const std::size_t n = input.size() / elem_size;
+  std::vector<std::uint8_t> out(input.size());
+  for (std::size_t b = 0; b < elem_size; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i * elem_size + b] = input[b * n + i];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::uint32_t kNcMagic = 0x315a434e;  // "NCZ1"
+
+template <typename T>
+Bytes nc_encode(std::span<const T> data, const Shape& shape, bool shuffle, int effort) {
+  CESM_REQUIRE(shape.count() == data.size());
+  Bytes out;
+  ByteWriter w(out);
+  wire::write_header(w, kNcMagic, shape);
+  w.u8(shuffle ? 1 : 0);
+  w.u8(sizeof(T));
+  Bytes raw(data.size() * sizeof(T));
+  std::memcpy(raw.data(), data.data(), raw.size());
+  const Bytes filtered = shuffle ? shuffle_bytes(raw, sizeof(T)) : std::move(raw);
+  const Bytes packed = deflate_compress(filtered, effort);
+  w.u64(packed.size());
+  w.raw(packed);
+  return out;
+}
+
+template <typename T>
+std::vector<T> nc_decode(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  const Shape shape = wire::read_header(r, kNcMagic);
+  const bool shuffled = r.u8() != 0;
+  const std::size_t elem = r.u8();
+  if (elem != sizeof(T)) throw FormatError("element size mismatch");
+  const std::uint64_t packed_size = r.u64();
+  auto packed = r.raw(packed_size);
+  std::vector<std::uint8_t> raw = deflate_decompress(packed);
+  if (shuffled) raw = unshuffle_bytes(raw, sizeof(T));
+  if (raw.size() != shape.count() * sizeof(T)) throw FormatError("payload size mismatch");
+  std::vector<T> data(shape.count());
+  std::memcpy(data.data(), raw.data(), raw.size());
+  return data;
+}
+
+}  // namespace
+
+Bytes DeflateCodec::encode(std::span<const float> data, const Shape& shape) const {
+  return nc_encode(data, shape, shuffle_, effort_);
+}
+
+std::vector<float> DeflateCodec::decode(std::span<const std::uint8_t> stream) const {
+  return nc_decode<float>(stream);
+}
+
+Bytes DeflateCodec::encode64(std::span<const double> data, const Shape& shape) const {
+  return nc_encode(data, shape, shuffle_, effort_);
+}
+
+std::vector<double> DeflateCodec::decode64(std::span<const std::uint8_t> stream) const {
+  return nc_decode<double>(stream);
+}
+
+}  // namespace cesm::comp

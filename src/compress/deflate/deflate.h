@@ -1,0 +1,62 @@
+#pragma once
+// Deflate-class general-purpose lossless codec: LZ77 tokens entropy-coded
+// with two canonical Huffman alphabets (literal/length + distance), RFC
+// 1951-style symbol layout in a self-describing container of our own.
+//
+// This is the study's stand-in for the zlib codec inside NetCDF-4 (paper
+// §4.1 uses NetCDF-4 lossless compression to characterize variables, and
+// §5.4 falls back to it for variables no lossy method passes).
+
+#include <cstdint>
+#include <span>
+
+#include "compress/codec.h"
+#include "util/bytes.h"
+
+namespace cesm::comp {
+
+/// Compress an arbitrary byte buffer (single deflate block, with a stored
+/// fallback when expansion would occur).
+Bytes deflate_compress(std::span<const std::uint8_t> input, int effort = 6);
+
+/// Inverse of deflate_compress. Throws FormatError on corrupt input.
+std::vector<std::uint8_t> deflate_decompress(std::span<const std::uint8_t> stream);
+
+/// Byte-transpose (shuffle) filter: groups byte k of every element
+/// together, the HDF5 trick that makes float arrays deflate well.
+Bytes shuffle_bytes(std::span<const std::uint8_t> input, std::size_t elem_size);
+std::vector<std::uint8_t> unshuffle_bytes(std::span<const std::uint8_t> input,
+                                          std::size_t elem_size);
+
+/// "NetCDF-4" codec: optional shuffle + deflate over the raw IEEE bytes.
+/// Exactly lossless; capability row "NetCDF-4" in the tables.
+class DeflateCodec final : public Codec {
+ public:
+  explicit DeflateCodec(bool shuffle = true, int effort = 6)
+      : shuffle_(shuffle), effort_(effort) {}
+
+  [[nodiscard]] std::string name() const override { return "NetCDF-4"; }
+  [[nodiscard]] std::string family() const override { return "NetCDF-4"; }
+  [[nodiscard]] bool is_lossless() const override { return true; }
+
+  [[nodiscard]] Capabilities capabilities() const override {
+    return Capabilities{.lossless_mode = true,
+                        .special_values = true,
+                        .freely_available = true,
+                        .fixed_quality = false,
+                        .fixed_rate = false,
+                        .handles_64bit = true};
+  }
+
+  [[nodiscard]] Bytes encode(std::span<const float> data, const Shape& shape) const override;
+  [[nodiscard]] std::vector<float> decode(std::span<const std::uint8_t> stream) const override;
+  [[nodiscard]] Bytes encode64(std::span<const double> data, const Shape& shape) const override;
+  [[nodiscard]] std::vector<double> decode64(
+      std::span<const std::uint8_t> stream) const override;
+
+ private:
+  bool shuffle_;
+  int effort_;
+};
+
+}  // namespace cesm::comp

@@ -1,0 +1,172 @@
+#include "compress/deflate/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "util/error.h"
+
+namespace cesm::comp {
+
+namespace {
+
+struct Node {
+  std::uint64_t freq;
+  int left = -1;    // child indices; -1 marks a leaf
+  int right = -1;
+  unsigned symbol = 0;
+};
+
+// Depth-first code-length assignment over the tree built by the heap.
+void assign_depths(const std::vector<Node>& nodes, int idx, unsigned depth,
+                   std::vector<std::uint8_t>& lengths) {
+  const Node& n = nodes[static_cast<std::size_t>(idx)];
+  if (n.left < 0) {
+    lengths[n.symbol] = static_cast<std::uint8_t>(std::max(1u, depth));
+    return;
+  }
+  assign_depths(nodes, n.left, depth + 1, lengths);
+  assign_depths(nodes, n.right, depth + 1, lengths);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(std::span<const std::uint64_t> freqs,
+                                               unsigned max_len) {
+  CESM_REQUIRE(max_len >= 2 && max_len <= 15);
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+
+  std::vector<Node> nodes;
+  nodes.reserve(freqs.size() * 2);
+  using HeapItem = std::pair<std::uint64_t, int>;  // (freq, node index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] == 0) continue;
+    nodes.push_back(Node{freqs[s], -1, -1, static_cast<unsigned>(s)});
+    heap.emplace(freqs[s], static_cast<int>(nodes.size()) - 1);
+  }
+  if (heap.empty()) return lengths;
+  if (heap.size() == 1) {
+    lengths[nodes[0].symbol] = 1;
+    return lengths;
+  }
+  while (heap.size() > 1) {
+    auto [fa, a] = heap.top();
+    heap.pop();
+    auto [fb, b] = heap.top();
+    heap.pop();
+    nodes.push_back(Node{fa + fb, a, b, 0});
+    heap.emplace(fa + fb, static_cast<int>(nodes.size()) - 1);
+  }
+  assign_depths(nodes, heap.top().second, 0, lengths);
+
+  // Enforce the length limit by repeatedly flattening over-long codes: the
+  // standard "lazy" fix preserves the Kraft inequality by borrowing from
+  // shorter codes. Simple and optimal enough for our alphabets.
+  unsigned longest = *std::max_element(lengths.begin(), lengths.end());
+  if (longest > max_len) {
+    // Count codes per length, clamp, then repair Kraft sum.
+    std::vector<std::uint32_t> bl_count(max_len + 1, 0);
+    for (auto& l : lengths) {
+      if (l == 0) continue;
+      if (l > max_len) l = static_cast<std::uint8_t>(max_len);
+      ++bl_count[l];
+    }
+    // Kraft sum scaled by 2^max_len must be <= 2^max_len.
+    std::uint64_t kraft = 0;
+    for (unsigned l = 1; l <= max_len; ++l) {
+      kraft += static_cast<std::uint64_t>(bl_count[l]) << (max_len - l);
+    }
+    const std::uint64_t budget = 1ull << max_len;
+    while (kraft > budget) {
+      // Demote one code from the longest non-empty length below max_len...
+      // i.e. take a code of length max_len and pair it under a code of
+      // length l < max_len (increasing that one). The cheapest repair:
+      // find a symbol at max_len and one at the largest l < max_len, but
+      // the standard trick is simpler: move one max_len code to max_len
+      // (no-op) — instead increment a shorter code's length.
+      unsigned l = max_len - 1;
+      while (l > 0 && bl_count[l] == 0) --l;
+      CESM_REQUIRE(l > 0);
+      --bl_count[l];
+      ++bl_count[l + 1];
+      kraft -= (1ull << (max_len - l)) - (1ull << (max_len - l - 1));
+    }
+    // Reassign lengths: shortest lengths to most frequent symbols.
+    std::vector<std::size_t> order;
+    for (std::size_t s = 0; s < freqs.size(); ++s) {
+      if (freqs[s] > 0) order.push_back(s);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return freqs[a] > freqs[b]; });
+    std::size_t idx = 0;
+    for (unsigned l = 1; l <= max_len; ++l) {
+      for (std::uint32_t c = 0; c < bl_count[l]; ++c) {
+        lengths[order[idx++]] = static_cast<std::uint8_t>(l);
+      }
+    }
+    CESM_REQUIRE(idx == order.size());
+  }
+  return lengths;
+}
+
+HuffmanEncoder::HuffmanEncoder(std::span<const std::uint8_t> lengths)
+    : codes_(lengths.size(), 0), lengths_(lengths.begin(), lengths.end()) {
+  // Canonical code assignment (RFC 1951 §3.2.2, MSB-first).
+  std::uint32_t bl_count[16] = {};
+  for (auto l : lengths_) {
+    CESM_REQUIRE(l <= 15);
+    if (l) ++bl_count[l];
+  }
+  std::uint32_t next_code[16] = {};
+  std::uint32_t code = 0;
+  for (unsigned l = 1; l <= 15; ++l) {
+    code = (code + bl_count[l - 1]) << 1;
+    next_code[l] = code;
+  }
+  for (std::size_t s = 0; s < lengths_.size(); ++s) {
+    if (lengths_[s]) codes_[s] = next_code[lengths_[s]]++;
+  }
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > kMaxLen) throw FormatError("huffman length > 15");
+    if (lengths[s]) ++count_[lengths[s]];
+  }
+  std::uint64_t kraft = 0;
+  for (unsigned l = 1; l <= kMaxLen; ++l) {
+    kraft += static_cast<std::uint64_t>(count_[l]) << (kMaxLen - l);
+  }
+  if (kraft > (1ull << kMaxLen)) throw FormatError("oversubscribed huffman code");
+
+  std::uint32_t code = 0;
+  std::uint32_t offset = 0;
+  for (unsigned l = 1; l <= kMaxLen; ++l) {
+    code = (code + count_[l - 1]) << 1;
+    first_code_[l] = code;
+    offset_[l] = offset;
+    offset += count_[l];
+  }
+  first_code_[kMaxLen + 1] = 0xffffffffu;  // sentinel
+
+  sorted_symbols_.resize(offset);
+  std::uint32_t fill[kMaxLen + 1] = {};
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const unsigned l = lengths[s];
+    if (l) sorted_symbols_[offset_[l] + fill[l]++] = static_cast<std::uint32_t>(s);
+  }
+}
+
+unsigned HuffmanDecoder::get(BitReader& br) const {
+  std::uint32_t code = 0;
+  for (unsigned l = 1; l <= kMaxLen; ++l) {
+    code = (code << 1) | static_cast<std::uint32_t>(br.get(1));
+    if (count_[l] != 0 && code < first_code_[l] + count_[l] && code >= first_code_[l]) {
+      return sorted_symbols_[offset_[l] + (code - first_code_[l])];
+    }
+  }
+  throw FormatError("invalid huffman code");
+}
+
+}  // namespace cesm::comp

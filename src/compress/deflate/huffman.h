@@ -1,0 +1,57 @@
+#pragma once
+// Canonical Huffman coding with limited code length.
+//
+// Used by the deflate-class lossless codec for its literal/length and
+// distance alphabets. Codes are canonical (sorted by (length, symbol)) so
+// only the code-length vector travels in the stream.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitio.h"
+
+namespace cesm::comp {
+
+/// Build length-limited canonical Huffman code lengths from frequencies.
+/// Symbols with zero frequency get length 0 (absent). If only one symbol
+/// occurs it is assigned length 1. Lengths never exceed `max_len`.
+std::vector<std::uint8_t> huffman_code_lengths(std::span<const std::uint64_t> freqs,
+                                               unsigned max_len = 15);
+
+/// Canonical encoder table: symbol -> (code, length).
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(std::span<const std::uint8_t> lengths);
+
+  void put(BitWriter& bw, unsigned symbol) const {
+    bw.put(codes_[symbol], lengths_[symbol]);
+  }
+
+  [[nodiscard]] unsigned length(unsigned symbol) const { return lengths_[symbol]; }
+
+ private:
+  std::vector<std::uint32_t> codes_;
+  std::vector<std::uint8_t> lengths_;
+};
+
+/// Canonical decoder using per-length first-code offsets (O(length) per
+/// symbol; lengths are <= 15 so this is fast enough for our data volumes).
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
+
+  /// Decode one symbol; throws FormatError on an invalid code.
+  [[nodiscard]] unsigned get(BitReader& br) const;
+
+ private:
+  static constexpr unsigned kMaxLen = 15;
+  // first_code_[l]: canonical code value of the first code of length l.
+  // offset_[l]: index into sorted_symbols_ of that first code.
+  std::uint32_t first_code_[kMaxLen + 2] = {};
+  std::uint32_t count_[kMaxLen + 1] = {};
+  std::uint32_t offset_[kMaxLen + 1] = {};
+  std::vector<std::uint32_t> sorted_symbols_;
+};
+
+}  // namespace cesm::comp

@@ -1,0 +1,128 @@
+#include "compress/deflate/lz77.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cesm::comp {
+
+namespace {
+
+constexpr std::uint32_t kHashBits = 16;
+constexpr std::uint32_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  // 4-byte multiplicative hash; floats share exponent bytes so 4-byte
+  // context beats deflate's classic 3-byte hash on this data.
+  std::uint32_t v = static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+                    (static_cast<std::uint32_t>(p[2]) << 16) |
+                    (static_cast<std::uint32_t>(p[3]) << 24);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
+                                     const Lz77Params& params) {
+  CESM_REQUIRE(params.min_match >= 4);
+  CESM_REQUIRE(params.window <= 1u << 15);
+  std::vector<Lz77Token> tokens;
+  tokens.reserve(input.size() / 3 + 16);
+
+  const std::size_t n = input.size();
+  if (n == 0) return tokens;
+
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(n, -1);
+
+  auto find_match = [&](std::size_t pos) -> Lz77Token {
+    Lz77Token best{};
+    if (pos + params.min_match > n) return best;
+    const std::size_t limit = std::min(params.max_match, n - pos);
+    std::int64_t cand = head[hash4(&input[pos])];
+    std::size_t chain = params.max_chain;
+    while (cand >= 0 && chain-- > 0) {
+      const auto cpos = static_cast<std::size_t>(cand);
+      if (cpos >= pos) {  // self or future entries carry no information
+        cand = prev[cpos];
+        continue;
+      }
+      if (pos - cpos > params.window) break;
+      // Quick reject on the byte one past the current best length.
+      if (best.length == 0 || (cpos + best.length < n &&
+                               input[cpos + best.length] == input[pos + best.length])) {
+        std::size_t len = 0;
+        while (len < limit && input[cpos + len] == input[pos + len]) ++len;
+        if (len >= params.min_match && len > best.length) {
+          best.length = static_cast<std::uint16_t>(len);
+          best.distance = static_cast<std::uint16_t>(pos - cpos);
+          if (len == limit) break;
+        }
+      }
+      cand = prev[cpos];
+    }
+    return best;
+  };
+
+  auto insert = [&](std::size_t pos) {
+    if (pos + 4 <= n) {
+      const std::uint32_t h = hash4(&input[pos]);
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int64_t>(pos);
+    }
+  };
+
+  // Every position enters the dictionary exactly once, via advance_to().
+  std::size_t inserted = 0;
+  auto advance_to = [&](std::size_t to) {
+    for (; inserted < to; ++inserted) insert(inserted);
+  };
+
+  std::size_t pos = 0;
+  while (pos < n) {
+    advance_to(pos + 1);  // current position must be findable by pos+1 probes
+    Lz77Token match = find_match(pos);
+    if (params.lazy && match.length != 0 && pos + 1 < n) {
+      // One-step lazy matching: prefer a strictly longer match at pos+1.
+      advance_to(pos + 2);
+      const Lz77Token next = find_match(pos + 1);
+      if (next.length > match.length) {
+        tokens.push_back(Lz77Token{0, 0, input[pos]});
+        ++pos;
+        match = next;
+      }
+    }
+    if (match.length != 0) {
+      advance_to(pos + match.length);
+      tokens.push_back(match);
+      pos += match.length;
+    } else {
+      tokens.push_back(Lz77Token{0, 0, input[pos]});
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::uint8_t> lz77_reconstruct(std::span<const Lz77Token> tokens,
+                                           std::size_t expected_size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(expected_size);
+  for (const Lz77Token& t : tokens) {
+    if (t.length == 0) {
+      out.push_back(t.literal);
+    } else {
+      if (t.distance == 0 || t.distance > out.size()) {
+        throw FormatError("lz77 distance out of range");
+      }
+      const std::size_t start = out.size() - t.distance;
+      for (std::size_t k = 0; k < t.length; ++k) {
+        out.push_back(out[start + k]);  // overlapping copies are intentional
+      }
+    }
+  }
+  if (out.size() != expected_size) throw FormatError("lz77 size mismatch");
+  return out;
+}
+
+}  // namespace cesm::comp

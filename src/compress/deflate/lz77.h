@@ -1,0 +1,35 @@
+#pragma once
+// LZ77 string matching with hash chains (the dictionary stage of the
+// deflate-class codec).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cesm::comp {
+
+/// One LZ77 token: either a literal byte or a (length, distance) match.
+struct Lz77Token {
+  std::uint16_t length = 0;    ///< 0 => literal
+  std::uint16_t distance = 0;  ///< backward distance, 1..32768
+  std::uint8_t literal = 0;
+};
+
+struct Lz77Params {
+  std::size_t window = 32 * 1024;   ///< max backward distance
+  std::size_t min_match = 4;        ///< shortest match worth emitting
+  std::size_t max_match = 258;      ///< longest emitted match
+  std::size_t max_chain = 64;       ///< hash-chain probes per position
+  bool lazy = true;                 ///< one-step lazy matching
+};
+
+/// Tokenize `input` greedily (optionally with one-step lazy evaluation).
+std::vector<Lz77Token> lz77_tokenize(std::span<const std::uint8_t> input,
+                                     const Lz77Params& params = {});
+
+/// Reconstruct the byte stream from tokens. `expected_size` reserves the
+/// output and is validated against the result.
+std::vector<std::uint8_t> lz77_reconstruct(std::span<const Lz77Token> tokens,
+                                           std::size_t expected_size);
+
+}  // namespace cesm::comp

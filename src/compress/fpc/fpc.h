@@ -1,0 +1,51 @@
+#pragma once
+// FPC-class lossless compressor for double-precision data (Burtscher &
+// Ratanaworabhan, DCC'07 / IEEE TC'09 — paper §2.1).
+//
+// FPC predicts each 64-bit value with two hash-table predictors — an FCM
+// (finite context method) and a DFCM (differential FCM) — picks the
+// better per value (1 flag bit), XORs prediction and truth, and stores
+// the leading-zero-byte count (3 bits) plus the remaining bytes verbatim.
+// It targets exactly the use case the paper defers to future work:
+// losslessly compressing full-precision restart files at high speed.
+//
+// This implementation keeps the published format structure (flag +
+// LZC + residual bytes) with a configurable table size, and adds a float32
+// path using the same machinery on widened values.
+
+#include "compress/codec.h"
+
+namespace cesm::comp {
+
+class FpcCodec final : public Codec {
+ public:
+  /// `table_bits`: log2 of the predictor table size (the FPC "level";
+  /// the original paper sweeps 1..25). 16 gives 64Ki entries per table.
+  explicit FpcCodec(unsigned table_bits = 16);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::string family() const override { return "FPC"; }
+  [[nodiscard]] bool is_lossless() const override { return true; }
+
+  [[nodiscard]] Capabilities capabilities() const override {
+    return Capabilities{.lossless_mode = true,
+                        .special_values = true,  // lossless => trivially
+                        .freely_available = true,
+                        .fixed_quality = false,
+                        .fixed_rate = false,
+                        .handles_64bit = true};
+  }
+
+  [[nodiscard]] Bytes encode(std::span<const float> data, const Shape& shape) const override;
+  [[nodiscard]] std::vector<float> decode(std::span<const std::uint8_t> stream) const override;
+  [[nodiscard]] Bytes encode64(std::span<const double> data, const Shape& shape) const override;
+  [[nodiscard]] std::vector<double> decode64(
+      std::span<const std::uint8_t> stream) const override;
+
+  [[nodiscard]] unsigned table_bits() const { return table_bits_; }
+
+ private:
+  unsigned table_bits_;
+};
+
+}  // namespace cesm::comp

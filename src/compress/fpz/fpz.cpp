@@ -1,0 +1,137 @@
+#include "compress/fpz/fpz.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "compress/fpz/predictor.h"
+#include "compress/rangecoder.h"
+#include "compress/residual.h"
+
+namespace cesm::comp {
+
+namespace {
+
+constexpr std::uint32_t kFpzMagic = 0x315a5046;  // "FPZ1"
+
+struct Dims3 {
+  std::size_t planes = 1, rows = 1, cols = 1;
+};
+
+Dims3 to_dims3(const Shape& shape) {
+  Dims3 d;
+  switch (shape.rank()) {
+    case 1:
+      d.cols = shape.dims[0];
+      break;
+    case 2:
+      d.rows = shape.dims[0];
+      d.cols = shape.dims[1];
+      break;
+    case 3:
+      d.planes = shape.dims[0];
+      d.rows = shape.dims[1];
+      d.cols = shape.dims[2];
+      break;
+    default:
+      throw InvalidArgument("fpzip supports rank 1..3");
+  }
+  return d;
+}
+
+template <typename U, typename T, U (*ToOrdered)(T), T (*FromOrdered)(U)>
+Bytes fpz_encode_impl(std::span<const T> data, const Shape& shape, unsigned prec) {
+  CESM_REQUIRE(shape.count() == data.size());
+  constexpr unsigned kTotalBits = sizeof(U) * 8;
+  CESM_REQUIRE(prec >= 8 && prec <= kTotalBits && prec % 8 == 0);
+  const unsigned shift = kTotalBits - prec;
+
+  Bytes out;
+  ByteWriter w(out);
+  wire::write_header(w, kFpzMagic, shape);
+  w.u8(static_cast<std::uint8_t>(prec));
+  w.u8(sizeof(T));
+
+  std::vector<U> q(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    q[i] = ToOrdered(data[i]) >> shift;
+  }
+
+  const Dims3 d = to_dims3(shape);
+  LorenzoPredictor<U> pred(std::span<const U>(q), d.rows, d.cols, d.planes);
+
+  RangeEncoder enc(out);
+  ResidualCoder coder;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    const U residual = static_cast<U>(q[i] - pred.predict(i));
+    coder.encode(enc, zigzag_encode(residual));
+  }
+  enc.finish();
+  return out;
+}
+
+template <typename U, typename T, U (*ToOrdered)(T), T (*FromOrdered)(U)>
+std::vector<T> fpz_decode_impl(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  const Shape shape = wire::read_header(r, kFpzMagic);
+  const unsigned prec = r.u8();
+  const std::size_t elem = r.u8();
+  if (elem != sizeof(T)) throw FormatError("fpz element size mismatch");
+  constexpr unsigned kTotalBits = sizeof(U) * 8;
+  if (prec < 8 || prec > kTotalBits || prec % 8 != 0) throw FormatError("fpz bad precision");
+  const unsigned shift = kTotalBits - prec;
+
+  const std::size_t n = shape.count();
+  std::vector<U> q(n);
+  const Dims3 d = to_dims3(shape);
+  LorenzoPredictor<U> pred(std::span<const U>(q), d.rows, d.cols, d.planes);
+
+  RangeDecoder dec(stream.subspan(r.position()));
+  ResidualCoder coder;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t z = coder.decode(dec);
+    if constexpr (kTotalBits < 64) {
+      if ((z >> kTotalBits) != 0) throw FormatError("fpz residual out of range");
+    }
+    q[i] = static_cast<U>(pred.predict(i) + zigzag_decode(static_cast<U>(z)));
+  }
+
+  std::vector<T> data(n);
+  const U half = shift > 0 ? (U{1} << (shift - 1)) : U{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    // Re-centre within the truncated bin to halve the worst-case error.
+    data[i] = FromOrdered(static_cast<U>((q[i] << shift) | half));
+  }
+  return data;
+}
+
+}  // namespace
+
+FpzCodec::FpzCodec(unsigned precision_bits) : precision_bits_(precision_bits) {
+  CESM_REQUIRE(precision_bits >= 8 && precision_bits <= 64 && precision_bits % 8 == 0);
+}
+
+std::string FpzCodec::name() const {
+  return "fpzip-" + std::to_string(precision_bits_);
+}
+
+Bytes FpzCodec::encode(std::span<const float> data, const Shape& shape) const {
+  CESM_REQUIRE(precision_bits_ <= 32);
+  return fpz_encode_impl<std::uint32_t, float, float_to_ordered, ordered_to_float>(
+      data, shape, precision_bits_);
+}
+
+std::vector<float> FpzCodec::decode(std::span<const std::uint8_t> stream) const {
+  return fpz_decode_impl<std::uint32_t, float, float_to_ordered, ordered_to_float>(stream);
+}
+
+Bytes FpzCodec::encode64(std::span<const double> data, const Shape& shape) const {
+  return fpz_encode_impl<std::uint64_t, double, double_to_ordered, ordered_to_double>(
+      data, shape, precision_bits_);
+}
+
+std::vector<double> FpzCodec::decode64(std::span<const std::uint8_t> stream) const {
+  return fpz_decode_impl<std::uint64_t, double, double_to_ordered, ordered_to_double>(stream);
+}
+
+}  // namespace cesm::comp

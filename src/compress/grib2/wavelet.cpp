@@ -1,0 +1,170 @@
+#include "compress/grib2/wavelet.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cesm::comp {
+
+namespace {
+
+// Symmetric (half-sample) boundary extension index.
+inline std::size_t mirror(std::ptrdiff_t i, std::size_t n) {
+  if (n == 1) return 0;
+  const auto period = static_cast<std::ptrdiff_t>(2 * n - 2);
+  std::ptrdiff_t j = i % period;
+  if (j < 0) j += period;
+  if (j >= static_cast<std::ptrdiff_t>(n)) j = period - j;
+  return static_cast<std::size_t>(j);
+}
+
+}  // namespace
+
+void dwt53_forward_1d(std::span<const std::int64_t> in, std::span<std::int64_t> out) {
+  const std::size_t n = in.size();
+  CESM_REQUIRE(out.size() == n);
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  const std::size_t ns = (n + 1) / 2;  // low-pass count
+  const std::size_t nd = n / 2;        // high-pass count
+
+  const auto x = [&](std::ptrdiff_t i) { return in[mirror(i, n)]; };
+
+  // Predict: d[i] = x[2i+1] - floor((x[2i] + x[2i+2]) / 2)
+  std::vector<std::int64_t> d(nd);
+  for (std::size_t i = 0; i < nd; ++i) {
+    const auto k = static_cast<std::ptrdiff_t>(2 * i);
+    d[i] = x(k + 1) - ((x(k) + x(k + 2)) >> 1);
+  }
+  // Update: s[i] = x[2i] + floor((d[i-1] + d[i] + 2) / 4)
+  const auto dd = [&](std::ptrdiff_t i) -> std::int64_t {
+    if (nd == 0) return 0;
+    if (i < 0) i = 0;  // mirror of d at the left edge
+    if (i >= static_cast<std::ptrdiff_t>(nd)) i = static_cast<std::ptrdiff_t>(nd) - 1;
+    return d[static_cast<std::size_t>(i)];
+  };
+  for (std::size_t i = 0; i < ns; ++i) {
+    const auto ii = static_cast<std::ptrdiff_t>(i);
+    out[i] = in[2 * i] + ((dd(ii - 1) + dd(ii) + 2) >> 2);
+  }
+  for (std::size_t i = 0; i < nd; ++i) out[ns + i] = d[i];
+}
+
+void dwt53_inverse_1d(std::span<const std::int64_t> in, std::span<std::int64_t> out) {
+  const std::size_t n = in.size();
+  CESM_REQUIRE(out.size() == n);
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  const std::size_t ns = (n + 1) / 2;
+  const std::size_t nd = n / 2;
+
+  const auto dd = [&](std::ptrdiff_t i) -> std::int64_t {
+    if (nd == 0) return 0;
+    if (i < 0) i = 0;
+    if (i >= static_cast<std::ptrdiff_t>(nd)) i = static_cast<std::ptrdiff_t>(nd) - 1;
+    return in[ns + static_cast<std::size_t>(i)];
+  };
+
+  // Undo update: x[2i] = s[i] - floor((d[i-1] + d[i] + 2) / 4)
+  for (std::size_t i = 0; i < ns; ++i) {
+    const auto ii = static_cast<std::ptrdiff_t>(i);
+    out[2 * i] = in[i] - ((dd(ii - 1) + dd(ii) + 2) >> 2);
+  }
+  // Undo predict: x[2i+1] = d[i] + floor((x[2i] + x[2i+2]) / 2)
+  const auto xe = [&](std::ptrdiff_t k) -> std::int64_t {
+    // Even reconstructed samples with mirror extension.
+    const std::size_t m = mirror(k, n);
+    CESM_ASSERT(m % 2 == 0 || m == n - 1);
+    return out[m % 2 == 0 ? m : m - 1];  // defensive; mirror of even stays even
+  };
+  for (std::size_t i = 0; i < nd; ++i) {
+    const auto k = static_cast<std::ptrdiff_t>(2 * i);
+    out[2 * i + 1] = in[ns + i] + ((xe(k) + xe(k + 2)) >> 1);
+  }
+}
+
+namespace {
+
+void forward_rows(std::span<std::int64_t> data, std::size_t rows, std::size_t cols,
+                  std::size_t r_lim, std::size_t c_lim) {
+  std::vector<std::int64_t> buf(c_lim), tmp(c_lim);
+  for (std::size_t r = 0; r < r_lim; ++r) {
+    for (std::size_t c = 0; c < c_lim; ++c) buf[c] = data[r * cols + c];
+    dwt53_forward_1d(buf, tmp);
+    for (std::size_t c = 0; c < c_lim; ++c) data[r * cols + c] = tmp[c];
+  }
+  (void)rows;
+}
+
+void forward_cols(std::span<std::int64_t> data, std::size_t rows, std::size_t cols,
+                  std::size_t r_lim, std::size_t c_lim) {
+  std::vector<std::int64_t> buf(r_lim), tmp(r_lim);
+  for (std::size_t c = 0; c < c_lim; ++c) {
+    for (std::size_t r = 0; r < r_lim; ++r) buf[r] = data[r * cols + c];
+    dwt53_forward_1d(buf, tmp);
+    for (std::size_t r = 0; r < r_lim; ++r) data[r * cols + c] = tmp[r];
+  }
+  (void)rows;
+}
+
+void inverse_rows(std::span<std::int64_t> data, std::size_t cols, std::size_t r_lim,
+                  std::size_t c_lim) {
+  std::vector<std::int64_t> buf(c_lim), tmp(c_lim);
+  for (std::size_t r = 0; r < r_lim; ++r) {
+    for (std::size_t c = 0; c < c_lim; ++c) buf[c] = data[r * cols + c];
+    dwt53_inverse_1d(buf, tmp);
+    for (std::size_t c = 0; c < c_lim; ++c) data[r * cols + c] = tmp[c];
+  }
+}
+
+void inverse_cols(std::span<std::int64_t> data, std::size_t cols, std::size_t r_lim,
+                  std::size_t c_lim) {
+  std::vector<std::int64_t> buf(r_lim), tmp(r_lim);
+  for (std::size_t c = 0; c < c_lim; ++c) {
+    for (std::size_t r = 0; r < r_lim; ++r) buf[r] = data[r * cols + c];
+    dwt53_inverse_1d(buf, tmp);
+    for (std::size_t r = 0; r < r_lim; ++r) data[r * cols + c] = tmp[r];
+  }
+}
+
+}  // namespace
+
+unsigned dwt53_forward_2d(std::span<std::int64_t> data, std::size_t rows, std::size_t cols,
+                          unsigned levels) {
+  CESM_REQUIRE(data.size() == rows * cols);
+  std::size_t r_lim = rows, c_lim = cols;
+  unsigned applied = 0;
+  for (unsigned l = 0; l < levels; ++l) {
+    if (r_lim < 8 && c_lim < 8) break;
+    if (c_lim >= 8) forward_rows(data, rows, cols, r_lim, c_lim);
+    if (r_lim >= 8) forward_cols(data, rows, cols, r_lim, c_lim);
+    if (c_lim >= 8) c_lim = (c_lim + 1) / 2;
+    if (r_lim >= 8) r_lim = (r_lim + 1) / 2;
+    ++applied;
+  }
+  return applied;
+}
+
+void dwt53_inverse_2d(std::span<std::int64_t> data, std::size_t rows, std::size_t cols,
+                      unsigned levels) {
+  CESM_REQUIRE(data.size() == rows * cols);
+  // Recompute the ladder of (r_lim, c_lim) the forward pass visited.
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  std::size_t r_lim = rows, c_lim = cols;
+  for (unsigned l = 0; l < levels; ++l) {
+    stack.emplace_back(r_lim, c_lim);
+    if (c_lim >= 8) c_lim = (c_lim + 1) / 2;
+    if (r_lim >= 8) r_lim = (r_lim + 1) / 2;
+  }
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    auto [rl, cl] = *it;
+    if (rl >= 8) inverse_cols(data, cols, rl, cl);
+    if (cl >= 8) inverse_rows(data, cols, rl, cl);
+  }
+}
+
+}  // namespace cesm::comp

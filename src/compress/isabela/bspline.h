@@ -1,0 +1,52 @@
+#pragma once
+// Uniform cubic B-spline least-squares fitting (ISABELA's curve stage).
+//
+// ISABELA sorts each window so the data become a smooth monotone curve,
+// then approximates that curve with a low-order spline. We fit K control
+// coefficients of a uniform cubic B-spline over [0, n-1] by ordinary least
+// squares; the normal equations are banded (bandwidth 3) and solved with a
+// banded Cholesky factorization.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cesm::comp {
+
+/// Fitted uniform cubic B-spline over sample indices 0..n-1.
+class CubicBSpline {
+ public:
+  /// Fit `coeff_count` (>= 4) coefficients to `values` by least squares.
+  static CubicBSpline fit(std::span<const float> values, std::size_t coeff_count);
+
+  /// Construct from stored coefficients (decode path).
+  CubicBSpline(std::vector<double> coefficients, std::size_t sample_count);
+
+  /// Evaluate the spline at sample index i (0 <= i < sample_count).
+  [[nodiscard]] double evaluate(std::size_t i) const;
+
+  /// Evaluate at every sample index.
+  [[nodiscard]] std::vector<double> evaluate_all() const;
+
+  [[nodiscard]] const std::vector<double>& coefficients() const { return coeff_; }
+  [[nodiscard]] std::size_t sample_count() const { return n_; }
+
+ private:
+  /// Map sample index to (segment, local parameter u in [0,1)).
+  void locate(std::size_t i, std::size_t& segment, double& u) const;
+
+  std::vector<double> coeff_;
+  std::size_t n_;
+};
+
+/// The four cubic B-spline blending weights at local parameter u.
+void bspline_weights(double u, double w[4]);
+
+/// Solve the symmetric positive-definite banded system A x = b where A is
+/// given in banded storage: band[r][d] = A(r, r+d) for d = 0..bandwidth.
+/// Overwrites `b` with the solution. Throws InvalidArgument if A is not
+/// positive definite.
+void solve_banded_spd(std::vector<std::vector<double>>& band, std::span<double> b,
+                      std::size_t bandwidth);
+
+}  // namespace cesm::comp

@@ -1,0 +1,188 @@
+#include "compress/isabela/isabela.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "compress/bitio.h"
+#include "compress/isabela/bspline.h"
+#include "compress/rangecoder.h"
+#include "compress/residual.h"
+#include "compress/fpz/predictor.h"  // zigzag helpers
+
+namespace cesm::comp {
+
+namespace {
+
+constexpr std::uint32_t kIsaMagic = 0x31415349;  // "ISA1"
+
+unsigned bits_for(std::size_t count) {
+  return count <= 1 ? 1 : static_cast<unsigned>(std::bit_width(count - 1));
+}
+
+/// Per-point correction step: relative to the spline estimate, floored so
+/// near-zero values cannot demand unbounded correction indices.
+inline double correction_step(double estimate, double eps_frac, double floor_abs) {
+  return eps_frac * std::max(std::fabs(estimate), floor_abs);
+}
+
+template <typename T>
+Bytes isa_encode_impl(std::span<const T> data, const Shape& shape, double eps_frac,
+                      std::size_t window, std::size_t coefficients) {
+  CESM_REQUIRE(shape.count() == data.size());
+  Bytes out;
+  ByteWriter w(out);
+  wire::write_header(w, kIsaMagic, shape);
+  w.u8(sizeof(T));
+  w.f64(eps_frac);
+  w.u32(static_cast<std::uint32_t>(window));
+  w.u16(static_cast<std::uint16_t>(coefficients));
+
+  const std::size_t n = data.size();
+  const std::size_t nwin = (n + window - 1) / window;
+
+  // Window payloads are concatenated; each is (coeffs, floor, permutation,
+  // range-coded corrections) with a byte-length prefix for random access.
+  for (std::size_t wi = 0; wi < nwin; ++wi) {
+    const std::size_t lo = wi * window;
+    const std::size_t len = std::min(window, n - lo);
+
+    std::vector<std::uint32_t> perm(len);
+    std::iota(perm.begin(), perm.end(), 0u);
+    std::stable_sort(perm.begin(), perm.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return data[lo + a] < data[lo + b];
+    });
+
+    std::vector<float> sorted(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      sorted[i] = static_cast<float>(data[lo + perm[i]]);
+    }
+
+    const std::size_t ncoef = std::max<std::size_t>(4, std::min(coefficients, len));
+    const CubicBSpline spline = CubicBSpline::fit(sorted, ncoef);
+    const std::vector<double> estimate = spline.evaluate_all();
+
+    double max_abs = 0.0;
+    for (float v : sorted) max_abs = std::max(max_abs, std::fabs(static_cast<double>(v)));
+    const double floor_abs = std::max(1e-7 * max_abs, 1e-300);
+
+    Bytes payload;
+    ByteWriter pw(payload);
+    pw.u32(static_cast<std::uint32_t>(len));
+    pw.u16(static_cast<std::uint16_t>(ncoef));
+    pw.f64(floor_abs);
+    for (double c : spline.coefficients()) pw.f64(c);
+
+    {
+      BitWriter bw(payload);
+      const unsigned pbits = bits_for(len);
+      for (std::uint32_t p : perm) bw.put(p, pbits);
+      bw.align();
+    }
+    {
+      RangeEncoder enc(payload);
+      ResidualCoder coder;
+      for (std::size_t i = 0; i < len; ++i) {
+        const double step = correction_step(estimate[i], eps_frac, floor_abs);
+        const double diff = static_cast<double>(sorted[i]) - estimate[i];
+        const auto m = static_cast<std::int64_t>(std::llround(diff / step));
+        coder.encode(enc, zigzag_encode(static_cast<std::uint64_t>(m)));
+      }
+      enc.finish();
+    }
+
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.raw(payload);
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> isa_decode_impl(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  const Shape shape = wire::read_header(r, kIsaMagic);
+  const std::size_t elem = r.u8();
+  if (elem != sizeof(T)) throw FormatError("isabela element size mismatch");
+  const double eps_frac = r.f64();
+  const std::size_t window = r.u32();
+  const std::size_t coefficients = r.u16();
+  if (window == 0 || coefficients < 4) throw FormatError("isabela bad parameters");
+
+  const std::size_t n = shape.count();
+  std::vector<T> out(n);
+  const std::size_t nwin = (n + window - 1) / window;
+  for (std::size_t wi = 0; wi < nwin; ++wi) {
+    const std::size_t lo = wi * window;
+    const std::uint32_t payload_size = r.u32();
+    ByteReader pr(r.raw(payload_size));
+
+    const std::size_t len = pr.u32();
+    if (len == 0 || len > window || lo + len > n) throw FormatError("isabela bad window");
+    const std::size_t ncoef = pr.u16();
+    if (ncoef < 4 || ncoef > len + 4) throw FormatError("isabela bad coefficient count");
+    const double floor_abs = pr.f64();
+    std::vector<double> coeff(ncoef);
+    for (double& c : coeff) c = pr.f64();
+    const CubicBSpline spline(std::move(coeff), len);
+    const std::vector<double> estimate = spline.evaluate_all();
+
+    const unsigned pbits = bits_for(len);
+    const std::size_t perm_bytes = (len * pbits + 7) / 8;
+    std::vector<std::uint32_t> perm(len);
+    {
+      BitReader br(pr.raw(perm_bytes));
+      for (auto& p : perm) {
+        p = static_cast<std::uint32_t>(br.get(pbits));
+        if (p >= len) throw FormatError("isabela permutation out of range");
+      }
+    }
+
+    RangeDecoder dec(pr.raw(pr.remaining()));
+    ResidualCoder coder;
+    for (std::size_t i = 0; i < len; ++i) {
+      const auto m = static_cast<std::int64_t>(zigzag_decode(coder.decode(dec)));
+      const double step = correction_step(estimate[i], eps_frac, floor_abs);
+      const double value = estimate[i] + static_cast<double>(m) * step;
+      out[lo + perm[i]] = static_cast<T>(value);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+IsabelaCodec::IsabelaCodec(double rel_error_percent, std::size_t window,
+                           std::size_t coefficients)
+    : rel_error_percent_(rel_error_percent), window_(window), coefficients_(coefficients) {
+  CESM_REQUIRE(rel_error_percent > 0.0 && rel_error_percent < 100.0);
+  CESM_REQUIRE(window >= 16 && window <= (1u << 20));
+  CESM_REQUIRE(coefficients >= 4 && coefficients <= window);
+}
+
+std::string IsabelaCodec::name() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ISA-%.1f", rel_error_percent_);
+  return buf;
+}
+
+Bytes IsabelaCodec::encode(std::span<const float> data, const Shape& shape) const {
+  return isa_encode_impl<float>(data, shape, rel_error_percent_ / 100.0, window_,
+                                coefficients_);
+}
+
+std::vector<float> IsabelaCodec::decode(std::span<const std::uint8_t> stream) const {
+  return isa_decode_impl<float>(stream);
+}
+
+Bytes IsabelaCodec::encode64(std::span<const double> data, const Shape& shape) const {
+  return isa_encode_impl<double>(data, shape, rel_error_percent_ / 100.0, window_,
+                                 coefficients_);
+}
+
+std::vector<double> IsabelaCodec::decode64(std::span<const std::uint8_t> stream) const {
+  return isa_decode_impl<double>(stream);
+}
+
+}  // namespace cesm::comp

@@ -1,0 +1,142 @@
+#include "compress/isobar.h"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "compress/deflate/deflate.h"
+
+namespace cesm::comp {
+
+namespace {
+
+constexpr std::uint32_t kIsobarMagic = 0x42305349;  // "IS0B"
+
+double column_entropy(std::span<const std::uint8_t> input, std::size_t elem_size,
+                      std::size_t column) {
+  std::array<std::uint64_t, 256> histogram{};
+  const std::size_t n = input.size() / elem_size;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++histogram[input[i * elem_size + column]];
+  }
+  double entropy = 0.0;
+  for (std::uint64_t count : histogram) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(n);
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+template <typename T>
+Bytes isobar_encode(std::span<const T> data, const Shape& shape, double threshold,
+                    int effort) {
+  CESM_REQUIRE(shape.count() == data.size());
+  constexpr std::size_t kElem = sizeof(T);
+  std::vector<std::uint8_t> raw(data.size() * kElem);
+  std::memcpy(raw.data(), data.data(), raw.size());
+
+  const ColumnPlan plan = analyze_columns(raw, kElem, threshold);
+  const std::size_t n = data.size();
+
+  // Gather compressible columns into one plane (column-major, like the
+  // shuffle filter but only over the low-entropy columns).
+  Bytes compressible_plane, raw_plane;
+  for (std::size_t c = 0; c < kElem; ++c) {
+    Bytes& dst = plan.compressible[c] ? compressible_plane : raw_plane;
+    for (std::size_t i = 0; i < n; ++i) {
+      dst.push_back(raw[i * kElem + c]);
+    }
+  }
+  const Bytes packed = deflate_compress(compressible_plane, effort);
+
+  Bytes out;
+  ByteWriter w(out);
+  wire::write_header(w, kIsobarMagic, shape);
+  w.u8(kElem);
+  std::uint8_t flags = 0;
+  for (std::size_t c = 0; c < kElem; ++c) {
+    if (plan.compressible[c]) flags |= static_cast<std::uint8_t>(1u << c);
+  }
+  w.u8(flags);
+  w.u64(packed.size());
+  w.raw(packed);
+  w.raw(raw_plane);
+  return out;
+}
+
+template <typename T>
+std::vector<T> isobar_decode(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  const Shape shape = wire::read_header(r, kIsobarMagic);
+  constexpr std::size_t kElem = sizeof(T);
+  if (r.u8() != kElem) throw FormatError("isobar element size mismatch");
+  const std::uint8_t flags = r.u8();
+  const std::uint64_t packed_size = r.u64();
+  const std::vector<std::uint8_t> compressible_plane =
+      deflate_decompress(r.raw(packed_size));
+
+  const std::size_t n = shape.count();
+  std::size_t n_comp = 0;
+  for (std::size_t c = 0; c < kElem; ++c) {
+    if (flags & (1u << c)) ++n_comp;
+  }
+  if (compressible_plane.size() != n_comp * n) {
+    throw FormatError("isobar compressible plane size mismatch");
+  }
+  auto raw_plane = r.raw((kElem - n_comp) * n);
+
+  std::vector<std::uint8_t> raw(n * kElem);
+  std::size_t comp_off = 0, raw_off = 0;
+  for (std::size_t c = 0; c < kElem; ++c) {
+    const bool compressed = (flags & (1u << c)) != 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      raw[i * kElem + c] =
+          compressed ? compressible_plane[comp_off + i] : raw_plane[raw_off + i];
+    }
+    (compressed ? comp_off : raw_off) += n;
+  }
+
+  std::vector<T> data(n);
+  std::memcpy(data.data(), raw.data(), raw.size());
+  return data;
+}
+
+}  // namespace
+
+ColumnPlan analyze_columns(std::span<const std::uint8_t> input, std::size_t elem_size,
+                           double entropy_threshold) {
+  CESM_REQUIRE(elem_size > 0 && elem_size <= 8);
+  CESM_REQUIRE(input.size() % elem_size == 0);
+  ColumnPlan plan;
+  plan.compressible.resize(elem_size);
+  plan.entropy.resize(elem_size);
+  for (std::size_t c = 0; c < elem_size; ++c) {
+    plan.entropy[c] = input.empty() ? 0.0 : column_entropy(input, elem_size, c);
+    plan.compressible[c] = plan.entropy[c] < entropy_threshold ? 1 : 0;
+  }
+  return plan;
+}
+
+IsobarCodec::IsobarCodec(double entropy_threshold, int effort)
+    : entropy_threshold_(entropy_threshold), effort_(effort) {
+  CESM_REQUIRE(entropy_threshold > 0.0 && entropy_threshold <= 8.0);
+}
+
+Bytes IsobarCodec::encode(std::span<const float> data, const Shape& shape) const {
+  return isobar_encode<float>(data, shape, entropy_threshold_, effort_);
+}
+
+std::vector<float> IsobarCodec::decode(std::span<const std::uint8_t> stream) const {
+  return isobar_decode<float>(stream);
+}
+
+Bytes IsobarCodec::encode64(std::span<const double> data, const Shape& shape) const {
+  return isobar_encode<double>(data, shape, entropy_threshold_, effort_);
+}
+
+std::vector<double> IsobarCodec::decode64(std::span<const std::uint8_t> stream) const {
+  return isobar_decode<double>(stream);
+}
+
+}  // namespace cesm::comp

@@ -1,0 +1,60 @@
+#pragma once
+// ISOBAR-style lossless preconditioner (Schendel et al., ICDE'12 —
+// paper §2.1: "a preconditioner that operates on the data to be
+// compressed in a manner that makes it more amenable to compression").
+//
+// The In-Situ Orthogonal Byte Aggregation idea: split the input into
+// byte columns (byte k of every element), measure each column's
+// compressibility, route the compressible columns through the lossless
+// back end and store the incompressible (high-entropy mantissa) columns
+// verbatim. On floating-point data this both improves ratio (the sign/
+// exponent columns compress hard) and saves time (no effort wasted on
+// random mantissa bytes).
+
+#include "compress/codec.h"
+
+namespace cesm::comp {
+
+/// Per-byte-column analysis result.
+struct ColumnPlan {
+  std::vector<std::uint8_t> compressible;  ///< one flag per byte column
+  std::vector<double> entropy;             ///< Shannon entropy, bits/byte
+};
+
+/// Classify each of the `elem_size` byte columns of `input` as
+/// compressible (entropy below `entropy_threshold` bits) or not.
+ColumnPlan analyze_columns(std::span<const std::uint8_t> input, std::size_t elem_size,
+                           double entropy_threshold = 7.0);
+
+/// ISOBAR-preconditioned lossless codec: byte columns are analyzed,
+/// compressible ones deflate as one concatenated plane, the rest are
+/// stored raw. Exactly lossless for float32 and float64 data.
+class IsobarCodec final : public Codec {
+ public:
+  explicit IsobarCodec(double entropy_threshold = 7.0, int effort = 6);
+
+  [[nodiscard]] std::string name() const override { return "ISOBAR"; }
+  [[nodiscard]] std::string family() const override { return "ISOBAR"; }
+  [[nodiscard]] bool is_lossless() const override { return true; }
+
+  [[nodiscard]] Capabilities capabilities() const override {
+    return Capabilities{.lossless_mode = true,
+                        .special_values = true,  // lossless => trivially
+                        .freely_available = true,
+                        .fixed_quality = false,
+                        .fixed_rate = false,
+                        .handles_64bit = true};
+  }
+
+  [[nodiscard]] Bytes encode(std::span<const float> data, const Shape& shape) const override;
+  [[nodiscard]] std::vector<float> decode(std::span<const std::uint8_t> stream) const override;
+  [[nodiscard]] Bytes encode64(std::span<const double> data, const Shape& shape) const override;
+  [[nodiscard]] std::vector<double> decode64(
+      std::span<const std::uint8_t> stream) const override;
+
+ private:
+  double entropy_threshold_;
+  int effort_;
+};
+
+}  // namespace cesm::comp

@@ -1,0 +1,204 @@
+#include "compress/mafisc.h"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "compress/deflate/deflate.h"
+#include "compress/fpz/predictor.h"  // ordered-int maps
+
+namespace cesm::comp {
+
+namespace {
+
+constexpr std::uint32_t kMafiscMagic = 0x3146414d;  // "MAF1"
+
+template <typename U>
+void apply_filter(std::span<U> block, MafiscFilter filter, std::size_t stride) {
+  // Filters run back-to-front so each step sees original predecessors.
+  switch (filter) {
+    case MafiscFilter::kIdentity:
+      break;
+    case MafiscFilter::kDelta:
+      for (std::size_t i = block.size(); i-- > 1;) {
+        block[i] = static_cast<U>(block[i] - block[i - 1]);
+      }
+      break;
+    case MafiscFilter::kDelta2:
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = block.size(); i-- > 1;) {
+          block[i] = static_cast<U>(block[i] - block[i - 1]);
+        }
+      }
+      break;
+    case MafiscFilter::kStrideDelta:
+      for (std::size_t i = block.size(); i-- > stride;) {
+        block[i] = static_cast<U>(block[i] - block[i - stride]);
+      }
+      break;
+  }
+}
+
+template <typename U>
+void invert_filter(std::span<U> block, MafiscFilter filter, std::size_t stride) {
+  switch (filter) {
+    case MafiscFilter::kIdentity:
+      break;
+    case MafiscFilter::kDelta:
+      for (std::size_t i = 1; i < block.size(); ++i) {
+        block[i] = static_cast<U>(block[i] + block[i - 1]);
+      }
+      break;
+    case MafiscFilter::kDelta2:
+      for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 1; i < block.size(); ++i) {
+          block[i] = static_cast<U>(block[i] + block[i - 1]);
+        }
+      }
+      break;
+    case MafiscFilter::kStrideDelta:
+      for (std::size_t i = stride; i < block.size(); ++i) {
+        block[i] = static_cast<U>(block[i] + block[i - stride]);
+      }
+      break;
+  }
+}
+
+/// Cheap compressibility estimate: entropy of the high bytes (where the
+/// filters act) plus zero-byte density of the whole representation.
+template <typename U>
+double filtered_cost(std::span<const U> block) {
+  std::array<std::uint64_t, 256> hist{};
+  std::size_t zero_bytes = 0;
+  for (U v : block) {
+    for (std::size_t b = 0; b < sizeof(U); ++b) {
+      const auto byte = static_cast<std::uint8_t>(v >> (8 * b));
+      if (byte == 0) ++zero_bytes;
+      if (b == sizeof(U) - 1) ++hist[byte];
+    }
+  }
+  double entropy = 0.0;
+  const double n = static_cast<double>(block.size());
+  for (std::uint64_t c : hist) {
+    if (!c) continue;
+    const double p = static_cast<double>(c) / n;
+    entropy -= p * std::log2(p);
+  }
+  const double zero_frac =
+      static_cast<double>(zero_bytes) / (n * static_cast<double>(sizeof(U)));
+  return entropy - 8.0 * zero_frac;  // lower is better
+}
+
+template <typename U, typename T, U (*ToOrdered)(T), T (*FromOrdered)(U)>
+Bytes mafisc_encode(std::span<const T> data, const Shape& shape, std::size_t block_size,
+                    int effort) {
+  CESM_REQUIRE(shape.count() == data.size());
+  const std::size_t stride = shape.rank() > 1 ? shape.dims.back() : 1;
+
+  std::vector<U> ordered(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) ordered[i] = ToOrdered(data[i]);
+
+  Bytes filters;
+  std::vector<U> best(data.size());
+  std::vector<U> candidate;
+  for (std::size_t lo = 0; lo < ordered.size(); lo += block_size) {
+    const std::size_t len = std::min(block_size, ordered.size() - lo);
+    MafiscFilter best_filter = MafiscFilter::kIdentity;
+    double best_cost = 0.0;
+    bool first = true;
+    for (MafiscFilter f : {MafiscFilter::kIdentity, MafiscFilter::kDelta,
+                           MafiscFilter::kDelta2, MafiscFilter::kStrideDelta}) {
+      if (f == MafiscFilter::kStrideDelta && (stride <= 1 || stride >= len)) continue;
+      candidate.assign(ordered.begin() + static_cast<std::ptrdiff_t>(lo),
+                       ordered.begin() + static_cast<std::ptrdiff_t>(lo + len));
+      apply_filter<U>(candidate, f, stride);
+      const double cost = filtered_cost<U>(candidate);
+      if (first || cost < best_cost) {
+        best_cost = cost;
+        best_filter = f;
+        std::copy(candidate.begin(), candidate.end(),
+                  best.begin() + static_cast<std::ptrdiff_t>(lo));
+        first = false;
+      }
+    }
+    filters.push_back(static_cast<std::uint8_t>(best_filter));
+  }
+
+  std::vector<std::uint8_t> raw(best.size() * sizeof(U));
+  std::memcpy(raw.data(), best.data(), raw.size());
+  const Bytes packed = deflate_compress(shuffle_bytes(raw, sizeof(U)), effort);
+
+  Bytes out;
+  ByteWriter w(out);
+  wire::write_header(w, kMafiscMagic, shape);
+  w.u8(sizeof(T));
+  w.u64(block_size);
+  w.u64(filters.size());
+  w.raw(filters);
+  w.u64(packed.size());
+  w.raw(packed);
+  return out;
+}
+
+template <typename U, typename T, U (*ToOrdered)(T), T (*FromOrdered)(U)>
+std::vector<T> mafisc_decode(std::span<const std::uint8_t> stream) {
+  ByteReader r(stream);
+  const Shape shape = wire::read_header(r, kMafiscMagic);
+  if (r.u8() != sizeof(T)) throw FormatError("mafisc element size mismatch");
+  const std::uint64_t block_size = r.u64();
+  if (block_size == 0 || block_size > wire::kMaxDecodeElements) {
+    throw FormatError("mafisc bad block size");
+  }
+  const std::uint64_t filter_count = r.u64();
+  const std::size_t n = shape.count();
+  if (filter_count != (n + block_size - 1) / block_size) {
+    throw FormatError("mafisc filter count mismatch");
+  }
+  auto filters = r.raw(filter_count);
+  const std::uint64_t packed_size = r.u64();
+  const std::vector<std::uint8_t> raw =
+      unshuffle_bytes(deflate_decompress(r.raw(packed_size)), sizeof(U));
+  if (raw.size() != n * sizeof(U)) throw FormatError("mafisc payload size mismatch");
+
+  std::vector<U> ordered(n);
+  std::memcpy(ordered.data(), raw.data(), raw.size());
+
+  const std::size_t stride = shape.rank() > 1 ? shape.dims.back() : 1;
+  for (std::size_t b = 0; b < filter_count; ++b) {
+    if (filters[b] > 3) throw FormatError("mafisc unknown filter");
+    const std::size_t lo = b * block_size;
+    const std::size_t len = std::min<std::size_t>(block_size, n - lo);
+    invert_filter<U>(std::span<U>(ordered).subspan(lo, len),
+                     static_cast<MafiscFilter>(filters[b]), stride);
+  }
+
+  std::vector<T> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = FromOrdered(ordered[i]);
+  return data;
+}
+
+}  // namespace
+
+MafiscCodec::MafiscCodec(std::size_t block, int effort) : block_(block), effort_(effort) {
+  CESM_REQUIRE(block >= 64 && block <= (1u << 20));
+}
+
+Bytes MafiscCodec::encode(std::span<const float> data, const Shape& shape) const {
+  return mafisc_encode<std::uint32_t, float, float_to_ordered, ordered_to_float>(
+      data, shape, block_, effort_);
+}
+
+std::vector<float> MafiscCodec::decode(std::span<const std::uint8_t> stream) const {
+  return mafisc_decode<std::uint32_t, float, float_to_ordered, ordered_to_float>(stream);
+}
+
+Bytes MafiscCodec::encode64(std::span<const double> data, const Shape& shape) const {
+  return mafisc_encode<std::uint64_t, double, double_to_ordered, ordered_to_double>(
+      data, shape, block_, effort_);
+}
+
+std::vector<double> MafiscCodec::decode64(std::span<const std::uint8_t> stream) const {
+  return mafisc_decode<std::uint64_t, double, double_to_ordered, ordered_to_double>(stream);
+}
+
+}  // namespace cesm::comp

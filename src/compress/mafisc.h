@@ -1,0 +1,55 @@
+#pragma once
+// MAFISC-class adaptive-filtering lossless compressor (Hübbe & Kunkel —
+// paper §2.1: "MAFISC essentially acts as a preconditioner by applying
+// multiple filters to the data before a standard compression method is
+// used", evaluated on German Weather Service and CMIP5 climate data).
+//
+// The idea: try a small set of reversible integer filters per block —
+// identity, delta, delta-of-delta, and stride delta (exploiting the
+// leading-dimension layout of gridded data) — keep whichever makes the
+// block most compressible (estimated by byte entropy), then run the
+// filtered stream through the deflate back end with byte shuffle.
+
+#include "compress/codec.h"
+
+namespace cesm::comp {
+
+/// Reversible per-block filters, applied to the ordered-integer mapping
+/// of the values (so deltas of floats are well-defined integers).
+enum class MafiscFilter : std::uint8_t {
+  kIdentity = 0,
+  kDelta = 1,        ///< x[i] -= x[i-1]
+  kDelta2 = 2,       ///< second difference
+  kStrideDelta = 3,  ///< x[i] -= x[i-stride]  (stride = fastest dim length)
+};
+
+class MafiscCodec final : public Codec {
+ public:
+  /// `block`: samples per filter decision (the filter byte is per block).
+  explicit MafiscCodec(std::size_t block = 4096, int effort = 6);
+
+  [[nodiscard]] std::string name() const override { return "MAFISC"; }
+  [[nodiscard]] std::string family() const override { return "MAFISC"; }
+  [[nodiscard]] bool is_lossless() const override { return true; }
+
+  [[nodiscard]] Capabilities capabilities() const override {
+    return Capabilities{.lossless_mode = true,
+                        .special_values = true,  // lossless => trivially
+                        .freely_available = true,
+                        .fixed_quality = false,
+                        .fixed_rate = false,
+                        .handles_64bit = true};
+  }
+
+  [[nodiscard]] Bytes encode(std::span<const float> data, const Shape& shape) const override;
+  [[nodiscard]] std::vector<float> decode(std::span<const std::uint8_t> stream) const override;
+  [[nodiscard]] Bytes encode64(std::span<const double> data, const Shape& shape) const override;
+  [[nodiscard]] std::vector<double> decode64(
+      std::span<const std::uint8_t> stream) const override;
+
+ private:
+  std::size_t block_;
+  int effort_;
+};
+
+}  // namespace cesm::comp

@@ -1,0 +1,160 @@
+#pragma once
+// Adaptive binary range coder (arithmetic-coding workhorse for the fpz
+// residual stage and the GRIB2 bit-plane stage).
+//
+// Classic carry-propagating 32-bit range coder with 64-bit low register and
+// 12-bit adaptive bit probabilities (LZMA-style shift-update models).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/error.h"
+
+namespace cesm::comp {
+
+/// Adaptive probability of a binary symbol, 12-bit precision.
+class BitModel {
+ public:
+  static constexpr unsigned kBits = 12;
+  static constexpr std::uint32_t kOne = 1u << kBits;
+  static constexpr unsigned kMoveBits = 5;
+
+  /// Probability (scaled by 2^12) that the next bit is 0.
+  [[nodiscard]] std::uint32_t p0() const { return p0_; }
+
+  void update(bool bit) {
+    if (bit) {
+      p0_ -= p0_ >> kMoveBits;
+    } else {
+      p0_ += (kOne - p0_) >> kMoveBits;
+    }
+  }
+
+ private:
+  std::uint32_t p0_ = kOne / 2;
+};
+
+/// Range encoder producing a byte stream.
+class RangeEncoder {
+ public:
+  explicit RangeEncoder(Bytes& out) : out_(out) {}
+
+  /// Encode one bit under an adaptive model (model is updated).
+  void encode(BitModel& model, bool bit) {
+    const std::uint32_t bound = (range_ >> BitModel::kBits) * model.p0();
+    if (!bit) {
+      range_ = bound;
+    } else {
+      low_ += bound;
+      range_ -= bound;
+    }
+    model.update(bit);
+    normalize();
+  }
+
+  /// Encode `nbits` raw (equiprobable) bits, MSB first.
+  void encode_raw(std::uint32_t value, unsigned nbits) {
+    for (unsigned i = nbits; i-- > 0;) {
+      range_ >>= 1;
+      if ((value >> i) & 1u) low_ += range_;
+      normalize();
+    }
+  }
+
+  /// Flush the final state; must be called exactly once.
+  void finish() {
+    for (int i = 0; i < 5; ++i) shift_low();
+  }
+
+ private:
+  void normalize() {
+    while (range_ < (1u << 24)) {
+      shift_low();
+      range_ <<= 8;
+    }
+  }
+
+  // Canonical LZMA-style carry propagation: the first emitted byte is a
+  // constant 0 the decoder skips during its 5-byte prime.
+  void shift_low() {
+    if (static_cast<std::uint32_t>(low_) < 0xff000000u ||
+        static_cast<std::uint32_t>(low_ >> 32) != 0) {
+      std::uint8_t carry = static_cast<std::uint8_t>(low_ >> 32);
+      do {
+        out_.push_back(static_cast<std::uint8_t>(cache_ + carry));
+        cache_ = 0xff;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<std::uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ << 8) & 0xffffffffull;
+  }
+
+  Bytes& out_;
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xffffffffu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+};
+
+/// Range decoder mirroring RangeEncoder.
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(std::span<const std::uint8_t> data) : data_(data) {
+    for (int i = 0; i < 5; ++i) code_ = (code_ << 8) | next_byte();
+  }
+
+  bool decode(BitModel& model) {
+    const std::uint32_t bound = (range_ >> BitModel::kBits) * model.p0();
+    bool bit;
+    if (static_cast<std::uint32_t>(code_) < bound) {
+      range_ = bound;
+      bit = false;
+    } else {
+      code_ -= bound;
+      range_ -= bound;
+      bit = true;
+    }
+    model.update(bit);
+    normalize();
+    return bit;
+  }
+
+  std::uint32_t decode_raw(unsigned nbits) {
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+      range_ >>= 1;
+      std::uint32_t bit = 0;
+      if (static_cast<std::uint32_t>(code_) >= range_) {
+        code_ -= range_;
+        bit = 1;
+      }
+      v = (v << 1) | bit;
+      normalize();
+    }
+    return v;
+  }
+
+ private:
+  void normalize() {
+    while (range_ < (1u << 24)) {
+      code_ = ((code_ << 8) | next_byte()) & 0xffffffffull;
+      range_ <<= 8;
+    }
+  }
+
+  std::uint8_t next_byte() {
+    // Reading past the payload is legal during the final flush window; the
+    // decoder never uses those bits to produce symbols.
+    return pos_ < data_.size() ? data_[pos_++] : 0;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint64_t code_ = 0;
+  std::uint32_t range_ = 0xffffffffu;
+};
+
+}  // namespace cesm::comp

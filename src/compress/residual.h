@@ -1,0 +1,58 @@
+#pragma once
+// Shared adaptive residual-magnitude coder.
+//
+// Encodes unsigned "zig-zagged" residuals: the bit-width class k is coded
+// with a chain of adaptive binary models (cheap for the near-zero residuals
+// prediction leaves behind), then the k-1 bits below the implicit leading
+// one bit pass through the raw bypass path of the range coder.
+
+#include <bit>
+#include <cstdint>
+
+#include "compress/rangecoder.h"
+#include "util/error.h"
+
+namespace cesm::comp {
+
+class ResidualCoder {
+ public:
+  static constexpr unsigned kMaxClass = 68;
+
+  void encode(RangeEncoder& enc, std::uint64_t z) {
+    const unsigned k = z == 0 ? 0 : static_cast<unsigned>(std::bit_width(z));
+    for (unsigned i = 0; i < k; ++i) enc.encode(models_[i], true);
+    enc.encode(models_[k], false);
+    if (k > 1) {
+      const std::uint64_t rest = z & ((1ull << (k - 1)) - 1);
+      if (k - 1 > 32) {
+        enc.encode_raw(static_cast<std::uint32_t>(rest >> 32), k - 33);
+        enc.encode_raw(static_cast<std::uint32_t>(rest), 32);
+      } else {
+        enc.encode_raw(static_cast<std::uint32_t>(rest), k - 1);
+      }
+    }
+  }
+
+  std::uint64_t decode(RangeDecoder& dec) {
+    unsigned k = 0;
+    while (dec.decode(models_[k])) {
+      if (++k >= kMaxClass) throw FormatError("residual class overflow");
+    }
+    if (k == 0) return 0;
+    std::uint64_t z = 1ull << (k - 1);
+    if (k > 1) {
+      if (k - 1 > 32) {
+        z |= static_cast<std::uint64_t>(dec.decode_raw(k - 33)) << 32;
+        z |= dec.decode_raw(32);
+      } else {
+        z |= dec.decode_raw(k - 1);
+      }
+    }
+    return z;
+  }
+
+ private:
+  BitModel models_[kMaxClass + 1];
+};
+
+}  // namespace cesm::comp

@@ -1,0 +1,124 @@
+#include "compress/special.h"
+
+#include <vector>
+
+#include "compress/rangecoder.h"
+#include "compress/residual.h"
+
+namespace cesm::comp {
+
+namespace {
+constexpr std::uint32_t kSpcMagic = 0x31435053;  // "SPC1"
+}
+
+std::vector<std::uint8_t> patch_fill_values(std::span<float> data, float fill) {
+  std::vector<std::uint8_t> valid(data.size(), 1);
+  // First pass: mask and compute the mean of valid points (seed value for
+  // leading fills).
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == fill) {
+      valid[i] = 0;
+    } else {
+      sum += static_cast<double>(data[i]);
+      ++count;
+    }
+  }
+  float last = count ? static_cast<float>(sum / static_cast<double>(count)) : 0.0f;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (valid[i]) {
+      last = data[i];
+    } else {
+      data[i] = last;
+    }
+  }
+  return valid;
+}
+
+SpecialValueCodec::SpecialValueCodec(CodecPtr inner, float fill_value)
+    : inner_(std::move(inner)), fill_(fill_value) {
+  CESM_REQUIRE(inner_ != nullptr);
+}
+
+Bytes SpecialValueCodec::encode(std::span<const float> data, const Shape& shape) const {
+  std::vector<float> patched(data.begin(), data.end());
+  const std::vector<std::uint8_t> valid = patch_fill_values(patched, fill_);
+
+  bool any_missing = false;
+  for (std::uint8_t v : valid) {
+    if (!v) {
+      any_missing = true;
+      break;
+    }
+  }
+
+  Bytes out;
+  ByteWriter w(out);
+  w.u32(kSpcMagic);
+  w.f32(fill_);
+  w.u8(any_missing ? 1 : 0);
+  if (any_missing) {
+    // Alternating run lengths starting with a (possibly empty) valid run,
+    // range-coded like the GRIB2 bitmap.
+    Bytes bitmap;
+    RangeEncoder enc(bitmap);
+    ResidualCoder coder;
+    std::size_t i = 0;
+    bool current = true;
+    while (i < valid.size()) {
+      std::size_t run = 0;
+      while (i + run < valid.size() && (valid[i + run] != 0) == current) ++run;
+      coder.encode(enc, run);
+      i += run;
+      current = !current;
+    }
+    enc.finish();
+    w.u64(valid.size());
+    w.u64(bitmap.size());
+    w.raw(bitmap);
+  }
+  const Bytes inner_stream = inner_->encode(patched, shape);
+  w.raw(inner_stream);
+  return out;
+}
+
+std::vector<float> SpecialValueCodec::decode(std::span<const std::uint8_t> stream) const {
+  ByteReader r(stream);
+  if (r.u32() != kSpcMagic) throw FormatError("bad special-value wrapper magic");
+  const float fill = r.f32();
+  const bool any_missing = r.u8() != 0;
+
+  std::vector<std::uint8_t> valid;
+  if (any_missing) {
+    const std::uint64_t n = r.u64();
+    if (n > comp::wire::kMaxDecodeElements) throw FormatError("implausible bitmap size");
+    const std::uint64_t bitmap_size = r.u64();
+    RangeDecoder dec(r.raw(bitmap_size));
+    ResidualCoder coder;
+    valid.assign(n, 0);
+    std::size_t i = 0;
+    bool current = true;
+    while (i < n) {
+      const std::uint64_t run = coder.decode(dec);
+      if (run > n - i) throw FormatError("bitmap run overflow");
+      if (current) {
+        std::fill(valid.begin() + static_cast<std::ptrdiff_t>(i),
+                  valid.begin() + static_cast<std::ptrdiff_t>(i + run), std::uint8_t{1});
+      }
+      i += run;
+      current = !current;
+    }
+  }
+
+  std::vector<float> data = inner_->decode(stream.subspan(r.position()));
+  if (any_missing) {
+    if (valid.size() != data.size()) throw FormatError("bitmap/payload size mismatch");
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (!valid[i]) data[i] = fill;
+    }
+  }
+  return data;
+}
+
+}  // namespace cesm::comp

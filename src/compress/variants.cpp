@@ -1,0 +1,122 @@
+#include "compress/variants.h"
+
+#include <charconv>
+
+#include "compress/apax/apax.h"
+#include "compress/deflate/deflate.h"
+#include "compress/fpz/fpz.h"
+#include "compress/fpc/fpc.h"
+#include "compress/grib2/grib2.h"
+#include "compress/isabela/isabela.h"
+#include "compress/isobar.h"
+#include "compress/mafisc.h"
+#include "compress/special.h"
+
+namespace cesm::comp {
+
+CodecPtr with_fill_handling(CodecPtr codec, std::optional<float> fill_value) {
+  if (!fill_value || codec->capabilities().special_values) return codec;
+  return std::make_shared<SpecialValueCodec>(std::move(codec), *fill_value);
+}
+
+std::vector<CodecPtr> paper_variants(int grib_decimal_scale,
+                                     std::optional<float> fill_value) {
+  std::vector<CodecPtr> v;
+  v.push_back(std::make_shared<Grib2Codec>(grib_decimal_scale, fill_value));
+  v.push_back(with_fill_handling(std::make_shared<ApaxCodec>(ApaxCodec::fixed_rate(2)), fill_value));
+  v.push_back(with_fill_handling(std::make_shared<ApaxCodec>(ApaxCodec::fixed_rate(4)), fill_value));
+  v.push_back(with_fill_handling(std::make_shared<ApaxCodec>(ApaxCodec::fixed_rate(5)), fill_value));
+  v.push_back(with_fill_handling(std::make_shared<FpzCodec>(24), fill_value));
+  v.push_back(with_fill_handling(std::make_shared<FpzCodec>(16), fill_value));
+  v.push_back(with_fill_handling(std::make_shared<IsabelaCodec>(0.1), fill_value));
+  v.push_back(with_fill_handling(std::make_shared<IsabelaCodec>(0.5), fill_value));
+  v.push_back(with_fill_handling(std::make_shared<IsabelaCodec>(1.0), fill_value));
+  return v;
+}
+
+CodecPtr make_variant(const std::string& name, std::optional<float> fill_value) {
+  if (name == "NetCDF-4" || name == "NC") {
+    return std::make_shared<DeflateCodec>();
+  }
+  // Lossless methods from the paper's related work (§2.1); being exact,
+  // they need no fill handling.
+  if (name == "ISOBAR") return std::make_shared<IsobarCodec>();
+  if (name == "MAFISC") return std::make_shared<MafiscCodec>();
+  if (name == "FPC") return std::make_shared<FpcCodec>();
+  if (name.rfind("FPC-", 0) == 0) {
+    unsigned bits = 0;
+    const char* b = name.data() + 4;
+    auto [p, ec] = std::from_chars(b, name.data() + name.size(), bits);
+    if (ec != std::errc{} || p != name.data() + name.size()) {
+      throw InvalidArgument("bad FPC variant: " + name);
+    }
+    return std::make_shared<FpcCodec>(bits);
+  }
+  if (name == "fpzip-16") return with_fill_handling(std::make_shared<FpzCodec>(16), fill_value);
+  if (name == "fpzip-24") return with_fill_handling(std::make_shared<FpzCodec>(24), fill_value);
+  if (name == "fpzip-32") return with_fill_handling(std::make_shared<FpzCodec>(32), fill_value);
+  if (name == "ISA-0.1") return with_fill_handling(std::make_shared<IsabelaCodec>(0.1), fill_value);
+  if (name == "ISA-0.5") return with_fill_handling(std::make_shared<IsabelaCodec>(0.5), fill_value);
+  if (name == "ISA-1.0") return with_fill_handling(std::make_shared<IsabelaCodec>(1.0), fill_value);
+  if (name.rfind("APAX-q", 0) == 0) {
+    unsigned bits = 0;
+    const char* b = name.data() + 6;
+    auto [p, ec] = std::from_chars(b, name.data() + name.size(), bits);
+    if (ec == std::errc{} && p == name.data() + name.size()) {
+      return with_fill_handling(
+          std::make_shared<ApaxCodec>(ApaxCodec::fixed_quality(bits)), fill_value);
+    }
+  }
+  if (name.rfind("APAX-", 0) == 0) {
+    double ratio = 0.0;
+    try {
+      ratio = std::stod(name.substr(5));
+    } catch (...) {
+      throw InvalidArgument("bad APAX variant: " + name);
+    }
+    return with_fill_handling(std::make_shared<ApaxCodec>(ApaxCodec::fixed_rate(ratio)),
+                              fill_value);
+  }
+  if (name.rfind("GRIB2:", 0) == 0) {
+    int d = 0;
+    const char* b = name.data() + 6;
+    auto [p, ec] = std::from_chars(b, name.data() + name.size(), d);
+    if (ec != std::errc{} || p != name.data() + name.size()) {
+      throw InvalidArgument("bad GRIB2 variant: " + name);
+    }
+    return std::make_shared<Grib2Codec>(d, fill_value);
+  }
+  throw InvalidArgument("unknown codec variant: " + name);
+}
+
+std::vector<CodecPtr> family_ladder(const std::string& family, int grib_decimal_scale,
+                                    std::optional<float> fill_value) {
+  std::vector<CodecPtr> ladder;
+  const CodecPtr lossless = std::make_shared<DeflateCodec>();
+  if (family == "GRIB2") {
+    ladder.push_back(std::make_shared<Grib2Codec>(grib_decimal_scale, fill_value));
+    ladder.push_back(lossless);
+  } else if (family == "APAX") {
+    for (double r : {5.0, 4.0, 2.0}) {
+      ladder.push_back(
+          with_fill_handling(std::make_shared<ApaxCodec>(ApaxCodec::fixed_rate(r)), fill_value));
+    }
+    ladder.push_back(lossless);
+  } else if (family == "fpzip") {
+    for (unsigned p : {16u, 24u, 32u}) {
+      ladder.push_back(with_fill_handling(std::make_shared<FpzCodec>(p), fill_value));
+    }
+  } else if (family == "ISABELA") {
+    for (double e : {1.0, 0.5, 0.1}) {
+      ladder.push_back(with_fill_handling(std::make_shared<IsabelaCodec>(e), fill_value));
+    }
+    ladder.push_back(lossless);
+  } else if (family == "NetCDF-4") {
+    ladder.push_back(lossless);
+  } else {
+    throw InvalidArgument("unknown codec family: " + family);
+  }
+  return ladder;
+}
+
+}  // namespace cesm::comp

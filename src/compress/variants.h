@@ -1,0 +1,45 @@
+#pragma once
+// The variant catalog: every (method, parameter) combination the paper's
+// tables exercise, by its table name.
+//
+//   GRIB2        — per-variable decimal scale (see Grib2Codec)
+//   APAX-2/4/5   — fixed compression rates (plus -6/-7, §5.4's follow-up)
+//   fpzip-16/24  — bits of precision (fpzip-32 = lossless)
+//   ISA-0.1/0.5/1.0 — per-point relative error (%), window 1024
+//   NetCDF-4     — lossless deflate baseline
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace cesm::comp {
+
+/// The nine lossy variants of Figure 1 / Tables 3-6, in table order:
+/// GRIB2, APAX-2, APAX-4, APAX-5, fpzip-24, fpzip-16, ISA-0.1, ISA-0.5,
+/// ISA-1.0. GRIB2 takes the given decimal scale and optional fill value.
+std::vector<CodecPtr> paper_variants(int grib_decimal_scale,
+                                     std::optional<float> fill_value = std::nullopt);
+
+/// Look up a variant by table name (e.g. "fpzip-24", "ISA-0.5",
+/// "APAX-4", "NetCDF-4"). GRIB2 requires the decimal scale: "GRIB2:D"
+/// with D an integer (e.g. "GRIB2:4"). Throws InvalidArgument on unknown
+/// names.
+CodecPtr make_variant(const std::string& name,
+                      std::optional<float> fill_value = std::nullopt);
+
+/// Per-family "ladders" used by the hybrid construction of §5.4, ordered
+/// most-compressive first, ending in the family's lossless option when it
+/// has one (fpzip-32) or NetCDF-4 otherwise (paper: "because ISABELA and
+/// GRIB2 cannot be lossless, we use NetCDF4 compression for any variable
+/// that requires lossless treatment"). APAX also falls back to NetCDF-4
+/// per Table 8.
+std::vector<CodecPtr> family_ladder(const std::string& family, int grib_decimal_scale,
+                                    std::optional<float> fill_value = std::nullopt);
+
+/// Wrap `codec` so fill values survive the round trip when the codec has
+/// no native special-value support; returns `codec` unchanged otherwise.
+CodecPtr with_fill_handling(CodecPtr codec, std::optional<float> fill_value);
+
+}  // namespace cesm::comp

@@ -1,0 +1,23 @@
+#include "core/bias.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cesm::core {
+
+BiasResult bias_test(std::span<const double> rmsz_original,
+                     std::span<const double> rmsz_reconstructed,
+                     double confidence) {
+  BiasResult r;
+  r.fit = stats::fit_linear(rmsz_original, rmsz_reconstructed);
+  r.rect = stats::confidence_rect(r.fit, confidence);
+  // s_I = 1 (ideal slope); s_WC = the bound of the confidence interval
+  // farthest from the ideal.
+  r.slope_distance =
+      std::max(std::fabs(1.0 - r.rect.slope_lo), std::fabs(1.0 - r.rect.slope_hi));
+  r.pass = r.slope_distance <= kBiasSlopeTolerance;
+  r.contains_ideal = r.rect.contains(1.0, 0.0);
+  return r;
+}
+
+}  // namespace cesm::core

@@ -1,0 +1,32 @@
+#pragma once
+// Bias detection (§4.3, eq. 9; Figure 4).
+//
+// All 101 ensemble members are compressed and reconstructed; for each
+// variable the reconstructed ensemble's RMSZ scores are regressed on the
+// original ensemble's. An unbiased reconstruction gives slope 1 and
+// intercept 0. The acceptance rule evaluates the 95 % confidence region:
+// the worst-case slope must lie within 0.05 of the ideal slope 1.
+
+#include <span>
+
+#include "stats/regression.h"
+
+namespace cesm::core {
+
+struct BiasResult {
+  stats::LinearFit fit;             ///< RMSZ(recon) on RMSZ(orig)
+  stats::ConfidenceRect rect;       ///< 95 % region, Figure 4's rectangle
+  double slope_distance = 0.0;      ///< |s_I - s_WC| of eq. (9)
+  bool pass = false;                ///< slope_distance <= 0.05
+  bool contains_ideal = false;      ///< rectangle contains (1, 0)
+};
+
+/// Acceptance threshold of eq. (9).
+inline constexpr double kBiasSlopeTolerance = 0.05;
+
+/// Evaluate the bias test from paired RMSZ scores (one pair per member).
+BiasResult bias_test(std::span<const double> rmsz_original,
+                     std::span<const double> rmsz_reconstructed,
+                     double confidence = 0.95);
+
+}  // namespace cesm::core

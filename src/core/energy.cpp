@@ -1,0 +1,65 @@
+#include "core/energy.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+
+namespace cesm::core {
+
+double global_mean_weighted(const climate::Field& field, const climate::Grid& grid) {
+  const std::size_t ncol = grid.columns();
+  CESM_REQUIRE(field.size() % ncol == 0);
+  const std::size_t levels = field.size() / ncol;
+  const std::vector<std::uint8_t> mask = field.valid_mask();
+
+  // Average level means (area-weighted within each level).
+  double total = 0.0;
+  for (std::size_t l = 0; l < levels; ++l) {
+    total += stats::weighted_mean(
+        std::span<const float>(field.data).subspan(l * ncol, ncol),
+        grid.area_weights(),
+        mask.empty() ? std::span<const std::uint8_t>{}
+                     : std::span<const std::uint8_t>(mask).subspan(l * ncol, ncol));
+  }
+  return total / static_cast<double>(levels);
+}
+
+EnergyBudget energy_budget(const climate::EnsembleGenerator& ens, std::uint32_t member) {
+  EnergyBudget b;
+  b.fsnt = global_mean_weighted(ens.field("FSNT", member), ens.grid());
+  b.flnt = global_mean_weighted(ens.field("FLNT", member), ens.grid());
+  return b;
+}
+
+BudgetDriftResult energy_budget_drift(const climate::EnsembleGenerator& ens,
+                                      const comp::Codec& codec, std::uint32_t member,
+                                      std::size_t spread_members, double tolerance) {
+  CESM_REQUIRE(spread_members >= 3);
+  BudgetDriftResult result;
+  result.original = energy_budget(ens, member);
+
+  const auto reconstructed_mean = [&](const char* name) {
+    climate::Field f = ens.field(name, member);
+    const comp::RoundTrip rt = comp::round_trip(codec, f.data, f.shape);
+    climate::Field recon = f;
+    recon.data = rt.reconstructed;
+    return global_mean_weighted(recon, ens.grid());
+  };
+  result.reconstructed.fsnt = reconstructed_mean("FSNT");
+  result.reconstructed.flnt = reconstructed_mean("FLNT");
+  result.imbalance_drift =
+      std::fabs(result.reconstructed.imbalance() - result.original.imbalance());
+
+  // Natural spread of the imbalance across ensemble members.
+  std::vector<double> imbalances;
+  for (std::uint32_t m = 0; m < spread_members; ++m) {
+    imbalances.push_back(energy_budget(ens, m).imbalance());
+  }
+  const stats::BoxSummary box = stats::box_summary(imbalances);
+  result.ensemble_spread = box.hi - box.lo;
+  result.pass = result.imbalance_drift <= tolerance * result.ensemble_spread;
+  return result;
+}
+
+}  // namespace cesm::core

@@ -1,0 +1,52 @@
+#pragma once
+// Global energy budget checks — the paper's §6 future work: "we plan to
+// extend our verification metrics to evaluate the impact of compression on
+// global energy budget calculations".
+//
+// Climate analysts monitor the area-weighted global means of the top-of-
+// model radiative fluxes; the planetary imbalance FSNT - FLNT is a key
+// closure diagnostic and is O(1 W/m2) — small differences matter. A
+// compression method is "budget-safe" when applying it to the flux
+// variables changes the imbalance by far less than the ensemble's own
+// spread in that quantity.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "climate/ensemble.h"
+#include "compress/codec.h"
+
+namespace cesm::core {
+
+/// Area-weighted global mean of a field over valid (non-fill) points.
+double global_mean_weighted(const climate::Field& field, const climate::Grid& grid);
+
+struct EnergyBudget {
+  double fsnt = 0.0;       ///< net solar flux at top of model, W/m2
+  double flnt = 0.0;       ///< net longwave flux at top of model, W/m2
+  [[nodiscard]] double imbalance() const { return fsnt - flnt; }
+};
+
+/// Compute the budget of one member from the generator.
+EnergyBudget energy_budget(const climate::EnsembleGenerator& ens, std::uint32_t member);
+
+struct BudgetDriftResult {
+  EnergyBudget original;
+  EnergyBudget reconstructed;
+  double imbalance_drift = 0.0;   ///< |delta imbalance| due to compression
+  double ensemble_spread = 0.0;   ///< spread of imbalance across members
+  bool pass = false;              ///< drift <= tolerance * spread
+};
+
+/// Evaluate compression-induced drift of the global energy budget:
+/// compress FSNT and FLNT of `member` with `codec`, recompute the
+/// imbalance, and compare the drift against the ensemble's own spread of
+/// imbalances (estimated from `spread_members` members).
+BudgetDriftResult energy_budget_drift(const climate::EnsembleGenerator& ens,
+                                      const comp::Codec& codec, std::uint32_t member,
+                                      std::size_t spread_members = 8,
+                                      double tolerance = 0.1);
+
+}  // namespace cesm::core

@@ -1,0 +1,71 @@
+#include "core/export.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cesm::core {
+
+namespace {
+
+void append_metrics(std::ostringstream& out, const VariableVerdict& verdict) {
+  // Average the member evaluations (the suite tests several members).
+  double cr = verdict.mean_cr, pearson = 0.0, nrmse = 0.0, enmax = 0.0, rmsz_diff = 0.0;
+  const auto n = static_cast<double>(verdict.members.size());
+  for (const MemberEvaluation& e : verdict.members) {
+    pearson += e.metrics.pearson;
+    nrmse += e.metrics.nrmse;
+    enmax += e.metrics.e_nmax;
+    rmsz_diff += e.rmsz_diff;
+  }
+  out << cr << ',' << pearson / n << ',' << nrmse / n << ',' << enmax / n << ','
+      << rmsz_diff / n;
+}
+
+}  // namespace
+
+std::string suite_results_csv(const SuiteResults& results) {
+  std::ostringstream out;
+  out << "variable,is_3d,variant,cr,pearson,nrmse,e_nmax,rmsz_diff,"
+         "rho_pass,rmsz_pass,enmax_pass,bias_pass,all_pass,"
+         "bias_slope,bias_intercept,bias_slope_distance,grib_decimal_scale\n";
+  out.precision(10);
+  for (const VariableResult& var : results.variables) {
+    for (std::size_t vi = 0; vi < results.variant_names.size(); ++vi) {
+      const VariableVerdict& verdict = var.verdicts[vi];
+      out << var.variable << ',' << (var.is_3d ? 1 : 0) << ','
+          << results.variant_names[vi] << ',';
+      append_metrics(out, verdict);
+      out << ',' << verdict.rho_pass << ',' << verdict.rmsz_pass << ','
+          << verdict.enmax_pass << ',' << verdict.bias_pass << ','
+          << verdict.all_pass() << ',' << verdict.bias.fit.slope << ','
+          << verdict.bias.fit.intercept << ',' << verdict.bias.slope_distance << ','
+          << var.grib_decimal_scale << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string hybrid_selections_csv(std::span<const HybridSummary> hybrids) {
+  std::ostringstream out;
+  out << "family,variable,variant,cr,pearson,nrmse,e_nmax,lossless_fallback\n";
+  out.precision(10);
+  for (const HybridSummary& h : hybrids) {
+    for (const HybridSelection& sel : h.selections) {
+      out << h.family << ',' << sel.variable << ',' << sel.variant << ',' << sel.cr << ','
+          << sel.pearson << ',' << sel.nrmse << ',' << sel.enmax << ','
+          << (sel.lossless_fallback ? 1 : 0) << '\n';
+    }
+  }
+  return out.str();
+}
+
+void write_text_file(const std::string& path, const std::string& contents) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw IoError("cannot open for writing: " + path);
+  f << contents;
+  if (!f) throw IoError("write failed: " + path);
+}
+
+}  // namespace cesm::core

@@ -1,0 +1,27 @@
+#pragma once
+// Structured export of suite results for external analysis (R/pandas) —
+// the verification methodology feeds climate scientists' own tooling, so
+// results must leave the library in a neutral format.
+
+#include <string>
+
+#include "core/hybrid.h"
+#include "core/suite.h"
+
+namespace cesm::core {
+
+/// One CSV row per (variable, variant): test outcomes, CR and error
+/// metrics. Columns:
+///   variable,is_3d,variant,cr,pearson,nrmse,e_nmax,rmsz_diff,
+///   rho_pass,rmsz_pass,enmax_pass,bias_pass,all_pass,
+///   bias_slope,bias_intercept,bias_slope_distance,grib_decimal_scale
+std::string suite_results_csv(const SuiteResults& results);
+
+/// One CSV row per (family, variable) hybrid selection. Columns:
+///   family,variable,variant,cr,pearson,nrmse,e_nmax,lossless_fallback
+std::string hybrid_selections_csv(std::span<const HybridSummary> hybrids);
+
+/// Write a string to a file (throws IoError).
+void write_text_file(const std::string& path, const std::string& contents);
+
+}  // namespace cesm::core

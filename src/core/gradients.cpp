@@ -1,0 +1,74 @@
+#include "core/gradients.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace cesm::core {
+
+GradientFields compute_gradients(std::span<const float> data, const climate::Grid& grid,
+                                 std::optional<float> fill) {
+  const std::size_t ncol = grid.columns();
+  CESM_REQUIRE(data.size() % ncol == 0);
+  const std::size_t levels = data.size() / ncol;
+  const std::size_t nlat = grid.spec().nlat;
+  const std::size_t nlon = grid.spec().nlon;
+  constexpr double pi = std::numbers::pi;
+  const double dlon = 2.0 * pi / static_cast<double>(nlon);
+  const double dlat = pi / static_cast<double>(nlat);
+
+  GradientFields g;
+  g.zonal.resize(data.size());
+  g.meridional.resize(data.size());
+  const bool masked = fill.has_value();
+  if (masked) g.valid.assign(data.size(), 1);
+
+  const auto is_fill = [&](std::size_t idx) { return masked && data[idx] == *fill; };
+
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::size_t base = l * ncol;
+    for (std::size_t row = 0; row < nlat; ++row) {
+      for (std::size_t col = 0; col < nlon; ++col) {
+        const std::size_t i = base + row * nlon + col;
+        // Zonal: periodic centred difference along the latitude circle.
+        const std::size_t east = base + row * nlon + (col + 1) % nlon;
+        const std::size_t west = base + row * nlon + (col + nlon - 1) % nlon;
+        // Meridional: centred inside, one-sided at polar rows.
+        const std::size_t north = row + 1 < nlat ? i + nlon : i;
+        const std::size_t south = row > 0 ? i - nlon : i;
+        const double dy_span = (north == i || south == i) ? dlat : 2.0 * dlat;
+
+        if (is_fill(i) || is_fill(east) || is_fill(west) || is_fill(north) ||
+            is_fill(south)) {
+          g.zonal[i] = 0.0f;
+          g.meridional[i] = 0.0f;
+          g.valid[i] = 0;
+          continue;
+        }
+        g.zonal[i] = static_cast<float>(
+            (static_cast<double>(data[east]) - static_cast<double>(data[west])) /
+            (2.0 * dlon));
+        g.meridional[i] = static_cast<float>(
+            (static_cast<double>(data[north]) - static_cast<double>(data[south])) /
+            dy_span);
+      }
+    }
+  }
+  return g;
+}
+
+GradientMetrics compare_gradients(const climate::Field& original,
+                                  std::span<const float> reconstructed,
+                                  const climate::Grid& grid) {
+  CESM_REQUIRE(reconstructed.size() == original.size());
+  const GradientFields a = compute_gradients(original.data, grid, original.fill);
+  const GradientFields b = compute_gradients(reconstructed, grid, original.fill);
+
+  GradientMetrics m;
+  m.zonal = compare_fields(a.zonal, b.zonal, a.valid);
+  m.meridional = compare_fields(a.meridional, b.meridional, a.valid);
+  return m;
+}
+
+}  // namespace cesm::core

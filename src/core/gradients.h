@@ -1,0 +1,48 @@
+#pragma once
+// Field-gradient verification — the paper's §6 future work: "We plan to
+// extend our verification metrics to evaluate the impact of compression
+// ... on field gradients."
+//
+// Gradients amplify high-frequency compression artifacts that pointwise
+// metrics average away (block boundaries in APAX, window seams in
+// ISABELA, quantization staircase in GRIB2). We compute centred zonal and
+// meridional finite differences on the lat-lon grid and score the
+// reconstructed gradient field against the original with the §4.2 metrics.
+
+#include "climate/field.h"
+#include "climate/grid.h"
+#include "core/metrics.h"
+
+namespace cesm::core {
+
+/// Zonal (d/dlon, periodic) and meridional (d/dlat, one-sided at the
+/// poles) centred differences of each level of a field, in units per
+/// radian. Fill values propagate: a gradient touching a fill point is
+/// itself marked fill.
+struct GradientFields {
+  std::vector<float> zonal;
+  std::vector<float> meridional;
+  std::vector<std::uint8_t> valid;  ///< shared mask (empty = all valid)
+};
+
+GradientFields compute_gradients(std::span<const float> data,
+                                 const climate::Grid& grid,
+                                 std::optional<float> fill = std::nullopt);
+
+/// §4.2 metrics on the gradient fields of original vs reconstructed data.
+struct GradientMetrics {
+  ErrorMetrics zonal;
+  ErrorMetrics meridional;
+
+  /// The worse (smaller) of the two Pearson correlations — the quantity a
+  /// gradient-acceptance test would bound.
+  [[nodiscard]] double worst_pearson() const {
+    return zonal.pearson < meridional.pearson ? zonal.pearson : meridional.pearson;
+  }
+};
+
+GradientMetrics compare_gradients(const climate::Field& original,
+                                  std::span<const float> reconstructed,
+                                  const climate::Grid& grid);
+
+}  // namespace cesm::core

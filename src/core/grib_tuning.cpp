@@ -1,0 +1,51 @@
+#include "core/grib_tuning.h"
+
+#include "compress/grib2/grib2.h"
+#include "util/error.h"
+
+namespace cesm::core {
+
+GribTuning rmsz_guided_decimal_scale(const EnsembleStats& stats,
+                                     std::optional<float> fill,
+                                     std::span<const std::size_t> test_members,
+                                     const PvtThresholds& thresholds,
+                                     int significant_digits,
+                                     int max_extra_digits) {
+  CESM_REQUIRE(!test_members.empty());
+  const PvtVerifier verifier(stats, thresholds);
+
+  // Magnitude-based starting point from the probe member's range.
+  const climate::Field& probe = stats.member(test_members.front());
+  const std::vector<std::uint8_t> mask = probe.valid_mask();
+  const stats::Summary summary = stats::summarize(std::span<const float>(probe.data), mask);
+  const int d0 = comp::choose_decimal_scale(summary.min, summary.max, significant_digits);
+
+  GribTuning tuning;
+  tuning.decimal_scale = d0;
+  for (int extra = 0; extra <= max_extra_digits; ++extra) {
+    const int d = std::min(30, d0 + extra);
+    const comp::Grib2Codec codec(d, fill);
+    ++tuning.attempts;
+    bool all_pass = true;
+    for (std::size_t m : test_members) {
+      const MemberEvaluation eval = verifier.evaluate_member(codec, m);
+      if (!(eval.rho_pass && eval.rmsz_pass && eval.enmax_pass)) {
+        all_pass = false;
+        break;
+      }
+    }
+    if (all_pass) {
+      tuning.decimal_scale = d;
+      tuning.passed = true;
+      return tuning;
+    }
+    if (d == 30) break;
+  }
+  // No D passed: keep the finest attempted (the paper likewise reports
+  // GRIB2 failures on large-range variables despite tuning).
+  tuning.decimal_scale = std::min(30, d0 + max_extra_digits);
+  tuning.passed = false;
+  return tuning;
+}
+
+}  // namespace cesm::core

@@ -1,0 +1,33 @@
+#pragma once
+// RMSZ-guided choice of the GRIB2 decimal scale factor D (§5.4).
+//
+// The paper reports that one global D gave "quite poor" results, a
+// magnitude-based per-variable D improved matters, and competitive results
+// required using the RMSZ ensemble test itself to pick D. This module
+// implements that ladder: start from the magnitude heuristic and increase
+// D (finer quantization, less compression) until a probe member passes the
+// RMSZ and E_nmax acceptance rules — or the search gives up.
+
+#include <optional>
+
+#include "core/pvt.h"
+
+namespace cesm::core {
+
+struct GribTuning {
+  int decimal_scale = 0;   ///< chosen D
+  bool passed = false;     ///< probe member passed at this D
+  int attempts = 0;        ///< D values tried
+};
+
+/// Tune D for the variable held by `stats`. `fill` is forwarded to the
+/// codec's native bitmap support. The probe uses the first entry of
+/// `test_members` (tests 1–3 only; the bias sweep stays with the caller).
+GribTuning rmsz_guided_decimal_scale(const EnsembleStats& stats,
+                                     std::optional<float> fill,
+                                     std::span<const std::size_t> test_members,
+                                     const PvtThresholds& thresholds = {},
+                                     int significant_digits = 4,
+                                     int max_extra_digits = 6);
+
+}  // namespace cesm::core

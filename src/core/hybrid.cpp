@@ -1,0 +1,105 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace cesm::core {
+
+namespace {
+
+struct FamilyPlan {
+  std::vector<std::string> lossy_variants;  // candidates within the suite
+  std::string lossless_name;                // fallback label
+  bool lossless_is_fpzip = false;
+};
+
+FamilyPlan plan_for(const std::string& family) {
+  if (family == "GRIB2") return {{"GRIB2"}, "NetCDF-4", false};
+  if (family == "APAX") return {{"APAX-5", "APAX-4", "APAX-2"}, "NetCDF-4", false};
+  if (family == "fpzip") return {{"fpzip-16", "fpzip-24"}, "fpzip-32", true};
+  if (family == "ISABELA") return {{"ISA-1.0", "ISA-0.5", "ISA-0.1"}, "NetCDF-4", false};
+  if (family == "NetCDF-4") return {{}, "NetCDF-4", false};
+  throw InvalidArgument("unknown hybrid family: " + family);
+}
+
+HybridSelection select_for_variable(const SuiteResults& results,
+                                    const VariableResult& var, const FamilyPlan& plan) {
+  HybridSelection sel;
+  sel.variable = var.variable;
+
+  // Among the family's passing variants, take the best (smallest) CR —
+  // "we choose the variant of each method for each variable that yields
+  // the best CR and passes all of our tests" (§5.4).
+  const VariableVerdict* best = nullptr;
+  for (const std::string& name : plan.lossy_variants) {
+    const VariableVerdict& verdict = var.verdicts[results.variant_index(name)];
+    if (!verdict.all_pass()) continue;
+    if (best == nullptr || verdict.mean_cr < best->mean_cr) best = &verdict;
+  }
+
+  if (best != nullptr) {
+    sel.variant = best->codec;
+    sel.cr = best->mean_cr;
+    double p = 0.0, nr = 0.0, en = 0.0;
+    for (const MemberEvaluation& e : best->members) {
+      p += e.metrics.pearson;
+      nr += e.metrics.nrmse;
+      en += e.metrics.e_nmax;
+    }
+    const auto n = static_cast<double>(best->members.size());
+    sel.pearson = p / n;
+    sel.nrmse = nr / n;
+    sel.enmax = en / n;
+    return sel;
+  }
+
+  sel.variant = plan.lossless_name;
+  sel.lossless_fallback = true;
+  sel.cr = plan.lossless_is_fpzip ? var.fpzip32_cr : var.netcdf4_cr;
+  sel.pearson = 1.0;
+  sel.nrmse = 0.0;
+  sel.enmax = 0.0;
+  return sel;
+}
+
+}  // namespace
+
+HybridSummary build_hybrid(const SuiteResults& results, const std::string& family) {
+  const FamilyPlan plan = plan_for(family);
+  HybridSummary summary;
+  summary.family = family;
+  CESM_REQUIRE(!results.variables.empty());
+
+  double cr_sum = 0.0, p_sum = 0.0, nr_sum = 0.0, en_sum = 0.0;
+  summary.best_cr = std::numeric_limits<double>::infinity();
+  summary.worst_cr = -std::numeric_limits<double>::infinity();
+  for (const VariableResult& var : results.variables) {
+    HybridSelection sel = select_for_variable(results, var, plan);
+    cr_sum += sel.cr;
+    p_sum += sel.pearson;
+    nr_sum += sel.nrmse;
+    en_sum += sel.enmax;
+    summary.best_cr = std::min(summary.best_cr, sel.cr);
+    summary.worst_cr = std::max(summary.worst_cr, sel.cr);
+    ++summary.variant_counts[sel.variant];
+    summary.selections.push_back(std::move(sel));
+  }
+  const auto n = static_cast<double>(results.variables.size());
+  summary.avg_cr = cr_sum / n;
+  summary.avg_pearson = p_sum / n;
+  summary.avg_nrmse = nr_sum / n;
+  summary.avg_enmax = en_sum / n;
+  return summary;
+}
+
+std::vector<HybridSummary> build_all_hybrids(const SuiteResults& results) {
+  std::vector<HybridSummary> all;
+  for (const char* family : {"GRIB2", "ISABELA", "fpzip", "APAX", "NetCDF-4"}) {
+    all.push_back(build_hybrid(results, family));
+  }
+  return all;
+}
+
+}  // namespace cesm::core

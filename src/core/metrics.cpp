@@ -1,0 +1,73 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "compress/deflate/deflate.h"
+#include "stats/correlation.h"
+#include "util/error.h"
+
+namespace cesm::core {
+
+Characterization characterize(const climate::Field& field) {
+  Characterization c;
+  const std::vector<std::uint8_t> mask = field.valid_mask();
+  c.summary = stats::summarize(std::span<const float>(field.data), mask);
+  const comp::DeflateCodec nc;
+  const Bytes stream = nc.encode(field.data, field.shape);
+  c.lossless_cr = comp::compression_ratio(stream.size(), field.data.size());
+  return c;
+}
+
+ErrorMetrics compare_fields(std::span<const float> original,
+                            std::span<const float> reconstructed,
+                            std::span<const std::uint8_t> valid_mask,
+                            std::optional<double> range) {
+  CESM_REQUIRE(original.size() == reconstructed.size());
+  CESM_REQUIRE(valid_mask.empty() || valid_mask.size() == original.size());
+
+  ErrorMetrics m;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (!valid_mask.empty() && !valid_mask[i]) continue;
+    const double e = static_cast<double>(original[i]) - static_cast<double>(reconstructed[i]);
+    sum_sq += e * e;
+    m.e_max = std::max(m.e_max, std::fabs(e));
+    ++m.points;
+  }
+  if (m.points == 0) return m;
+
+  m.rmse = std::sqrt(sum_sq / static_cast<double>(m.points));
+
+  double r = 0.0;
+  double peak = 0.0;
+  if (range) {
+    r = *range;
+  } else {
+    const stats::Summary s = stats::summarize(original, valid_mask);
+    r = s.range();
+    peak = std::max(std::fabs(s.min), std::fabs(s.max));
+  }
+  if (r > 0.0) {
+    m.e_nmax = m.e_max / r;
+    m.nrmse = m.rmse / r;
+  } else {
+    // Constant field: exact reconstruction gives zero errors; otherwise
+    // report unnormalized magnitudes (range normalization is undefined).
+    m.e_nmax = m.e_max;
+    m.nrmse = m.rmse;
+  }
+  m.psnr = m.rmse > 0.0 && peak > 0.0
+               ? 20.0 * std::log10(peak / m.rmse)
+               : std::numeric_limits<double>::infinity();
+  m.pearson = stats::pearson(original, reconstructed, valid_mask);
+  return m;
+}
+
+ErrorMetrics compare_fields(const climate::Field& original,
+                            std::span<const float> reconstructed) {
+  const std::vector<std::uint8_t> mask = original.valid_mask();
+  return compare_fields(original.data, reconstructed, mask);
+}
+
+}  // namespace cesm::core

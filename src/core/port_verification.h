@@ -1,0 +1,53 @@
+#pragma once
+// The CESM-PVT's original mission (§4.3): decide whether runs from a new
+// machine / compiler / code revision are statistically distinguishable
+// from a trusted ensemble. The compression study reuses this machinery;
+// this header packages it for its first purpose, so downstream users get
+// the port-verification tool as a library API rather than example code.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "climate/ensemble.h"
+#include "core/rmsz.h"
+
+namespace cesm::core {
+
+struct PortVerdict {
+  std::string variable;
+  double rmsz_lo = 0.0;          ///< trusted ensemble RMSZ minimum
+  double rmsz_hi = 0.0;          ///< trusted ensemble RMSZ maximum
+  double worst_new_rmsz = 0.0;   ///< max RMSZ among the new runs
+  double worst_mean_shift = 0.0; ///< max global-mean excursion beyond range
+  bool rmsz_pass = false;
+  bool global_mean_pass = false;
+
+  [[nodiscard]] bool pass() const { return rmsz_pass && global_mean_pass; }
+};
+
+struct PortVerificationOptions {
+  /// Widen the RMSZ acceptance window by this fraction of its range on
+  /// each side (finite-ensemble allowance).
+  double rmsz_range_slack = 0.05;
+  /// Allowed global-mean excursion, as a fraction of the trusted
+  /// ensemble's own global-mean range (the "range shift" check).
+  double mean_shift_tolerance = 0.25;
+};
+
+/// Score new runs of one variable against its trusted ensemble. Each new
+/// run is a full field (same shape/fill layout as the ensemble members).
+PortVerdict verify_port_variable(const EnsembleStats& trusted,
+                                 std::span<const climate::Field> new_runs,
+                                 const PortVerificationOptions& options = {});
+
+/// Convenience driver: verify `new_member_ids` (generated as extra
+/// members, modelling the new machine) across `variables` (first N of
+/// the catalog when names empty). Returns one verdict per variable.
+std::vector<PortVerdict> verify_port(const climate::EnsembleGenerator& trusted,
+                                     std::span<const std::uint32_t> new_member_ids,
+                                     std::vector<std::string> variables = {},
+                                     std::size_t variable_limit = 16,
+                                     const PortVerificationOptions& options = {});
+
+}  // namespace cesm::core

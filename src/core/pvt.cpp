@@ -1,0 +1,107 @@
+#include "core/pvt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cesm::core {
+
+PvtVerifier::PvtVerifier(const EnsembleStats& stats, PvtThresholds thresholds)
+    : stats_(stats), thresholds_(thresholds) {}
+
+MemberEvaluation PvtVerifier::evaluate_member(const comp::Codec& codec,
+                                              std::size_t member) const {
+  CESM_REQUIRE(member < stats_.member_count());
+  const climate::Field& original = stats_.member(member);
+
+  MemberEvaluation eval;
+  eval.member = member;
+
+  const comp::RoundTrip rt = comp::round_trip(codec, original.data, original.shape);
+  eval.cr = rt.cr;
+  eval.metrics = compare_fields(original, rt.reconstructed);
+
+  eval.rmsz_original = stats_.rmsz(member);
+  eval.rmsz_reconstructed = stats_.rmsz_of(member, rt.reconstructed);
+  eval.rmsz_diff = std::fabs(eval.rmsz_original - eval.rmsz_reconstructed);
+  const auto& dist = stats_.rmsz_distribution();
+  const auto [lo, hi] = std::minmax_element(dist.begin(), dist.end());
+  const double slack = thresholds_.rmsz_range_slack * (*hi - *lo);
+  eval.rmsz_in_distribution = eval.rmsz_reconstructed >= *lo - slack &&
+                              eval.rmsz_reconstructed <= *hi + slack;
+
+  const double enmax_range = stats_.enmax_range();
+  eval.enmax_ratio =
+      enmax_range > 0.0 ? eval.metrics.e_nmax / enmax_range : eval.metrics.e_nmax;
+
+  eval.rho_pass = eval.metrics.pearson >= thresholds_.pearson_min;
+  eval.rmsz_pass =
+      eval.rmsz_in_distribution && eval.rmsz_diff <= thresholds_.rmsz_diff_max;
+  eval.enmax_pass = eval.enmax_ratio <= thresholds_.enmax_ratio_max;
+  return eval;
+}
+
+std::vector<double> PvtVerifier::reconstructed_rmsz(const comp::Codec& codec) const {
+  std::vector<double> scores(stats_.member_count());
+  parallel_for(0, stats_.member_count(), [&](std::size_t m) {
+    const climate::Field& original = stats_.member(m);
+    const comp::RoundTrip rt = comp::round_trip(codec, original.data, original.shape);
+    scores[m] = stats_.rmsz_of(m, rt.reconstructed);
+  });
+  return scores;
+}
+
+VariableVerdict PvtVerifier::verify(const comp::Codec& codec,
+                                    std::span<const std::size_t> test_members,
+                                    bool run_bias) const {
+  CESM_REQUIRE(!test_members.empty());
+  VariableVerdict verdict;
+  verdict.variable = stats_.member(0).name;
+  verdict.codec = codec.name();
+
+  verdict.rho_pass = verdict.rmsz_pass = verdict.enmax_pass = true;
+  double cr_sum = 0.0;
+  for (std::size_t m : test_members) {
+    MemberEvaluation eval = evaluate_member(codec, m);
+    verdict.rho_pass = verdict.rho_pass && eval.rho_pass;
+    verdict.rmsz_pass = verdict.rmsz_pass && eval.rmsz_pass;
+    verdict.enmax_pass = verdict.enmax_pass && eval.enmax_pass;
+    cr_sum += eval.cr;
+    verdict.members.push_back(std::move(eval));
+  }
+  verdict.mean_cr = cr_sum / static_cast<double>(test_members.size());
+
+  if (run_bias) {
+    const std::vector<double> recon_scores = reconstructed_rmsz(codec);
+    verdict.bias = bias_test(stats_.rmsz_distribution(), recon_scores,
+                             thresholds_.bias_confidence);
+    verdict.bias_pass = verdict.bias.pass;
+    verdict.bias_evaluated = true;
+  } else {
+    verdict.bias_pass = true;  // not evaluated: do not veto
+  }
+  return verdict;
+}
+
+std::vector<std::size_t> PvtVerifier::pick_members(std::size_t count,
+                                                   std::size_t member_count,
+                                                   std::uint64_t seed) {
+  CESM_REQUIRE(count <= member_count);
+  Pcg32 rng(seed);
+  std::vector<std::size_t> all(member_count);
+  for (std::size_t i = 0; i < member_count; ++i) all[i] = i;
+  // Partial Fisher-Yates.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j =
+        i + rng.bounded(static_cast<std::uint32_t>(member_count - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(count);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace cesm::core

@@ -1,0 +1,102 @@
+#pragma once
+// The CESM-PVT-based verification of a compression method (§4.3).
+//
+// For one variable, given its perturbation ensemble:
+//   1. ρ test        — Pearson correlation >= 0.99999 (§4.2);
+//   2. RMSZ test     — reconstructed member's RMSZ falls inside the
+//                      ensemble RMSZ distribution AND differs from the
+//                      original member's score by <= 1/10 (eq. 8);
+//   3. E_nmax test   — e_nmax(original, reconstructed) is <= 1/10 of the
+//                      ensemble E_nmax range (eq. 11);
+//   4. bias test     — eq. (9) over all members (see core/bias.h).
+// Tests 1–3 run on a small set of randomly chosen members (the paper uses
+// three); the bias test compresses the whole ensemble.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+#include "core/bias.h"
+#include "core/metrics.h"
+#include "core/rmsz.h"
+
+namespace cesm::core {
+
+struct PvtThresholds {
+  double pearson_min = kPearsonThreshold;
+  double rmsz_diff_max = 0.1;    ///< eq. (8)
+  double enmax_ratio_max = 0.1;  ///< eq. (11)
+  double bias_confidence = 0.95;
+  /// Finite-ensemble allowance for the "falls within the distribution"
+  /// check: the acceptance window is widened by this fraction of the
+  /// distribution range on each side. With the paper's 101 members the
+  /// window is broad and this barely matters; it keeps the check from
+  /// penalizing a member that *is* the distribution extreme.
+  double rmsz_range_slack = 0.05;
+};
+
+/// Per-member outcome of tests 1–3.
+struct MemberEvaluation {
+  std::size_t member = 0;
+  double cr = 1.0;
+  ErrorMetrics metrics;              ///< §4.2 errors vs the original member
+  double rmsz_original = 0.0;
+  double rmsz_reconstructed = 0.0;
+  double rmsz_diff = 0.0;
+  bool rmsz_in_distribution = false;
+  double enmax_ratio = 0.0;          ///< e_nmax / R_{E_nmax}
+  bool rho_pass = false;
+  bool rmsz_pass = false;
+  bool enmax_pass = false;
+};
+
+/// Verdict for one (variable, codec) pair — one cell of Table 6.
+struct VariableVerdict {
+  std::string variable;
+  std::string codec;
+  std::vector<MemberEvaluation> members;
+  BiasResult bias;
+  bool bias_evaluated = false;
+  double mean_cr = 1.0;   ///< average CR over the evaluated members
+  bool rho_pass = false;
+  bool rmsz_pass = false;
+  bool enmax_pass = false;
+  bool bias_pass = false;
+
+  [[nodiscard]] bool all_pass() const {
+    return rho_pass && rmsz_pass && enmax_pass && bias_pass;
+  }
+};
+
+class PvtVerifier {
+ public:
+  explicit PvtVerifier(const EnsembleStats& stats, PvtThresholds thresholds = {});
+
+  /// Tests 1–3 for one member.
+  [[nodiscard]] MemberEvaluation evaluate_member(const comp::Codec& codec,
+                                                 std::size_t member) const;
+
+  /// Full verdict: tests 1–3 on `test_members`, bias over all members
+  /// when `run_bias` (compresses the whole ensemble; parallelized).
+  [[nodiscard]] VariableVerdict verify(const comp::Codec& codec,
+                                       std::span<const std::size_t> test_members,
+                                       bool run_bias = true) const;
+
+  /// Reconstructed-ensemble RMSZ scores (one per member) — Figure 4's
+  /// y-axis data and the bias test input.
+  [[nodiscard]] std::vector<double> reconstructed_rmsz(const comp::Codec& codec) const;
+
+  /// The paper's "choose three members at random".
+  static std::vector<std::size_t> pick_members(std::size_t count, std::size_t member_count,
+                                               std::uint64_t seed);
+
+  [[nodiscard]] const EnsembleStats& stats() const { return stats_; }
+  [[nodiscard]] const PvtThresholds& thresholds() const { return thresholds_; }
+
+ private:
+  const EnsembleStats& stats_;
+  PvtThresholds thresholds_;
+};
+
+}  // namespace cesm::core

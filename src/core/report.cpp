@@ -1,0 +1,169 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cesm::core {
+
+std::string format_sci(double value, int significant) {
+  if (value == 0.0) return "0";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*e", std::max(0, significant - 1), value);
+  // Trim exponent leading zeros: 3.6e-04 -> 3.6e-4.
+  std::string s(buf);
+  const std::size_t epos = s.find('e');
+  if (epos != std::string::npos) {
+    std::string mant = s.substr(0, epos);
+    std::string exp = s.substr(epos + 1);
+    const bool neg = !exp.empty() && exp[0] == '-';
+    if (!exp.empty() && (exp[0] == '+' || exp[0] == '-')) exp.erase(0, 1);
+    while (exp.size() > 1 && exp[0] == '0') exp.erase(0, 1);
+    s = mant + "e" + (neg ? "-" : "") + exp;
+  }
+  return s;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  CESM_REQUIRE(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      if (c == 0) {
+        out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        out << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+namespace {
+
+/// Shared log10 axis over positive values.
+struct LogAxis {
+  double lo = 0.0, hi = 1.0;  // log10 bounds
+
+  [[nodiscard]] std::size_t position(double value, std::size_t width) const {
+    const double l = std::log10(std::max(value, std::pow(10.0, lo)));
+    const double frac = (l - lo) / (hi - lo);
+    const double clamped = std::clamp(frac, 0.0, 1.0);
+    return static_cast<std::size_t>(clamped * static_cast<double>(width - 1));
+  }
+};
+
+LogAxis make_axis(double min_positive, double max_positive) {
+  LogAxis ax;
+  if (min_positive <= 0.0) min_positive = 1e-12;
+  if (max_positive <= min_positive) max_positive = min_positive * 10.0;
+  ax.lo = std::floor(std::log10(min_positive));
+  ax.hi = std::ceil(std::log10(max_positive));
+  if (ax.hi <= ax.lo) ax.hi = ax.lo + 1.0;
+  return ax;
+}
+
+}  // namespace
+
+std::string render_boxplot_log(const std::vector<LabelledBox>& boxes, std::size_t width) {
+  CESM_REQUIRE(!boxes.empty());
+  CESM_REQUIRE(width >= 16);
+  double lo = std::numeric_limits<double>::infinity(), hi = 0.0;
+  for (const LabelledBox& b : boxes) {
+    if (b.box.lo > 0.0) lo = std::min(lo, b.box.lo);
+    hi = std::max(hi, b.box.hi);
+  }
+  if (!std::isfinite(lo)) lo = 1e-12;
+  const LogAxis ax = make_axis(lo, hi);
+
+  std::size_t label_w = 0;
+  for (const LabelledBox& b : boxes) label_w = std::max(label_w, b.label.size());
+
+  std::ostringstream out;
+  out << std::string(label_w, ' ') << "  |" << "log10 axis [" << ax.lo << ", " << ax.hi
+      << "]\n";
+  for (const LabelledBox& b : boxes) {
+    std::string line(width, ' ');
+    const std::size_t pl = ax.position(b.box.lo, width);
+    const std::size_t pq1 = ax.position(b.box.q1, width);
+    const std::size_t pm = ax.position(b.box.median, width);
+    const std::size_t pq3 = ax.position(b.box.q3, width);
+    const std::size_t ph = ax.position(b.box.hi, width);
+    for (std::size_t i = pl; i <= ph && i < width; ++i) line[i] = '-';
+    for (std::size_t i = pq1; i <= pq3 && i < width; ++i) line[i] = '=';
+    line[pl] = '|';
+    line[ph] = '|';
+    line[pm] = 'M';
+    out << b.label << std::string(label_w - b.label.size(), ' ') << "  [" << line << "]  "
+        << format_sci(b.box.lo) << " / " << format_sci(b.box.median) << " / "
+        << format_sci(b.box.hi) << '\n';
+  }
+  return out.str();
+}
+
+std::string render_histogram(const stats::Histogram& hist,
+                             const std::vector<Marker>& markers, std::size_t width) {
+  std::ostringstream out;
+  const std::size_t max_count = std::max<std::size_t>(1, hist.max_count());
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const std::size_t bar =
+        hist.count(b) == 0
+            ? 0
+            : std::max<std::size_t>(1, hist.count(b) * width / max_count);
+    out << format_fixed(hist.bin_lo(b), 3) << " - " << format_fixed(hist.bin_hi(b), 3)
+        << " | " << std::string(bar, '#');
+    // Markers landing in this bin.
+    std::string tags;
+    for (const Marker& m : markers) {
+      if (hist.bin_of(m.value) == b) {
+        if (!tags.empty()) tags += ", ";
+        tags += m.label + "=" + format_fixed(m.value, 3);
+      }
+    }
+    if (!tags.empty()) out << "   << " << tags;
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string render_bias_rects(const std::vector<LabelledRect>& rects) {
+  TextTable table({"method", "slope lo", "slope hi", "icept lo", "icept hi",
+                   "contains (1,0)", "eq.(9)"});
+  for (const LabelledRect& r : rects) {
+    table.add_row({r.label, format_fixed(r.rect.slope_lo, 5), format_fixed(r.rect.slope_hi, 5),
+                   format_sci(r.rect.intercept_lo, 3), format_sci(r.rect.intercept_hi, 3),
+                   r.rect.contains(1.0, 0.0) ? "yes" : "no", r.pass ? "pass" : "FAIL"});
+  }
+  return table.to_string();
+}
+
+}  // namespace cesm::core

@@ -1,0 +1,72 @@
+#pragma once
+// Report rendering: fixed-width tables, scientific-notation formatting,
+// and ASCII renderings of the paper's box plots, histograms and
+// confidence-rectangle scatters, so each bench binary prints the same
+// rows/series the corresponding paper table or figure shows.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "stats/regression.h"
+
+namespace cesm::core {
+
+/// Compact scientific notation in the paper's style: "3.6e-4".
+std::string format_sci(double value, int significant = 2);
+
+/// Fixed-point with `digits` decimals.
+std::string format_fixed(double value, int digits = 2);
+
+/// Simple fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; first column left-aligned, the rest
+  /// right-aligned.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One labelled box of a Figure-1/3-style plot.
+struct LabelledBox {
+  std::string label;
+  stats::BoxSummary box;
+};
+
+/// Extra point markers overlaid on a box/histogram plot (Figures 2 and 3
+/// mark each compression method's value on the ensemble distribution).
+struct Marker {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Render labelled boxes on a shared log10 axis (the paper's Figure 1
+/// y-axes are logarithmic). Values must be positive; zeros clamp to the
+/// axis minimum.
+std::string render_boxplot_log(const std::vector<LabelledBox>& boxes,
+                               std::size_t width = 64);
+
+/// Render a histogram with markers (Figure 2 style).
+std::string render_histogram(const stats::Histogram& hist,
+                             const std::vector<Marker>& markers,
+                             std::size_t width = 56);
+
+/// Render confidence rectangles in (slope, intercept) space (Figure 4
+/// style): textual extents plus a pass/ideal annotation per method.
+struct LabelledRect {
+  std::string label;
+  stats::ConfidenceRect rect;
+  bool pass = false;
+};
+std::string render_bias_rects(const std::vector<LabelledRect>& rects);
+
+}  // namespace cesm::core

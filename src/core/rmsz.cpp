@@ -1,0 +1,145 @@
+#include "core/rmsz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace cesm::core {
+
+EnsembleStats::EnsembleStats(std::vector<climate::Field> members)
+    : members_(std::move(members)) {
+  CESM_REQUIRE(members_.size() >= 3);
+  const std::size_t n = members_[0].size();
+  for (const climate::Field& f : members_) {
+    CESM_REQUIRE(f.size() == n);
+  }
+  mask_ = members_[0].valid_mask();
+  build();
+}
+
+void EnsembleStats::build() {
+  const std::size_t n = members_[0].size();
+  const std::size_t m_count = members_.size();
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+
+  sum_.assign(n, 0.0);
+  sum_sq_.assign(n, 0.0);
+  max1_.assign(n, -kInf);
+  max2_.assign(n, -kInf);
+  min1_.assign(n, kInf);
+  min2_.assign(n, kInf);
+  argmax_.assign(n, 0);
+  argmin_.assign(n, 0);
+
+  valid_points_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask_.empty() && !mask_[i]) continue;
+    ++valid_points_;
+  }
+  CESM_REQUIRE(valid_points_ > 0);
+
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const std::vector<float>& x = members_[m].data;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!mask_.empty() && !mask_[i]) continue;
+      const double v = static_cast<double>(x[i]);
+      sum_[i] += v;
+      sum_sq_[i] += v * v;
+      if (x[i] > max1_[i]) {
+        max2_[i] = max1_[i];
+        max1_[i] = x[i];
+        argmax_[i] = static_cast<std::uint32_t>(m);
+      } else if (x[i] > max2_[i]) {
+        max2_[i] = x[i];
+      }
+      if (x[i] < min1_[i]) {
+        min2_[i] = min1_[i];
+        min1_[i] = x[i];
+        argmin_[i] = static_cast<std::uint32_t>(m);
+      } else if (x[i] < min2_[i]) {
+        min2_[i] = x[i];
+      }
+    }
+  }
+
+  // Per-member range and global mean over valid points.
+  ranges_.resize(m_count);
+  global_means_.resize(m_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const std::vector<float>& x = members_[m].data;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!mask_.empty() && !mask_[i]) continue;
+      const double v = static_cast<double>(x[i]);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      total += v;
+    }
+    ranges_[m] = hi - lo;
+    global_means_[m] = total / static_cast<double>(valid_points_);
+  }
+
+  // RMSZ distribution (original members).
+  rmsz_dist_.resize(m_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    rmsz_dist_[m] = rmsz_of(m, members_[m].data);
+  }
+
+  // E_nmax distribution (eq. 10): member m's largest pointwise distance to
+  // any other member, normalized by member m's own range.
+  enmax_dist_.resize(m_count);
+  for (std::size_t m = 0; m < m_count; ++m) {
+    const std::vector<float>& x = members_[m].data;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!mask_.empty() && !mask_[i]) continue;
+      const float hi = (argmax_[i] == m) ? max2_[i] : max1_[i];
+      const float lo = (argmin_[i] == m) ? min2_[i] : min1_[i];
+      const double d = std::max(static_cast<double>(hi) - static_cast<double>(x[i]),
+                                static_cast<double>(x[i]) - static_cast<double>(lo));
+      worst = std::max(worst, d);
+    }
+    enmax_dist_[m] = ranges_[m] > 0.0 ? worst / ranges_[m] : worst;
+  }
+}
+
+double EnsembleStats::rmsz_of(std::size_t m, std::span<const float> data) const {
+  CESM_REQUIRE(m < members_.size());
+  const std::size_t n = members_[0].size();
+  CESM_REQUIRE(data.size() == n);
+  const auto m_count = static_cast<double>(members_.size());
+  const std::vector<float>& orig = members_[m].data;
+
+  double sum_z2 = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!mask_.empty() && !mask_[i]) continue;
+    // Sub-ensemble {E \ m} statistics via leave-one-out update. The value
+    // removed is the *original* member m, even when scoring reconstructed
+    // data in its place.
+    const double xm = static_cast<double>(orig[i]);
+    const double mu = (sum_[i] - xm) / (m_count - 1.0);
+    const double var = std::max(0.0, (sum_sq_[i] - xm * xm) / (m_count - 1.0) - mu * mu);
+    // Degenerate spread: z-scores are undefined. Spread below the float32
+    // representation noise of the mean (e.g. a saturated cloud-fraction
+    // point identical across members) is equally meaningless — skip both.
+    const double floor_sd = 3e-7 * std::fabs(mu);
+    if (var <= floor_sd * floor_sd) continue;
+    const double z = (static_cast<double>(data[i]) - mu) / std::sqrt(var);
+    sum_z2 += z * z;
+    ++used;
+  }
+  if (used == 0) return 0.0;
+  return std::sqrt(sum_z2 / static_cast<double>(used));
+}
+
+double EnsembleStats::enmax_range() const {
+  const auto [lo, hi] = std::minmax_element(enmax_dist_.begin(), enmax_dist_.end());
+  return *hi - *lo;
+}
+
+}  // namespace cesm::core

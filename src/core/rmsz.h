@@ -1,0 +1,80 @@
+#pragma once
+// CESM-PVT ensemble machinery (§4.3, eqs. 6–7 and 10).
+//
+// Holds one variable's full perturbation ensemble and answers:
+//   * RMSZ_X^m — the root-mean-square Z-score of member m against the
+//     sub-ensemble {E \ m}  (eqs. 6–7), for the original member or for an
+//     arbitrary (e.g. reconstructed) dataset standing in for member m;
+//   * the E_nmax distribution (eq. 10) — each member's normalized maximum
+//     pointwise distance to the rest of the ensemble;
+//   * per-member global means (the PVT range-shift check).
+//
+// Leave-one-out statistics are computed from per-point sufficient
+// statistics (sum and sum of squares), so evaluating any member is O(N)
+// rather than O(N·M).
+
+#include <vector>
+
+#include "climate/field.h"
+
+namespace cesm::core {
+
+class EnsembleStats {
+ public:
+  /// Takes ownership of all members' fields (same variable, same shape,
+  /// same fill layout). Requires at least 3 members.
+  explicit EnsembleStats(std::vector<climate::Field> members);
+
+  [[nodiscard]] std::size_t member_count() const { return members_.size(); }
+  [[nodiscard]] std::size_t point_count() const { return valid_points_; }
+  [[nodiscard]] const climate::Field& member(std::size_t m) const { return members_[m]; }
+
+  /// RMSZ of arbitrary data standing in for member m: each point is
+  /// z-scored against the sub-ensemble {E \ m} (eq. 6) and the RMS taken
+  /// over points with non-degenerate sub-ensemble spread (eq. 7).
+  [[nodiscard]] double rmsz_of(std::size_t m, std::span<const float> data) const;
+
+  /// RMSZ_X^m of the original member m.
+  [[nodiscard]] double rmsz(std::size_t m) const { return rmsz_dist_[m]; }
+
+  /// All member RMSZ scores (the Figure 2 histogram).
+  [[nodiscard]] const std::vector<double>& rmsz_distribution() const { return rmsz_dist_; }
+
+  /// E_nmax^{m_X} (eq. 10) for member m.
+  [[nodiscard]] double enmax(std::size_t m) const { return enmax_dist_[m]; }
+
+  /// All member E_nmax values (the Figure 3 box plot).
+  [[nodiscard]] const std::vector<double>& enmax_distribution() const { return enmax_dist_; }
+
+  /// R_{E_nmax^X}: the range (max - min) of the E_nmax distribution,
+  /// the denominator of acceptance eq. (11).
+  [[nodiscard]] double enmax_range() const;
+
+  /// Range R_X^m of member m over valid points.
+  [[nodiscard]] double member_range(std::size_t m) const { return ranges_[m]; }
+
+  /// Equal-weight global mean of member m over valid points.
+  [[nodiscard]] double global_mean(std::size_t m) const { return global_means_[m]; }
+  [[nodiscard]] const std::vector<double>& global_means() const { return global_means_; }
+
+ private:
+  void build();
+
+  std::vector<climate::Field> members_;
+  std::vector<std::uint8_t> mask_;      // shared validity mask (may be empty)
+  std::size_t valid_points_ = 0;
+
+  // Per-point sufficient statistics over all members.
+  std::vector<double> sum_;
+  std::vector<double> sum_sq_;
+  // Per-point extremes with runners-up, for leave-one-out max distances.
+  std::vector<float> max1_, max2_, min1_, min2_;
+  std::vector<std::uint32_t> argmax_, argmin_;
+
+  std::vector<double> rmsz_dist_;
+  std::vector<double> enmax_dist_;
+  std::vector<double> ranges_;
+  std::vector<double> global_means_;
+};
+
+}  // namespace cesm::core

@@ -1,0 +1,88 @@
+#include "core/ssim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace cesm::core {
+
+namespace {
+
+/// SSIM of one tile given accumulated moments.
+double tile_ssim(double sum_x, double sum_y, double sum_xx, double sum_yy, double sum_xy,
+                 double n, double c1, double c2) {
+  const double mu_x = sum_x / n;
+  const double mu_y = sum_y / n;
+  const double var_x = std::max(0.0, sum_xx / n - mu_x * mu_x);
+  const double var_y = std::max(0.0, sum_yy / n - mu_y * mu_y);
+  const double cov = sum_xy / n - mu_x * mu_y;
+  const double num = (2.0 * mu_x * mu_y + c1) * (2.0 * cov + c2);
+  const double den = (mu_x * mu_x + mu_y * mu_y + c1) * (var_x + var_y + c2);
+  return den > 0.0 ? num / den : 1.0;
+}
+
+}  // namespace
+
+double ssim_2d(std::span<const float> x, std::span<const float> y, std::size_t rows,
+               std::size_t cols, const SsimOptions& options) {
+  CESM_REQUIRE(x.size() == rows * cols);
+  CESM_REQUIRE(y.size() == x.size());
+  CESM_REQUIRE(options.window >= 2);
+  CESM_REQUIRE(rows >= 1 && cols >= 1);
+
+  // Dynamic range of the original field.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (float v : x) {
+    lo = std::min(lo, static_cast<double>(v));
+    hi = std::max(hi, static_cast<double>(v));
+  }
+  const double range = hi > lo ? hi - lo : 1.0;
+  const double c1 = (options.k1 * range) * (options.k1 * range);
+  const double c2 = (options.k2 * range) * (options.k2 * range);
+
+  const std::size_t w = options.window;
+  double total = 0.0;
+  std::size_t tiles = 0;
+  for (std::size_t r0 = 0; r0 < rows; r0 += w) {
+    for (std::size_t c0 = 0; c0 < cols; c0 += w) {
+      const std::size_t r1 = std::min(rows, r0 + w);
+      const std::size_t c1b = std::min(cols, c0 + w);
+      double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+      for (std::size_t r = r0; r < r1; ++r) {
+        for (std::size_t c = c0; c < c1b; ++c) {
+          const double a = x[r * cols + c];
+          const double b = y[r * cols + c];
+          sx += a;
+          sy += b;
+          sxx += a * a;
+          syy += b * b;
+          sxy += a * b;
+        }
+      }
+      const auto n = static_cast<double>((r1 - r0) * (c1b - c0));
+      total += tile_ssim(sx, sy, sxx, syy, sxy, n, c1, c2);
+      ++tiles;
+    }
+  }
+  return total / static_cast<double>(tiles);
+}
+
+double ssim_field(const climate::Field& original, std::span<const float> reconstructed,
+                  std::size_t nlat, std::size_t nlon, const SsimOptions& options) {
+  CESM_REQUIRE(reconstructed.size() == original.size());
+  const std::size_t ncol = nlat * nlon;
+  CESM_REQUIRE(original.size() % ncol == 0);
+  const std::size_t levels = original.size() / ncol;
+
+  double total = 0.0;
+  for (std::size_t l = 0; l < levels; ++l) {
+    total += ssim_2d(std::span<const float>(original.data).subspan(l * ncol, ncol),
+                     reconstructed.subspan(l * ncol, ncol), nlat, nlon, options);
+  }
+  return total / static_cast<double>(levels);
+}
+
+}  // namespace cesm::core

@@ -1,0 +1,38 @@
+#pragma once
+// Structural similarity (SSIM) index — the paper's §6 future work:
+// "because climate scientists visualize subsets of their simulation data
+// ... we intend to utilize the structural similarity (SSIM) index [19],
+// a recent and meaningful metric of image quality".
+//
+// Implements Wang et al. (2004) mean SSIM over sliding windows of a
+// 2-D lat-lon slice, with the dynamic range L taken from the original
+// field (climate data is not 8-bit imagery). 3-D fields are scored per
+// level and averaged.
+
+#include <cstddef>
+#include <span>
+
+#include "climate/field.h"
+
+namespace cesm::core {
+
+struct SsimOptions {
+  std::size_t window = 8;    ///< square window side (samples)
+  double k1 = 0.01;          ///< Wang et al. stabilization constants
+  double k2 = 0.03;
+};
+
+/// Mean SSIM between two equally-shaped 2-D images (rows x cols),
+/// computed over all `window`-sized tiles (partial edge tiles included).
+/// Returns 1.0 for identical inputs; values below ~0.99 are visually
+/// noticeable for smooth geophysical fields.
+double ssim_2d(std::span<const float> original, std::span<const float> reconstructed,
+               std::size_t rows, std::size_t cols, const SsimOptions& options = {});
+
+/// Mean SSIM for a climate Field: a 2-D field is one image of
+/// nlat x nlon; a 3-D field is scored per level and averaged. `nlat` and
+/// `nlon` give the horizontal unflattening of the column dimension.
+double ssim_field(const climate::Field& original, std::span<const float> reconstructed,
+                  std::size_t nlat, std::size_t nlon, const SsimOptions& options = {});
+
+}  // namespace cesm::core

@@ -1,0 +1,111 @@
+#include "core/suite.h"
+
+#include "compress/deflate/deflate.h"
+#include "compress/fpz/fpz.h"
+#include "compress/variants.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace cesm::core {
+
+std::vector<MethodTally> SuiteResults::tally() const {
+  std::vector<MethodTally> rows;
+  for (std::size_t v = 0; v < variant_names.size(); ++v) {
+    MethodTally row;
+    row.codec = variant_names[v];
+    for (const VariableResult& var : variables) {
+      const VariableVerdict& verdict = var.verdicts[v];
+      row.rho += verdict.rho_pass ? 1 : 0;
+      row.rmsz += verdict.rmsz_pass ? 1 : 0;
+      row.enmax += verdict.enmax_pass ? 1 : 0;
+      row.bias += verdict.bias_pass ? 1 : 0;
+      row.all += verdict.all_pass() ? 1 : 0;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::size_t SuiteResults::variant_index(const std::string& name) const {
+  for (std::size_t i = 0; i < variant_names.size(); ++i) {
+    if (variant_names[i] == name) return i;
+  }
+  throw InvalidArgument("variant not in suite results: " + name);
+}
+
+const VariableResult& SuiteResults::variable(const std::string& name) const {
+  for (const VariableResult& v : variables) {
+    if (v.variable == name) return v;
+  }
+  throw InvalidArgument("variable not in suite results: " + name);
+}
+
+VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
+                            const climate::VariableSpec& spec,
+                            const SuiteConfig& config) {
+  VariableResult result;
+  result.variable = spec.name;
+  result.is_3d = spec.is_3d;
+  if (spec.has_fill) result.fill = climate::kFillValue;
+
+  const EnsembleStats stats(ensemble.ensemble_fields(spec));
+  const PvtVerifier verifier(stats, config.thresholds);
+
+  result.test_members = PvtVerifier::pick_members(
+      config.test_member_count, stats.member_count(),
+      hash_combine(config.member_seed, spec.stream));
+
+  // Characterization + lossless baselines on the first test member.
+  const climate::Field& probe = stats.member(result.test_members.front());
+  result.character = characterize(probe);
+  result.netcdf4_cr = result.character.lossless_cr;
+  {
+    const comp::FpzCodec fpz32(32);
+    const Bytes s = fpz32.encode(probe.data, probe.shape);
+    result.fpzip32_cr = comp::compression_ratio(s.size(), probe.data.size());
+  }
+
+  // RMSZ-guided GRIB2 decimal scale (§5.4).
+  const GribTuning tuning = rmsz_guided_decimal_scale(
+      stats, result.fill, result.test_members, config.thresholds,
+      config.grib_significant_digits, config.grib_max_extra_digits);
+  result.grib_decimal_scale = tuning.decimal_scale;
+  result.grib_tuning_passed = tuning.passed;
+
+  const std::vector<comp::CodecPtr> variants =
+      comp::paper_variants(result.grib_decimal_scale, result.fill);
+  for (const comp::CodecPtr& codec : variants) {
+    result.verdicts.push_back(
+        verifier.verify(*codec, result.test_members, config.run_bias));
+  }
+  return result;
+}
+
+SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
+                       const SuiteConfig& config,
+                       std::vector<std::string> variables) {
+  SuiteResults results;
+  {
+    // Record variant names once (decimal scale varies per variable but the
+    // table label is just "GRIB2").
+    for (const comp::CodecPtr& codec : comp::paper_variants(4)) {
+      results.variant_names.push_back(codec->name());
+    }
+  }
+
+  std::vector<const climate::VariableSpec*> specs;
+  if (variables.empty()) {
+    for (const climate::VariableSpec& spec : ensemble.catalog()) specs.push_back(&spec);
+  } else {
+    for (const std::string& name : variables) specs.push_back(&ensemble.variable(name));
+  }
+
+  results.variables.resize(specs.size());
+  parallel_for(0, specs.size(), [&](std::size_t i) {
+    results.variables[i] = run_variable(ensemble, *specs[i], config);
+  });
+  return results;
+}
+
+}  // namespace cesm::core

@@ -1,0 +1,84 @@
+#pragma once
+// Whole-catalog verification driver.
+//
+// Runs the full §4 methodology for every variable in the ensemble against
+// the paper's nine lossy variants, producing the raw material of Tables
+// 3, 4, 6 and Figures 1–4 in a single sweep:
+//   * per variable: characterization, RMSZ-guided GRIB2 decimal scale,
+//     nine VariableVerdicts (tests 1–4 each), and the lossless baselines;
+//   * aggregation helpers: per-method pass counts (Table 6) and the
+//     per-variant error distributions (Figure 1).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "climate/ensemble.h"
+#include "core/grib_tuning.h"
+#include "core/metrics.h"
+#include "core/pvt.h"
+
+namespace cesm::core {
+
+struct SuiteConfig {
+  std::size_t test_member_count = 3;     ///< paper: "generally three is sufficient"
+  std::uint64_t member_seed = 0x73575eedull;
+  bool run_bias = true;                  ///< bias test compresses all members
+  PvtThresholds thresholds;
+  int grib_significant_digits = 4;
+  /// How far past the magnitude heuristic the RMSZ-guided D search may
+  /// go. A small budget mirrors the paper: even with RMSZ-guided tuning,
+  /// GRIB2 cannot satisfy the tests on large-range variables (§5.3).
+  int grib_max_extra_digits = 2;
+};
+
+/// Everything measured for one variable.
+struct VariableResult {
+  std::string variable;
+  bool is_3d = false;
+  std::optional<float> fill;
+  Characterization character;
+  int grib_decimal_scale = 0;
+  bool grib_tuning_passed = false;
+  std::vector<VariableVerdict> verdicts;  ///< one per variant, paper order
+  double netcdf4_cr = 1.0;                ///< lossless deflate CR (probe member)
+  double fpzip32_cr = 1.0;                ///< fpzip lossless CR (probe member)
+  std::vector<std::size_t> test_members;
+};
+
+/// Table 6 row.
+struct MethodTally {
+  std::string codec;
+  std::size_t rho = 0;
+  std::size_t rmsz = 0;
+  std::size_t enmax = 0;
+  std::size_t bias = 0;
+  std::size_t all = 0;
+};
+
+struct SuiteResults {
+  std::vector<std::string> variant_names;
+  std::vector<VariableResult> variables;
+
+  /// Per-method pass counts over all variables (Table 6).
+  [[nodiscard]] std::vector<MethodTally> tally() const;
+
+  /// Index of a variant by its table name; throws if absent.
+  [[nodiscard]] std::size_t variant_index(const std::string& name) const;
+
+  [[nodiscard]] const VariableResult& variable(const std::string& name) const;
+};
+
+/// Run the suite over `variables` (whole catalog when empty). Work is
+/// parallelized across variables. This is the expensive entry point: the
+/// bias test alone compresses members x variants streams per variable.
+SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
+                       const SuiteConfig& config = {},
+                       std::vector<std::string> variables = {});
+
+/// Single-variable version (used by the spotlight benches and tests).
+VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
+                            const climate::VariableSpec& spec,
+                            const SuiteConfig& config = {});
+
+}  // namespace cesm::core

@@ -1,0 +1,103 @@
+#pragma once
+// Minimal self-describing array container, standing in for NetCDF.
+//
+// CESM history files are NetCDF; the verification workflow only needs a
+// small slice of that format: named dimensions, named float/double
+// variables with attributes and fill values, and optional per-variable
+// lossless compression (NetCDF-4's deflate). This module provides exactly
+// that slice with a compact binary layout ("CNC1").
+//
+// The per-variable `storage` knob selects raw bytes or the deflate codec
+// with byte-shuffle — the configuration whose compression ratio the paper
+// reports in the "CR" column of Table 2 and the "NC" column of Table 7.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace cesm::ncio {
+
+enum class DataType : std::uint8_t { kFloat32 = 0, kFloat64 = 1 };
+
+/// How a variable's payload is stored on disk.
+///   kRaw      — IEEE bytes verbatim;
+///   kDeflate  — NetCDF-4-style lossless (shuffle + deflate);
+///   kCodec    — any study codec, named by Variable::codec_spec (e.g.
+///               "fpzip-24", "APAX-4", "GRIB2:5") — the paper's end goal
+///               of integrating lossy compression into the I/O layer.
+enum class Storage : std::uint8_t { kRaw = 0, kDeflate = 1, kCodec = 2 };
+
+using AttrValue = std::variant<std::int64_t, double, std::string>;
+
+struct Dimension {
+  std::string name;
+  std::uint64_t length = 0;
+};
+
+/// A named variable: data plus metadata. Data lives in exactly one of
+/// `f32` / `f64` according to `dtype`.
+struct Variable {
+  std::string name;
+  DataType dtype = DataType::kFloat32;
+  std::vector<std::uint32_t> dim_ids;  ///< indices into Dataset::dims
+  std::optional<double> fill_value;
+  std::map<std::string, AttrValue> attrs;
+  Storage storage = Storage::kRaw;
+  /// Codec variant name for Storage::kCodec (see comp::make_variant).
+  /// Lossy codecs make the stored payload an approximation: reading back
+  /// yields the reconstruction, exactly like reading a compressed archive.
+  std::string codec_spec;
+  std::vector<float> f32;
+  std::vector<double> f64;
+
+  [[nodiscard]] std::size_t element_count() const {
+    return dtype == DataType::kFloat32 ? f32.size() : f64.size();
+  }
+};
+
+/// An in-memory dataset mirroring one history file.
+class Dataset {
+ public:
+  /// Register a dimension; returns its id. Names must be unique.
+  std::uint32_t add_dimension(const std::string& name, std::uint64_t length);
+
+  [[nodiscard]] const Dimension& dimension(std::uint32_t id) const;
+  [[nodiscard]] std::optional<std::uint32_t> find_dimension(const std::string& name) const;
+
+  /// Add a variable; dim lengths must multiply to the data size.
+  Variable& add_variable(Variable var);
+
+  [[nodiscard]] const Variable* find_variable(const std::string& name) const;
+  [[nodiscard]] Variable* find_variable(const std::string& name);
+
+  [[nodiscard]] const std::vector<Dimension>& dimensions() const { return dims_; }
+  [[nodiscard]] const std::vector<Variable>& variables() const { return vars_; }
+  [[nodiscard]] std::vector<Variable>& variables() { return vars_; }
+
+  std::map<std::string, AttrValue>& attrs() { return attrs_; }
+  [[nodiscard]] const std::map<std::string, AttrValue>& attrs() const { return attrs_; }
+
+  /// Serialize to bytes / parse from bytes (throws FormatError).
+  [[nodiscard]] Bytes serialize() const;
+  static Dataset deserialize(std::span<const std::uint8_t> bytes);
+
+  /// File convenience wrappers (throw IoError).
+  void write_file(const std::string& path) const;
+  static Dataset read_file(const std::string& path);
+
+  /// Serialized size of one variable's payload (post-compression), used
+  /// for per-variable compression-ratio accounting.
+  [[nodiscard]] std::size_t stored_payload_bytes(const std::string& var_name) const;
+
+ private:
+  std::vector<Dimension> dims_;
+  std::vector<Variable> vars_;
+  std::map<std::string, AttrValue> attrs_;
+};
+
+}  // namespace cesm::ncio

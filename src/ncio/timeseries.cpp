@@ -1,0 +1,91 @@
+#include "ncio/timeseries.h"
+
+#include "util/error.h"
+
+namespace cesm::ncio {
+
+namespace {
+
+const Variable& require_variable(const Dataset& ds, const std::string& name) {
+  const Variable* v = ds.find_variable(name);
+  if (v == nullptr) throw InvalidArgument("time slice is missing variable " + name);
+  return *v;
+}
+
+}  // namespace
+
+Dataset to_timeseries(std::span<const Dataset> slices, const std::string& variable,
+                      const StoragePolicy& policy) {
+  CESM_REQUIRE(!slices.empty());
+  const Variable& first = require_variable(slices.front(), variable);
+  CESM_REQUIRE(policy.storage != Storage::kCodec || !policy.codec_spec.empty());
+
+  Dataset out;
+  out.attrs() = slices.front().attrs();
+  out.attrs()["variable"] = variable;
+  out.attrs()["time_steps"] = static_cast<std::int64_t>(slices.size());
+
+  const std::uint32_t time_dim = out.add_dimension("time", slices.size());
+  std::vector<std::uint32_t> dim_map;  // source dim id -> output dim id
+  Variable series;
+  series.name = variable;
+  series.dtype = first.dtype;
+  series.fill_value = first.fill_value;
+  series.attrs = first.attrs;
+  series.storage = policy.storage;
+  series.codec_spec = policy.codec_spec;
+  series.dim_ids.push_back(time_dim);
+  for (std::uint32_t id : first.dim_ids) {
+    const Dimension& d = slices.front().dimension(id);
+    std::uint32_t out_id;
+    if (auto existing = out.find_dimension(d.name)) {
+      out_id = *existing;
+    } else {
+      out_id = out.add_dimension(d.name, d.length);
+    }
+    series.dim_ids.push_back(out_id);
+  }
+
+  for (const Dataset& slice : slices) {
+    const Variable& v = require_variable(slice, variable);
+    if (v.dtype != first.dtype || v.element_count() != first.element_count()) {
+      throw InvalidArgument("inconsistent slices for variable " + variable);
+    }
+    if (v.fill_value != first.fill_value) {
+      throw InvalidArgument("inconsistent fill value for variable " + variable);
+    }
+    if (first.dtype == DataType::kFloat32) {
+      series.f32.insert(series.f32.end(), v.f32.begin(), v.f32.end());
+    } else {
+      series.f64.insert(series.f64.end(), v.f64.begin(), v.f64.end());
+    }
+  }
+  out.add_variable(std::move(series));
+  return out;
+}
+
+std::map<std::string, Dataset> to_timeseries_all(std::span<const Dataset> slices,
+                                                 const PolicyFn& policy) {
+  CESM_REQUIRE(!slices.empty());
+  std::map<std::string, Dataset> out;
+  for (const Variable& v : slices.front().variables()) {
+    const StoragePolicy p = policy ? policy(v) : StoragePolicy{};
+    out.emplace(v.name, to_timeseries(slices, v.name, p));
+  }
+  return out;
+}
+
+std::vector<float> timeseries_slice(const Dataset& series, const std::string& variable,
+                                    std::size_t t) {
+  const Variable* v = series.find_variable(variable);
+  CESM_REQUIRE(v != nullptr);
+  CESM_REQUIRE(v->dtype == DataType::kFloat32);
+  CESM_REQUIRE(!v->dim_ids.empty());
+  const std::uint64_t steps = series.dimension(v->dim_ids.front()).length;
+  CESM_REQUIRE(t < steps);
+  const std::size_t per_step = v->f32.size() / steps;
+  return std::vector<float>(v->f32.begin() + static_cast<std::ptrdiff_t>(t * per_step),
+                            v->f32.begin() + static_cast<std::ptrdiff_t>((t + 1) * per_step));
+}
+
+}  // namespace cesm::ncio

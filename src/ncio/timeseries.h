@@ -1,0 +1,47 @@
+#pragma once
+// History-file to time-series conversion.
+//
+// Paper §1: "we examine compression with the intention of integrating it
+// into a post-processing step that converts the CESM time-slice data
+// history files to time series data files for each variable". This module
+// is that step: given a sequence of history Datasets (one per time slice),
+// it produces one Dataset per variable with a leading "time" dimension,
+// applying a chosen per-variable storage treatment (raw, deflate, or any
+// study codec) on the way out.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ncio/dataset.h"
+
+namespace cesm::ncio {
+
+/// Storage decision for one variable of the output time series.
+struct StoragePolicy {
+  Storage storage = Storage::kDeflate;
+  std::string codec_spec;  ///< required when storage == kCodec
+};
+
+/// Chooses the treatment per variable; default compresses everything
+/// losslessly (deflate).
+using PolicyFn = std::function<StoragePolicy(const Variable&)>;
+
+/// Convert time slices into one time-series dataset for `variable`.
+/// Every slice must contain the variable with identical dims/attrs/fill.
+/// The output has dimensions {time, <original dims...>}.
+Dataset to_timeseries(std::span<const Dataset> slices, const std::string& variable,
+                      const StoragePolicy& policy = {});
+
+/// Convert all variables of the slices; returns one dataset per variable,
+/// keyed by name. `policy` decides each variable's storage.
+std::map<std::string, Dataset> to_timeseries_all(std::span<const Dataset> slices,
+                                                 const PolicyFn& policy = nullptr);
+
+/// Extract time step `t` of a time-series dataset's variable as a flat
+/// vector (float32 variables only).
+std::vector<float> timeseries_slice(const Dataset& series, const std::string& variable,
+                                    std::size_t t);
+
+}  // namespace cesm::ncio

@@ -1,0 +1,74 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cesm::stats {
+
+namespace {
+
+struct Moments {
+  double mean_x = 0.0, mean_y = 0.0;
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  std::size_t n = 0;
+};
+
+template <typename T>
+Moments moments(std::span<const T> x, std::span<const T> y,
+                std::span<const std::uint8_t> mask) {
+  CESM_REQUIRE(x.size() == y.size());
+  CESM_REQUIRE(mask.empty() || mask.size() == x.size());
+  Moments m;
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    sx += static_cast<double>(x[i]);
+    sy += static_cast<double>(y[i]);
+    ++m.n;
+  }
+  if (m.n == 0) return m;
+  m.mean_x = sx / static_cast<double>(m.n);
+  m.mean_y = sy / static_cast<double>(m.n);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    const double dx = static_cast<double>(x[i]) - m.mean_x;
+    const double dy = static_cast<double>(y[i]) - m.mean_y;
+    m.sxx += dx * dx;
+    m.syy += dy * dy;
+    m.sxy += dx * dy;
+  }
+  return m;
+}
+
+template <typename T>
+double pearson_impl(std::span<const T> x, std::span<const T> y,
+                    std::span<const std::uint8_t> mask) {
+  const Moments m = moments(x, y, mask);
+  if (m.n == 0) return 0.0;
+  if (m.sxx == 0.0 || m.syy == 0.0) {
+    // Constant series: correlation is undefined; report 1 only for an
+    // exact pointwise match (both constant and equal means).
+    return (m.sxx == 0.0 && m.syy == 0.0 && m.mean_x == m.mean_y) ? 1.0 : 0.0;
+  }
+  return m.sxy / std::sqrt(m.sxx * m.syy);
+}
+
+}  // namespace
+
+double covariance(std::span<const float> x, std::span<const float> y,
+                  std::span<const std::uint8_t> mask) {
+  const Moments m = moments(x, y, mask);
+  return m.n ? m.sxy / static_cast<double>(m.n) : 0.0;
+}
+
+double pearson(std::span<const float> x, std::span<const float> y,
+               std::span<const std::uint8_t> mask) {
+  return pearson_impl(x, y, mask);
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  return pearson_impl(x, y, {});
+}
+
+}  // namespace cesm::stats

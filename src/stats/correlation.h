@@ -1,0 +1,23 @@
+#pragma once
+// Pearson correlation and covariance (paper eq. 5).
+
+#include <cstdint>
+#include <span>
+
+namespace cesm::stats {
+
+/// Population covariance cov(X, Y) over valid (unmasked) points.
+double covariance(std::span<const float> x, std::span<const float> y,
+                  std::span<const std::uint8_t> mask = {});
+
+/// Pearson correlation coefficient ρ = cov(X,Y)/(σ_X σ_Y)  (paper eq. 5).
+/// Returns 1.0 when either series is constant and the two series are
+/// pointwise identical (perfect reconstruction of a constant field), and
+/// 0.0 when one series is constant but they differ — the conservative
+/// choice for the acceptance test.
+double pearson(std::span<const float> x, std::span<const float> y,
+               std::span<const std::uint8_t> mask = {});
+
+double pearson(std::span<const double> x, std::span<const double> y);
+
+}  // namespace cesm::stats

@@ -1,0 +1,95 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace cesm::stats {
+
+namespace {
+
+template <typename T>
+Summary summarize_impl(std::span<const T> data, std::span<const std::uint8_t> mask) {
+  CESM_REQUIRE(mask.empty() || mask.size() == data.size());
+  Summary s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  // Two-pass mean/variance: the variance pass subtracts the mean first,
+  // avoiding catastrophic cancellation on large-offset fields (e.g. Z3).
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    const double x = static_cast<double>(data[i]);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+    ++s.count;
+  }
+  if (s.count == 0) return Summary{};
+  s.mean = sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    const double d = static_cast<double>(data[i]) - s.mean;
+    ss += d * d;
+  }
+  s.stddev = std::sqrt(ss / static_cast<double>(s.count));
+  return s;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const float> data, std::span<const std::uint8_t> mask) {
+  return summarize_impl(data, mask);
+}
+
+Summary summarize(std::span<const double> data, std::span<const std::uint8_t> mask) {
+  return summarize_impl(data, mask);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  CESM_REQUIRE(!sorted.empty());
+  CESM_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+BoxSummary box_summary(std::span<const double> data) {
+  CESM_REQUIRE(!data.empty());
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  BoxSummary b;
+  b.lo = sorted.front();
+  b.hi = sorted.back();
+  b.q1 = quantile_sorted(sorted, 0.25);
+  b.median = quantile_sorted(sorted, 0.50);
+  b.q3 = quantile_sorted(sorted, 0.75);
+  b.count = sorted.size();
+  return b;
+}
+
+double mean(std::span<const float> data, std::span<const std::uint8_t> mask) {
+  const Summary s = summarize(data, mask);
+  return s.count ? s.mean : 0.0;
+}
+
+double weighted_mean(std::span<const float> data, std::span<const double> weights,
+                     std::span<const std::uint8_t> mask) {
+  CESM_REQUIRE(weights.size() == data.size());
+  CESM_REQUIRE(mask.empty() || mask.size() == data.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    num += weights[i] * static_cast<double>(data[i]);
+    den += weights[i];
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace cesm::stats

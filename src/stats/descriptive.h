@@ -1,0 +1,57 @@
+#pragma once
+// Descriptive statistics over (possibly fill-valued) float datasets.
+//
+// Paper §4.1 characterizes every variable by min, max, mean and standard
+// deviation, explicitly excluding special values such as the 1e35 ocean
+// fill (§4.3, last paragraph). All routines here therefore accept an
+// optional validity mask.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cesm::stats {
+
+/// Moment/extreme summary of a dataset (fill values excluded).
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;   ///< population standard deviation
+  std::size_t count = 0; ///< number of valid (non-fill) points
+
+  /// Range R_X = x_max - x_min (paper §4).
+  [[nodiscard]] double range() const { return max - min; }
+};
+
+/// Five-number box-plot summary (paper Figures 1 and 3 render these).
+struct BoxSummary {
+  double lo = 0.0;      ///< whisker bottom: distribution minimum
+  double q1 = 0.0;      ///< lower quartile
+  double median = 0.0;
+  double q3 = 0.0;      ///< upper quartile
+  double hi = 0.0;      ///< whisker top: distribution maximum
+  std::size_t count = 0;
+};
+
+/// Summarize `data`; entries where mask[i] == 0 are ignored. An empty mask
+/// means every point is valid. Returns count == 0 summary for empty input.
+Summary summarize(std::span<const float> data, std::span<const std::uint8_t> mask = {});
+Summary summarize(std::span<const double> data, std::span<const std::uint8_t> mask = {});
+
+/// Linear-interpolated quantile (q in [0,1]) of a *sorted* sequence.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Box-plot summary of an arbitrary sequence (copies and sorts internally).
+BoxSummary box_summary(std::span<const double> data);
+
+/// Area/equal-weight global mean with optional mask.
+double mean(std::span<const float> data, std::span<const std::uint8_t> mask = {});
+
+/// Weighted mean: sum(w_i x_i)/sum(w_i) over valid points. Weights span must
+/// match data length.
+double weighted_mean(std::span<const float> data, std::span<const double> weights,
+                     std::span<const std::uint8_t> mask = {});
+
+}  // namespace cesm::stats

@@ -1,0 +1,62 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace cesm::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  CESM_REQUIRE(bins > 0);
+  CESM_REQUIRE(hi > lo);
+  counts_.assign(bins, 0);
+}
+
+Histogram Histogram::from_data(std::span<const double> data, std::size_t bins) {
+  CESM_REQUIRE(!data.empty());
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : data) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) hi = lo + 1.0;  // degenerate constant data
+  Histogram h(lo, hi, bins);
+  h.add(data);
+  return h;
+}
+
+std::size_t Histogram::bin_of(double value) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  const double idx = (value - lo_) / width;
+  if (idx < 0.0) return 0;
+  const auto i = static_cast<std::size_t>(idx);
+  return std::min(i, counts_.size() - 1);
+}
+
+void Histogram::add(double value) {
+  ++counts_[bin_of(value)];
+  ++total_;
+}
+
+void Histogram::add(std::span<const double> values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::bin_center(std::size_t bin) const {
+  return 0.5 * (bin_lo(bin) + bin_hi(bin));
+}
+
+std::size_t Histogram::max_count() const {
+  return *std::max_element(counts_.begin(), counts_.end());
+}
+
+}  // namespace cesm::stats

@@ -1,0 +1,41 @@
+#pragma once
+// Uniform-bin histogram (paper Figure 2 renders the 101-member RMSZ
+// distribution as a frequency histogram).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cesm::stats {
+
+/// Fixed-range uniform histogram. Values outside [lo, hi] clamp into the
+/// first/last bin so a distribution plus a handful of outlier markers can
+/// share one set of axes, as in the paper's ensemble plots.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Convenience: span the data range exactly, with `bins` bins.
+  static Histogram from_data(std::span<const double> data, std::size_t bins);
+
+  void add(double value);
+  void add(std::span<const double> values);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  [[nodiscard]] std::size_t max_count() const;
+
+  /// Bin index a value falls into (after clamping).
+  [[nodiscard]] std::size_t bin_of(double value) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cesm::stats

@@ -1,0 +1,50 @@
+#include "stats/kstest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cesm::stats {
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b) {
+  CESM_REQUIRE(!a.empty() && !b.empty());
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  const auto na = static_cast<double>(sa.size());
+  const auto nb = static_cast<double>(sb.size());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+  }
+
+  KsResult r;
+  r.statistic = d;
+  const double n_eff = std::sqrt(na * nb / (na + nb));
+  const double lambda = (n_eff + 0.12 + 0.11 / n_eff) * d;
+  r.p_value = kolmogorov_q(lambda);
+  return r;
+}
+
+}  // namespace cesm::stats

@@ -1,0 +1,28 @@
+#pragma once
+// Two-sample Kolmogorov–Smirnov test.
+//
+// An extension beyond the paper's §4.3 machinery: instead of only
+// comparing RMSZ scores pairwise (eq. 8) and by regression (eq. 9), the
+// KS test asks directly whether the reconstructed ensemble's RMSZ
+// *distribution* is statistically distinguishable from the original's —
+// the very phrase the paper uses to define success.
+
+#include <span>
+
+namespace cesm::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< D = sup |F1(x) - F2(x)|
+  double p_value = 1.0;    ///< asymptotic two-sided p-value
+  [[nodiscard]] bool distinguishable(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Two-sample KS test. Both samples must be non-empty; ties are handled
+/// by the standard step-function convention.
+KsResult ks_two_sample(std::span<const double> a, std::span<const double> b);
+
+/// Asymptotic Kolmogorov survival function Q(lambda) = P(D > lambda-ish):
+/// 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+double kolmogorov_q(double lambda);
+
+}  // namespace cesm::stats

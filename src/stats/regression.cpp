@@ -1,0 +1,68 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "stats/tdist.h"
+#include "util/error.h"
+
+namespace cesm::stats {
+
+double LinearFit::slope_halfwidth(double confidence) const {
+  return t_critical(confidence, static_cast<double>(n - 2)) * slope_se;
+}
+
+double LinearFit::intercept_halfwidth(double confidence) const {
+  return t_critical(confidence, static_cast<double>(n - 2)) * intercept_se;
+}
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  CESM_REQUIRE(x.size() == y.size());
+  CESM_REQUIRE(x.size() >= 3);
+  const auto n = static_cast<double>(x.size());
+
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  CESM_REQUIRE(sxx > 0.0);
+
+  LinearFit f;
+  f.n = x.size();
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+
+  // Residual sum of squares via the identity SSE = Syy - b * Sxy, clamped at
+  // zero against round-off for (near-)perfect fits.
+  const double sse = std::max(0.0, syy - f.slope * sxy);
+  const double df = n - 2.0;
+  f.residual_sd = std::sqrt(sse / df);
+  f.slope_se = f.residual_sd / std::sqrt(sxx);
+  f.intercept_se = f.residual_sd * std::sqrt(1.0 / n + mx * mx / sxx);
+  f.r2 = syy > 0.0 ? 1.0 - sse / syy : 1.0;
+  return f;
+}
+
+ConfidenceRect confidence_rect(const LinearFit& fit, double confidence) {
+  const double hs = fit.slope_halfwidth(confidence);
+  const double hi = fit.intercept_halfwidth(confidence);
+  return ConfidenceRect{
+      .slope_lo = fit.slope - hs,
+      .slope_hi = fit.slope + hs,
+      .intercept_lo = fit.intercept - hi,
+      .intercept_hi = fit.intercept + hi,
+  };
+}
+
+}  // namespace cesm::stats

@@ -1,0 +1,50 @@
+#pragma once
+// Simple (ordinary least squares) linear regression with parameter
+// standard errors and confidence intervals.
+//
+// Paper §4.3: for each variable, the 101 RMSZ scores of the reconstructed
+// ensemble Ẽ are regressed on those of the original ensemble E. An unbiased
+// reconstruction yields slope 1 / intercept 0; the 95 % confidence region
+// of (slope, intercept) is rendered as a rectangle in Figure 4 and drives
+// the acceptance criterion |s_I - s_WC| <= 0.05 (eq. 9).
+
+#include <span>
+
+namespace cesm::stats {
+
+/// Result of fitting y = slope * x + intercept by least squares.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double slope_se = 0.0;       ///< standard error of the slope
+  double intercept_se = 0.0;   ///< standard error of the intercept
+  double residual_sd = 0.0;    ///< sqrt(SSE / (n - 2))
+  double r2 = 0.0;             ///< coefficient of determination
+  std::size_t n = 0;
+
+  /// Half-width of the two-sided confidence interval for the slope.
+  [[nodiscard]] double slope_halfwidth(double confidence) const;
+  /// Half-width of the two-sided confidence interval for the intercept.
+  [[nodiscard]] double intercept_halfwidth(double confidence) const;
+};
+
+/// Axis-aligned 95 %-style confidence rectangle in (slope, intercept)
+/// space — exactly what Figure 4 draws per compression method.
+struct ConfidenceRect {
+  double slope_lo = 0.0, slope_hi = 0.0;
+  double intercept_lo = 0.0, intercept_hi = 0.0;
+
+  [[nodiscard]] bool contains(double slope, double intercept) const {
+    return slope >= slope_lo && slope <= slope_hi &&
+           intercept >= intercept_lo && intercept <= intercept_hi;
+  }
+};
+
+/// Fit y on x. Requires n >= 3 (standard errors need n - 2 > 0) and
+/// non-constant x.
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Confidence rectangle for a fit at the given confidence level.
+ConfidenceRect confidence_rect(const LinearFit& fit, double confidence);
+
+}  // namespace cesm::stats

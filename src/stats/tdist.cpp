@@ -1,0 +1,98 @@
+#include "stats/tdist.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace cesm::stats {
+
+namespace {
+
+// Lentz's continued-fraction evaluation of the incomplete beta function
+// (cf. Numerical Recipes betacf). Converges quickly for x < (a+1)/(a+b+2).
+double beta_cf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-15;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  CESM_REQUIRE(a > 0.0 && b > 0.0);
+  CESM_REQUIRE(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - front * beta_cf(b, a, 1.0 - x) / b;
+}
+
+double t_cdf(double t, double df) {
+  CESM_REQUIRE(df > 0.0);
+  if (!std::isfinite(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = df / (df + t * t);
+  const double p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double t_quantile(double p, double df) {
+  CESM_REQUIRE(p > 0.0 && p < 1.0);
+  CESM_REQUIRE(df > 0.0);
+  if (p == 0.5) return 0.0;
+  // Bracket then bisect; the CDF is strictly monotone.
+  double lo = -1.0, hi = 1.0;
+  while (t_cdf(lo, df) > p) lo *= 2.0;
+  while (t_cdf(hi, df) < p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (hi - lo < 1e-12 * (1.0 + std::fabs(mid))) return mid;
+    if (t_cdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double t_critical(double confidence, double df) {
+  CESM_REQUIRE(confidence > 0.0 && confidence < 1.0);
+  return t_quantile(0.5 + confidence / 2.0, df);
+}
+
+}  // namespace cesm::stats

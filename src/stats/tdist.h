@@ -1,0 +1,26 @@
+#pragma once
+// Student-t distribution: CDF and quantile function.
+//
+// The bias test (paper eq. 9, Figure 4) needs two-sided 95 % confidence
+// intervals for the slope and intercept of a linear fit over 101 ensemble
+// RMSZ pairs, i.e. t quantiles with 99 degrees of freedom. Implemented via
+// the regularized incomplete beta function (continued fraction), with the
+// quantile recovered by bisection — exact enough for any df ≥ 1.
+
+namespace cesm::stats {
+
+/// Regularized incomplete beta function I_x(a, b), x in [0, 1].
+double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t with `df` degrees of freedom.
+double t_cdf(double t, double df);
+
+/// Quantile (inverse CDF) of Student's t: smallest t with CDF(t) >= p.
+/// p must lie strictly in (0, 1).
+double t_quantile(double p, double df);
+
+/// Two-sided critical value: t such that P(|T| <= t) = confidence.
+/// confidence in (0, 1), e.g. 0.95 for the paper's 95 % regions.
+double t_critical(double confidence, double df);
+
+}  // namespace cesm::stats

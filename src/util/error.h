@@ -1,0 +1,56 @@
+#pragma once
+// Error handling primitives shared across the library.
+//
+// The library throws exceptions derived from cesm::Error for unrecoverable
+// conditions (malformed streams, contract violations at API boundaries).
+// Hot inner loops use CESM_ASSERT, compiled out in release unless
+// CESMCOMP_ENABLE_ASSERTS is defined.
+
+#include <stdexcept>
+#include <string>
+
+namespace cesm {
+
+/// Base class for all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an encoded stream is malformed or truncated.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error("format error: " + what) {}
+};
+
+/// Thrown when caller-supplied arguments violate a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error("invalid argument: " + what) {}
+};
+
+/// Thrown when an I/O operation on the filesystem fails.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const char* cond, const char* file, int line) {
+  throw InvalidArgument(std::string(cond) + " at " + file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace cesm
+
+/// Precondition check at public API boundaries; always on.
+#define CESM_REQUIRE(cond)                                         \
+  do {                                                             \
+    if (!(cond)) ::cesm::detail::throw_invalid(#cond, __FILE__, __LINE__); \
+  } while (0)
+
+#if defined(CESMCOMP_ENABLE_ASSERTS) || !defined(NDEBUG)
+#define CESM_ASSERT(cond) CESM_REQUIRE(cond)
+#else
+#define CESM_ASSERT(cond) ((void)0)
+#endif

@@ -1,0 +1,119 @@
+#pragma once
+// Deterministic random number generation.
+//
+// All stochastic components of the library (ensemble perturbations, field
+// synthesis, workload generators) draw from these engines so that every
+// experiment is bit-reproducible across runs and platforms. std::mt19937 is
+// deliberately avoided: its distributions are implementation-defined.
+
+#include <cstdint>
+#include <cmath>
+
+namespace cesm {
+
+/// SplitMix64: tiny, fast, passes BigCrush; used for seeding and hashing.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless 64-bit mix of two values; used to derive per-(member,variable)
+/// stream seeds without correlation. Chained SplitMix64 finalizers: the
+/// first is a bijection of `a`, so distinct (a, b) pairs collide only with
+/// generic 2^-64 birthday probability.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  SplitMix64 s1(a);
+  SplitMix64 s2(s1.next() ^ b);
+  return s2.next();
+}
+
+/// PCG32 (O'Neill): small-state generator with excellent statistical quality.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0xda3e39cb94b95bdbull) {
+    state_ = 0u;
+    inc_ = (stream << 1u) | 1u;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, bound) without modulo bias.
+  std::uint32_t bounded(std::uint32_t bound) {
+    if (bound <= 1) return 0;
+    std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      std::uint32_t r = next_u32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Standard-normal sampler (Marsaglia polar method) with cached spare.
+class NormalSampler {
+ public:
+  explicit NormalSampler(std::uint64_t seed) : rng_(seed) {}
+  explicit NormalSampler(Pcg32 rng) : rng_(rng) {}
+
+  double next() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = rng_.uniform(-1.0, 1.0);
+      v = rng_.uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+  double next(double mean, double stddev) { return mean + stddev * next(); }
+
+  Pcg32& engine() { return rng_; }
+
+ private:
+  Pcg32 rng_;
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace cesm

@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock timing for the performance tables (paper Table 5).
+
+#include <chrono>
+
+namespace cesm {
+
+/// Monotonic stopwatch. Constructed running; restart() resets the origin.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace cesm

@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace cesm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+bool ThreadPool::on_worker_thread() const {
+  auto self = std::this_thread::get_id();
+  return std::any_of(workers_.begin(), workers_.end(),
+                     [self](const std::thread& t) { return t.get_id() == self; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  ThreadPool& pool = ThreadPool::global();
+  const std::size_t n = end - begin;
+  const std::size_t threads = pool.thread_count();
+  if (n <= grain || threads <= 1 || pool.on_worker_thread()) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  // Static chunking: ~4 chunks per thread to smooth imbalance while keeping
+  // scheduling overhead negligible for the coarse tasks we run.
+  const std::size_t chunks = std::min(n, std::max<std::size_t>(1, threads * 4));
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace cesm

@@ -1,0 +1,68 @@
+#pragma once
+// Shared-memory parallelism: a work-stealing-free, chunk-scheduled thread
+// pool plus a parallel_for convenience wrapper.
+//
+// The experiment harnesses fan out over (variable, codec-variant) pairs and
+// over ensemble members; both are embarrassingly parallel. A single global
+// pool is used so nested fan-outs do not oversubscribe the machine: calls to
+// parallel_for from inside a pool worker degrade to serial execution.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cesm {
+
+/// Fixed-size thread pool executing void() tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Must not be called after destruction begins.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. Rethrows the first
+  /// exception raised by any task (others are discarded).
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// True when the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const;
+
+  /// Process-wide pool, lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Parallel loop over [begin, end): body(i) is invoked exactly once per
+/// index, in unspecified order, on pool workers. Chunked statically.
+/// Exceptions from body propagate to the caller. Runs serially when the
+/// range is small, the pool has one thread, or we are already on a worker.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace cesm

@@ -1,0 +1,96 @@
+#include "climate/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "climate/history.h"
+
+namespace cesm::climate {
+namespace {
+
+EnsembleSpec tiny_spec(std::size_t members = 8) {
+  EnsembleSpec spec;
+  spec.grid = GridSpec{12, 18, 3};
+  spec.members = members;
+  spec.latent.k = 48;
+  spec.latent.spinup_steps = 200;
+  spec.latent.average_steps = 400;
+  return spec;
+}
+
+TEST(Ensemble, FieldShapesMatchVariableKind) {
+  const EnsembleGenerator ens(tiny_spec());
+  const Field f2 = ens.field("FSDSC", 0);
+  EXPECT_EQ(f2.shape.rank(), 1u);
+  EXPECT_EQ(f2.shape.dims[0], 12u * 18u);
+  const Field f3 = ens.field("U", 0);
+  EXPECT_EQ(f3.shape.rank(), 2u);
+  EXPECT_EQ(f3.shape.dims[0], 3u);
+  EXPECT_EQ(f3.shape.dims[1], 12u * 18u);
+}
+
+TEST(Ensemble, FieldsAreReproducible) {
+  const EnsembleGenerator ens(tiny_spec());
+  EXPECT_EQ(ens.field("U", 2).data, ens.field("U", 2).data);
+}
+
+TEST(Ensemble, MembersDifferButShareClimate) {
+  const EnsembleGenerator ens(tiny_spec());
+  const Field a = ens.field("T", 0);
+  const Field b = ens.field("T", 5);
+  EXPECT_NE(a.data, b.data);
+  // Same climate: spatial means within a few K of each other.
+  double ma = 0.0, mb = 0.0;
+  for (float x : a.data) ma += x;
+  for (float x : b.data) mb += x;
+  ma /= static_cast<double>(a.data.size());
+  mb /= static_cast<double>(b.data.size());
+  EXPECT_NEAR(ma, mb, 10.0);
+}
+
+TEST(Ensemble, EnsembleFieldsReturnsAllMembers) {
+  const EnsembleGenerator ens(tiny_spec(6));
+  const auto fields = ens.ensemble_fields(ens.variable("PS"));
+  ASSERT_EQ(fields.size(), 6u);
+  for (const Field& f : fields) EXPECT_EQ(f.size(), 12u * 18u);
+  EXPECT_EQ(fields[3].data, ens.field("PS", 3).data);
+}
+
+TEST(Ensemble, ExtraMembersBeyondBaseAreSupported) {
+  const EnsembleGenerator ens(tiny_spec(4));
+  const Field f = ens.field("U", 10);  // "new machine" run
+  EXPECT_EQ(f.size(), 3u * 12u * 18u);
+  EXPECT_EQ(f.data, ens.field("U", 10).data);
+}
+
+TEST(History, RoundTripsThroughDataset) {
+  const EnsembleGenerator ens(tiny_spec(3));
+  const ncio::Dataset ds =
+      make_history(ens, 1, {"U", "FSDSC", "SST"}, ncio::Storage::kDeflate);
+  ASSERT_EQ(ds.variables().size(), 3u);
+
+  const Field u = field_from_history(ds, "U");
+  EXPECT_EQ(u.data, ens.field("U", 1).data);
+  EXPECT_EQ(u.shape.rank(), 2u);
+
+  const Field sst = field_from_history(ds, "SST");
+  ASSERT_TRUE(sst.fill.has_value());
+  EXPECT_EQ(*sst.fill, kFillValue);
+
+  const ncio::Dataset back = ncio::Dataset::deserialize(ds.serialize());
+  EXPECT_EQ(field_from_history(back, "FSDSC").data, ens.field("FSDSC", 1).data);
+}
+
+TEST(History, FullCatalogHistoryHas170Variables) {
+  const EnsembleGenerator ens(tiny_spec(3));
+  const ncio::Dataset ds = make_history(ens, 0);
+  EXPECT_EQ(ds.variables().size(), 170u);
+}
+
+TEST(History, UnknownVariableThrows) {
+  const EnsembleGenerator ens(tiny_spec(3));
+  const ncio::Dataset ds = make_history(ens, 0, {"U"});
+  EXPECT_THROW(field_from_history(ds, "MISSING"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::climate

@@ -1,0 +1,74 @@
+#include "climate/lorenz.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cesm::climate {
+namespace {
+
+Lorenz96Spec fast_spec() {
+  Lorenz96Spec spec;
+  spec.k = 40;
+  spec.spinup_steps = 400;
+  spec.average_steps = 800;
+  return spec;
+}
+
+TEST(Lorenz96, MemberMeansAreDeterministic) {
+  const Lorenz96 model(fast_spec());
+  const auto a = model.member_time_means(5);
+  const auto b = model.member_time_means(5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Lorenz96, TinyPerturbationFullyDecorrelatesMembers) {
+  // The PVT premise: O(1e-14) IC differences produce completely different
+  // trajectories (weather) with the same statistics (climate).
+  const Lorenz96 model(fast_spec());
+  const auto m1 = model.member_time_means(1);
+  const auto m2 = model.member_time_means(2);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(m1[i] - m2[i]));
+  }
+  EXPECT_GT(max_diff, 1e-3);  // not bit-for-bit — chaos has amplified 1e-14
+}
+
+TEST(Lorenz96, MembersShareClimatology) {
+  const Lorenz96 model(fast_spec());
+  const auto& clim = model.climatology();
+  // Every member's time means must sit within a few climatological sigmas.
+  for (std::uint32_t m = 1; m <= 6; ++m) {
+    const auto means = model.member_time_means(m);
+    for (std::size_t i = 0; i < means.size(); ++i) {
+      const double z = (means[i] - clim.mean[i]) / clim.stddev[i];
+      EXPECT_LT(std::fabs(z), 8.0) << "member " << m << " component " << i;
+    }
+  }
+}
+
+TEST(Lorenz96, ClimatologyHasPositiveSpread) {
+  const Lorenz96 model(fast_spec());
+  for (double s : model.climatology().stddev) EXPECT_GT(s, 0.0);
+}
+
+TEST(Lorenz96, TimeMeansNearTheoreticalAttractorMean) {
+  // For F = 8 the long-run mean of each component is ~2.3.
+  const Lorenz96 model(fast_spec());
+  const auto& clim = model.climatology();
+  double avg = 0.0;
+  for (double m : clim.mean) avg += m;
+  avg /= static_cast<double>(clim.mean.size());
+  EXPECT_NEAR(avg, 2.3, 0.5);
+}
+
+TEST(Lorenz96, MemberZeroIsUnperturbedBase) {
+  const Lorenz96 model(fast_spec());
+  const auto base = model.member_time_means(0);
+  const auto again = model.member_time_means(0);
+  EXPECT_EQ(base, again);
+}
+
+}  // namespace
+}  // namespace cesm::climate

@@ -1,0 +1,67 @@
+#include "climate/restart.h"
+
+#include <gtest/gtest.h>
+
+namespace cesm::climate {
+namespace {
+
+EnsembleSpec tiny_spec() {
+  EnsembleSpec spec;
+  spec.grid = GridSpec{8, 24, 3};
+  spec.members = 3;
+  spec.latent.k = 48;
+  spec.latent.spinup_steps = 150;
+  spec.latent.average_steps = 300;
+  return spec;
+}
+
+TEST(Restart, CarriesPrognosticStateInFullPrecision) {
+  const EnsembleGenerator ens(tiny_spec());
+  const ncio::Dataset ds = make_restart(ens, 1);
+  for (const std::string& name : restart_variables()) {
+    const ncio::Variable* v = ds.find_variable(name);
+    ASSERT_NE(v, nullptr) << name;
+    EXPECT_EQ(v->dtype, ncio::DataType::kFloat64);
+    EXPECT_FALSE(v->f64.empty());
+  }
+  EXPECT_NE(ds.find_variable("latent_state"), nullptr);
+}
+
+TEST(Restart, StateHasSubFloat32Tail) {
+  const EnsembleGenerator ens(tiny_spec());
+  const ncio::Dataset ds = make_restart(ens, 1);
+  const ncio::Variable* t = ds.find_variable("T");
+  // At least some values must differ from their float32 truncation: the
+  // restart carries genuine double-precision content.
+  std::size_t differ = 0;
+  for (double v : t->f64) {
+    if (static_cast<double>(static_cast<float>(v)) != v) ++differ;
+  }
+  EXPECT_GT(differ, t->f64.size() / 2);
+}
+
+TEST(Restart, RoundTripsLosslesslyThroughSerialization) {
+  const EnsembleGenerator ens(tiny_spec());
+  const ncio::Dataset ds = make_restart(ens, 2, ncio::Storage::kDeflate);
+  const ncio::Dataset back = ncio::Dataset::deserialize(ds.serialize());
+  for (const std::string& name : restart_variables()) {
+    EXPECT_EQ(back.find_variable(name)->f64, ds.find_variable(name)->f64) << name;
+  }
+}
+
+TEST(Restart, IsDeterministicPerMember) {
+  const EnsembleGenerator ens(tiny_spec());
+  const ncio::Dataset a = make_restart(ens, 1);
+  const ncio::Dataset b = make_restart(ens, 1);
+  EXPECT_EQ(a.find_variable("U")->f64, b.find_variable("U")->f64);
+  const ncio::Dataset c = make_restart(ens, 2);
+  EXPECT_NE(c.find_variable("U")->f64, a.find_variable("U")->f64);
+}
+
+TEST(Restart, RejectsLossyStorage) {
+  const EnsembleGenerator ens(tiny_spec());
+  EXPECT_THROW(make_restart(ens, 0, ncio::Storage::kCodec), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::climate

@@ -1,0 +1,167 @@
+#include "climate/synthesis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace cesm::climate {
+namespace {
+
+struct Fixture {
+  Fixture() : grid(GridSpec{24, 36, 4}), model(make_spec()) {}
+
+  static Lorenz96Spec make_spec() {
+    Lorenz96Spec s;
+    s.k = 64;
+    s.spinup_steps = 300;
+    s.average_steps = 600;
+    return s;
+  }
+
+  Field make(const VariableSpec& var, std::uint32_t member) {
+    const FieldSynthesizer synth(grid, var, model);
+    return synth.synthesize(model.member_time_means(member), member);
+  }
+
+  Grid grid;
+  Lorenz96 model;
+};
+
+VariableSpec linear_var() {
+  VariableSpec v;
+  v.name = "TESTLIN";
+  v.is_3d = false;
+  v.transform = TransformKind::kLinear;
+  v.center = 100.0;
+  v.scale = 10.0;
+  v.stream = 1234;
+  return v;
+}
+
+TEST(Synthesis, DeterministicPerMemberAndVariable) {
+  Fixture f;
+  const Field a = f.make(linear_var(), 3);
+  const Field b = f.make(linear_var(), 3);
+  EXPECT_EQ(a.data, b.data);
+}
+
+TEST(Synthesis, MembersDiffer) {
+  Fixture f;
+  const Field a = f.make(linear_var(), 1);
+  const Field b = f.make(linear_var(), 2);
+  EXPECT_NE(a.data, b.data);
+}
+
+TEST(Synthesis, LinearTransformHitsTargetMagnitude) {
+  Fixture f;
+  const Field field = f.make(linear_var(), 1);
+  const auto s = stats::summarize(std::span<const float>(field.data));
+  EXPECT_NEAR(s.mean, 100.0, 30.0);
+  EXPECT_GT(s.stddev, 2.0);
+  EXPECT_LT(s.stddev, 60.0);
+}
+
+TEST(Synthesis, PositiveTransformNeverNegative) {
+  Fixture f;
+  VariableSpec v = linear_var();
+  v.name = "TESTPOS";
+  v.transform = TransformKind::kPositive;
+  v.center = 5.0;
+  v.scale = 10.0;  // would frequently dip below zero if unclamped
+  const Field field = f.make(v, 1);
+  for (float x : field.data) EXPECT_GE(x, 0.0f);
+}
+
+TEST(Synthesis, LogNormalSpansDecades) {
+  Fixture f;
+  VariableSpec v = linear_var();
+  v.name = "TESTLOG";
+  v.transform = TransformKind::kLogNormal;
+  v.log_mu = 0.0;
+  v.log_sigma = 2.0;
+  const Field field = f.make(v, 1);
+  const auto s = stats::summarize(std::span<const float>(field.data));
+  EXPECT_GT(s.min, 0.0);
+  EXPECT_GT(s.max / s.min, 1e3);
+}
+
+TEST(Synthesis, BoundedTransformStaysInBounds) {
+  Fixture f;
+  VariableSpec v = linear_var();
+  v.name = "TESTB";
+  v.transform = TransformKind::kBounded01;
+  v.bound_lo = 0.0;
+  v.bound_hi = 100.0;
+  const Field field = f.make(v, 2);
+  for (float x : field.data) {
+    EXPECT_GE(x, 0.0f);
+    EXPECT_LE(x, 100.0f);
+  }
+}
+
+TEST(Synthesis, ThreeDFieldsHaveVerticalStructure) {
+  Fixture f;
+  VariableSpec v = linear_var();
+  v.name = "TESTZ";
+  v.is_3d = true;
+  v.vertical_gradient = 1000.0;
+  const Field field = f.make(v, 1);
+  ASSERT_EQ(field.shape.rank(), 2u);
+  EXPECT_EQ(field.shape.dims[0], 4u);
+  const std::size_t ncol = f.grid.columns();
+  // Level 0 (top, level_fraction 0) carries the full vertical gradient.
+  const auto top = stats::summarize(std::span<const float>(field.data.data(), ncol));
+  const auto bottom =
+      stats::summarize(std::span<const float>(field.data.data() + 3 * ncol, ncol));
+  EXPECT_GT(top.mean, bottom.mean + 500.0);
+}
+
+TEST(Synthesis, FillVariablesCarryLandMask) {
+  Fixture f;
+  VariableSpec v = linear_var();
+  v.name = "TESTFILL";
+  v.has_fill = true;
+  const Field field = f.make(v, 1);
+  ASSERT_TRUE(field.fill.has_value());
+  const auto mask = field.valid_mask();
+  std::size_t land = 0;
+  for (auto m : mask) {
+    if (!m) ++land;
+  }
+  EXPECT_GT(land, mask.size() / 20);        // some land
+  EXPECT_LT(land, mask.size() * 19 / 20);   // some ocean
+  // Land mask must match the shared static mask.
+  const auto expected = FieldSynthesizer::land_mask(f.grid);
+  for (std::size_t c = 0; c < mask.size(); ++c) {
+    EXPECT_EQ(mask[c] == 0, expected[c] == 1);
+  }
+}
+
+TEST(Synthesis, SmoothnessControlsNeighbourCorrelation) {
+  Fixture f;
+  VariableSpec smooth = linear_var();
+  smooth.name = "SMOOTH";
+  smooth.smoothness = 3.0;
+  smooth.noise_frac = 0.02;
+  VariableSpec rough = linear_var();
+  rough.name = "ROUGH";
+  rough.smoothness = 0.8;
+  rough.noise_frac = 0.45;
+
+  const auto lag1_corr = [&](const Field& field) {
+    double num = 0.0, den = 0.0, mean = 0.0;
+    for (float x : field.data) mean += x;
+    mean /= static_cast<double>(field.data.size());
+    for (std::size_t i = 0; i + 1 < field.data.size(); ++i) {
+      num += (field.data[i] - mean) * (field.data[i + 1] - mean);
+      den += (field.data[i] - mean) * (field.data[i] - mean);
+    }
+    return num / den;
+  };
+  EXPECT_GT(lag1_corr(f.make(smooth, 1)), lag1_corr(f.make(rough, 1)));
+}
+
+}  // namespace
+}  // namespace cesm::climate

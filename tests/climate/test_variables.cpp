@@ -1,0 +1,91 @@
+#include "climate/variables.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.h"
+
+namespace cesm::climate {
+namespace {
+
+TEST(Catalog, CensusMatchesPaper) {
+  const auto catalog = build_catalog();
+  std::size_t n2 = 0, n3 = 0;
+  for (const auto& v : catalog) (v.is_3d ? n3 : n2) += 1;
+  EXPECT_EQ(catalog.size(), 170u);  // §5.1
+  EXPECT_EQ(n2, 83u);
+  EXPECT_EQ(n3, 87u);
+}
+
+TEST(Catalog, NamesAreUnique) {
+  const auto catalog = build_catalog();
+  std::set<std::string> names;
+  for (const auto& v : catalog) names.insert(v.name);
+  EXPECT_EQ(names.size(), catalog.size());
+}
+
+TEST(Catalog, StreamsAreUnique) {
+  const auto catalog = build_catalog();
+  std::set<std::uint64_t> streams;
+  for (const auto& v : catalog) streams.insert(v.stream);
+  EXPECT_EQ(streams.size(), catalog.size());
+}
+
+TEST(Catalog, SpotlightVariablesPresentWithPaperShapes) {
+  const auto catalog = build_catalog();
+  const VariableSpec& u = find_variable(catalog, "U");
+  EXPECT_TRUE(u.is_3d);
+  EXPECT_EQ(u.units, "m/s");
+  const VariableSpec& fsdsc = find_variable(catalog, "FSDSC");
+  EXPECT_FALSE(fsdsc.is_3d);  // "FSDSC is a 2D field and the rest are 3D"
+  EXPECT_TRUE(find_variable(catalog, "Z3").is_3d);
+  EXPECT_TRUE(find_variable(catalog, "CCN3").is_3d);
+  EXPECT_EQ(find_variable(catalog, "CCN3").transform, TransformKind::kLogNormal);
+}
+
+TEST(Catalog, MagnitudeDiversitySpansPaperExamples) {
+  // §3.1: SO2 max is O(1e-8), CCN3 max is O(1e3).
+  const auto catalog = build_catalog();
+  const VariableSpec& so2 = find_variable(catalog, "SO2");
+  EXPECT_EQ(so2.transform, TransformKind::kLogNormal);
+  EXPECT_LT(so2.log_mu, -20.0);
+  const VariableSpec& ccn3 = find_variable(catalog, "CCN3");
+  EXPECT_GT(ccn3.log_sigma, 1.0);
+}
+
+TEST(Catalog, ContainsFillValuedVariables) {
+  const auto catalog = build_catalog();
+  std::size_t with_fill = 0;
+  for (const auto& v : catalog) {
+    if (v.has_fill) ++with_fill;
+  }
+  EXPECT_GE(with_fill, 3u);
+  EXPECT_TRUE(find_variable(catalog, "SST").has_fill);
+}
+
+TEST(Catalog, CoversAllTransformKinds) {
+  const auto catalog = build_catalog();
+  std::set<TransformKind> kinds;
+  for (const auto& v : catalog) kinds.insert(v.transform);
+  EXPECT_EQ(kinds.size(), 4u);
+}
+
+TEST(Catalog, IsDeterministic) {
+  const auto a = build_catalog();
+  const auto b = build_catalog();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].stream, b[i].stream);
+    EXPECT_EQ(a[i].center, b[i].center);
+  }
+}
+
+TEST(FindVariable, ThrowsOnUnknownName) {
+  const auto catalog = build_catalog();
+  EXPECT_THROW(find_variable(catalog, "NO_SUCH_VAR"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::climate

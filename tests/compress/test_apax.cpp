@@ -1,0 +1,159 @@
+#include "compress/apax/apax.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/apax/profiler.h"
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+std::vector<float> wavy_field(std::size_t n, std::uint64_t seed, double noise = 1.0) {
+  Pcg32 rng(seed);
+  std::vector<float> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(std::sin(i * 0.01) * 100.0 + rng.uniform(-noise, noise));
+  }
+  return data;
+}
+
+class ApaxFixedRate : public ::testing::TestWithParam<double> {};
+
+TEST_P(ApaxFixedRate, AchievesAdvertisedRatio) {
+  const double ratio = GetParam();
+  const ApaxCodec codec = ApaxCodec::fixed_rate(ratio);
+  const auto data = wavy_field(65536, 25);
+  const Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  const double cr = compression_ratio(stream.size(), data.size());
+  // CR must equal 1/ratio up to the small container header.
+  EXPECT_NEAR(cr, 1.0 / ratio, 0.01) << "ratio " << ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLadder, ApaxFixedRate, ::testing::Values(2.0, 4.0, 5.0, 6.0, 7.0));
+
+TEST(ApaxCodec, HigherRateMeansHigherError) {
+  const auto data = wavy_field(32768, 26);
+  double prev = -1.0;
+  for (double ratio : {2.0, 4.0, 5.0}) {
+    const RoundTrip rt = round_trip(ApaxCodec::fixed_rate(ratio), data, Shape::d1(data.size()));
+    double emax = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      emax = std::max(emax, std::fabs(static_cast<double>(data[i]) - rt.reconstructed[i]));
+    }
+    EXPECT_GT(emax, prev);
+    prev = emax;
+  }
+}
+
+TEST(ApaxCodec, Rate2IsNearTransparent) {
+  // 16 bits/sample on block-FP data: errors tiny relative to block max.
+  const auto data = wavy_field(32768, 27);
+  const RoundTrip rt = round_trip(ApaxCodec::fixed_rate(2), data, Shape::d1(data.size()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Range is ±100; allow for worst-case integration drift in
+    // derivative-filtered blocks.
+    ASSERT_NEAR(rt.reconstructed[i], data[i], 0.05);
+  }
+}
+
+TEST(ApaxCodec, BoundsAbsoluteErrorPerBlock) {
+  // APAX quantizes against the block maximum: absolute error bounded by
+  // scale / 2^(bits-1). Verify against the analytic bound.
+  const ApaxCodec codec = ApaxCodec::fixed_rate(4);  // ~8 bits/sample
+  const auto data = wavy_field(4096, 28, 50.0);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  // Block max <= 150; exponent <= 8 (scale 256); bits >= 7 => q = 63.
+  const double bound = 256.0 / 63.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::fabs(data[i] - rt.reconstructed[i]), bound);
+  }
+}
+
+TEST(ApaxCodec, ZeroBlocksAreExact) {
+  std::vector<float> data(4096, 0.0f);
+  const RoundTrip rt = round_trip(ApaxCodec::fixed_rate(5), data, Shape::d1(data.size()));
+  for (float v : rt.reconstructed) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ApaxCodec, DerivativeFilterHelpsSmoothRamps) {
+  // A steep smooth ramp has huge values but tiny deltas; with the
+  // derivative pre-filter, fixed-rate quality should be much better than
+  // the raw block max would allow.
+  std::vector<float> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i) * 10.0f;
+  const RoundTrip rt = round_trip(ApaxCodec::fixed_rate(4), data, Shape::d1(data.size()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Without the filter, error bound would be ~blockmax/127 ≈ 645.
+    ASSERT_NEAR(rt.reconstructed[i], data[i], 64.0);
+  }
+}
+
+TEST(ApaxCodec, FixedQualityModeRateVaries) {
+  const ApaxCodec hq = ApaxCodec::fixed_quality(20);
+  const ApaxCodec lq = ApaxCodec::fixed_quality(6);
+  const auto data = wavy_field(16384, 29);
+  const Bytes s_hq = hq.encode(data, Shape::d1(data.size()));
+  const Bytes s_lq = lq.encode(data, Shape::d1(data.size()));
+  EXPECT_LT(s_lq.size(), s_hq.size());
+  // Quality mode honours the mantissa width: reconstruction error scales.
+  const auto r_hq = hq.decode(s_hq);
+  double emax = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    emax = std::max(emax, std::fabs(static_cast<double>(data[i]) - r_hq[i]));
+  }
+  EXPECT_LT(emax, 0.01);
+}
+
+TEST(ApaxCodec, ShortTailBlockRoundTrips) {
+  const auto data = wavy_field(256 * 3 + 17, 30);
+  const RoundTrip rt = round_trip(ApaxCodec::fixed_rate(2), data, Shape::d1(data.size()));
+  EXPECT_EQ(rt.reconstructed.size(), data.size());
+}
+
+TEST(ApaxCodec, RejectsBadParameters) {
+  EXPECT_THROW(ApaxCodec::fixed_rate(1.0), InvalidArgument);
+  EXPECT_THROW(ApaxCodec::fixed_rate(64.0), InvalidArgument);
+  EXPECT_THROW(ApaxCodec::fixed_quality(1), InvalidArgument);
+  EXPECT_THROW(ApaxCodec::fixed_quality(31), InvalidArgument);
+}
+
+TEST(ApaxCodec, ThrowsOnCorruptStream) {
+  Bytes garbage(24, 0xee);
+  EXPECT_THROW(ApaxCodec::fixed_rate(2).decode(garbage), FormatError);
+}
+
+TEST(ApaxCodec, NamesMatchPaperTables) {
+  EXPECT_EQ(ApaxCodec::fixed_rate(2).name(), "APAX-2");
+  EXPECT_EQ(ApaxCodec::fixed_rate(5).name(), "APAX-5");
+  EXPECT_EQ(ApaxCodec::fixed_quality(12).name(), "APAX-q12");
+}
+
+TEST(ApaxProfiler, RecommendsMostAggressivePassingRate) {
+  // Very smooth data: even high rates keep correlation near 1, so the
+  // profiler should recommend a rate beyond 2.
+  std::vector<float> data(16384);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(std::sin(i * 0.001) * 1000.0);
+  }
+  const ApaxProfile profile = apax_profile(data, Shape::d1(data.size()));
+  ASSERT_EQ(profile.points.size(), 5u);
+  ASSERT_TRUE(profile.recommended_ratio.has_value());
+  EXPECT_GT(*profile.recommended_ratio, 2.0);
+  for (const ApaxProfilePoint& p : profile.points) {
+    EXPECT_NEAR(p.cr, 1.0 / p.ratio, 0.02);
+  }
+}
+
+TEST(ApaxProfiler, RefusesWhenNothingPasses) {
+  // White noise at rate >= 2 cannot hold five-nines correlation with only
+  // ~16 bits/sample? It actually can; so demand an impossible threshold.
+  const auto data = wavy_field(8192, 31, 100.0);
+  const ApaxProfile profile = apax_profile(data, Shape::d1(data.size()), 1.0 + 1e-9);
+  EXPECT_FALSE(profile.recommended_ratio.has_value());
+}
+
+}  // namespace
+}  // namespace cesm::comp

@@ -1,0 +1,107 @@
+#include "compress/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+TEST(BitIo, SingleBitsRoundTrip) {
+  Bytes buf;
+  BitWriter w(buf);
+  const bool pattern[] = {true, false, true, true, false, false, true, false, true};
+  for (bool b : pattern) w.put_bit(b);
+  w.align();
+  BitReader r(buf);
+  for (bool b : pattern) EXPECT_EQ(r.get_bit(), b);
+}
+
+TEST(BitIo, MultiBitFieldsRoundTrip) {
+  Bytes buf;
+  BitWriter w(buf);
+  w.put(0x5, 3);
+  w.put(0x1234, 16);
+  w.put(0x1ffffffffull, 33);
+  w.put(0, 1);
+  w.align();
+  BitReader r(buf);
+  EXPECT_EQ(r.get(3), 0x5u);
+  EXPECT_EQ(r.get(16), 0x1234u);
+  EXPECT_EQ(r.get(33), 0x1ffffffffull);
+  EXPECT_EQ(r.get(1), 0u);
+}
+
+TEST(BitIo, MsbFirstWithinByte) {
+  Bytes buf;
+  BitWriter w(buf);
+  w.put_bit(true);
+  w.align();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0x80);
+}
+
+TEST(BitIo, UnaryCodes) {
+  Bytes buf;
+  BitWriter w(buf);
+  for (std::uint32_t n : {0u, 1u, 7u, 40u, 100u}) w.put_unary(n);
+  w.align();
+  BitReader r(buf);
+  for (std::uint32_t n : {0u, 1u, 7u, 40u, 100u}) EXPECT_EQ(r.get_unary(), n);
+}
+
+TEST(BitIo, RandomizedRoundTrip) {
+  Pcg32 rng(404);
+  std::vector<std::pair<std::uint64_t, unsigned>> fields;
+  Bytes buf;
+  BitWriter w(buf);
+  for (int i = 0; i < 5000; ++i) {
+    const unsigned nbits = 1 + rng.bounded(57);
+    const std::uint64_t value =
+        rng.next_u64() & ((nbits == 64) ? ~0ull : ((1ull << nbits) - 1));
+    fields.emplace_back(value, nbits);
+    w.put(value, nbits);
+  }
+  w.align();
+  BitReader r(buf);
+  for (const auto& [value, nbits] : fields) {
+    EXPECT_EQ(r.get(nbits), value);
+  }
+}
+
+TEST(BitIo, ReaderThrowsPastEnd) {
+  Bytes buf;
+  BitWriter w(buf);
+  w.put(0xff, 8);
+  BitReader r(buf);
+  r.get(8);
+  EXPECT_THROW(r.get(1), FormatError);
+}
+
+TEST(BitIo, AlignSkipsToByteBoundary) {
+  Bytes buf;
+  BitWriter w(buf);
+  w.put(0x3, 3);
+  w.align();
+  w.put(0xab, 8);
+  w.align();
+  BitReader r(buf);
+  r.get(3);
+  r.align();
+  EXPECT_EQ(r.get(8), 0xabu);
+}
+
+TEST(BitIo, BitCountTracksPendingBits) {
+  Bytes buf;
+  BitWriter w(buf);
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.put(1, 3);
+  EXPECT_EQ(w.bit_count(), 3u);
+  w.put(0x7f, 7);
+  EXPECT_EQ(w.bit_count(), 10u);
+}
+
+}  // namespace
+}  // namespace cesm::comp

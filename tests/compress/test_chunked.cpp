@@ -1,0 +1,97 @@
+#include "compress/chunked.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "compress/apax/apax.h"
+#include "compress/fpz/fpz.h"
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+std::vector<float> field(std::size_t n) {
+  Pcg32 rng(0xc4a2);
+  std::vector<float> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(std::sin(i * 0.004) * 25.0 + rng.uniform(-1.0, 1.0));
+  }
+  return data;
+}
+
+TEST(ChunkedCodec, LosslessRoundTripAcrossChunkBoundaries) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 1 << 12);
+  const auto data = field(50000);
+  const Shape shape = Shape::d1(data.size());
+  EXPECT_GT(codec.chunk_offsets(shape).size(), 3u);  // actually chunked
+  const Bytes stream = codec.encode(data, shape);
+  EXPECT_EQ(codec.decode(stream), data);
+}
+
+TEST(ChunkedCodec, MultiDimChunksAlongSlowestDim) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
+  const Shape shape = Shape::d2(16, 2048);  // slice = 2048 elems
+  const auto offsets = codec.chunk_offsets(shape);
+  // target 4096 => 2 slices per chunk => 8 chunks.
+  ASSERT_EQ(offsets.size(), 9u);
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    EXPECT_EQ((offsets[i] - offsets[i - 1]) % 2048, 0u);  // whole slices
+  }
+  const auto data = field(shape.count());
+  EXPECT_EQ(codec.decode(codec.encode(data, shape)), data);
+}
+
+TEST(ChunkedCodec, LossyInnerStaysWithinQuality) {
+  const ChunkedCodec codec(std::make_shared<ApaxCodec>(ApaxCodec::fixed_rate(4)), 8192);
+  const auto data = field(40000);
+  const Shape shape = Shape::d1(data.size());
+  const RoundTrip rt = round_trip(codec, data, shape);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(rt.reconstructed[i], data[i], 1.0);
+  }
+  // Fixed-rate property survives chunking (header overhead small).
+  EXPECT_NEAR(rt.cr, 0.25, 0.02);
+}
+
+TEST(ChunkedCodec, CostOfChunkingIsBounded) {
+  // Chunking resets predictors: ratio degrades, but only modestly.
+  const auto data = field(100000);
+  const Shape shape = Shape::d1(data.size());
+  const FpzCodec whole(32);
+  const ChunkedCodec chunked(std::make_shared<FpzCodec>(32), 1 << 13);
+  const std::size_t whole_size = whole.encode(data, shape).size();
+  const std::size_t chunked_size = chunked.encode(data, shape).size();
+  EXPECT_GT(chunked_size, whole_size);            // there is a cost...
+  EXPECT_LT(chunked_size, whole_size * 12 / 10);  // ...but under 20%
+}
+
+TEST(ChunkedCodec, SingleChunkForSmallInputs) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 1 << 16);
+  const Shape shape = Shape::d1(100);
+  EXPECT_EQ(codec.chunk_offsets(shape).size(), 2u);
+  const auto data = field(100);
+  EXPECT_EQ(codec.decode(codec.encode(data, shape)), data);
+}
+
+TEST(ChunkedCodec, CorruptStreamThrows) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
+  Bytes garbage(32, 0x7f);
+  EXPECT_THROW(codec.decode(garbage), FormatError);
+  // Truncated mid-payload.
+  const auto data = field(20000);
+  Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  stream.resize(stream.size() / 3);
+  EXPECT_THROW(codec.decode(stream), FormatError);
+}
+
+TEST(ChunkedCodec, NameAdvertisesWrapping) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(24), 4096);
+  EXPECT_EQ(codec.name(), "fpzip-24+chunked");
+  EXPECT_EQ(codec.family(), "fpzip");
+  EXPECT_FALSE(codec.is_lossless());
+}
+
+}  // namespace
+}  // namespace cesm::comp

@@ -1,0 +1,94 @@
+#include "compress/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "compress/fpz/fpz.h"
+
+namespace cesm::comp {
+namespace {
+
+TEST(Shape, CountAndRank) {
+  EXPECT_EQ(Shape::d1(10).count(), 10u);
+  EXPECT_EQ(Shape::d2(3, 4).count(), 12u);
+  EXPECT_EQ(Shape::d3(2, 3, 4).count(), 24u);
+  EXPECT_EQ(Shape::d3(2, 3, 4).rank(), 3u);
+  EXPECT_EQ(Shape{}.count(), 0u);
+}
+
+TEST(CompressionRatio, PaperDefinition) {
+  // eq. (1): compressed / original, with float32 elements by default.
+  EXPECT_DOUBLE_EQ(compression_ratio(200, 100), 0.5);
+  EXPECT_DOUBLE_EQ(compression_ratio(400, 100), 1.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(400, 100, 8), 0.5);  // doubles
+  EXPECT_THROW(compression_ratio(1, 0), InvalidArgument);
+}
+
+TEST(WireHeader, RoundTrips) {
+  Bytes buf;
+  ByteWriter w(buf);
+  wire::write_header(w, 0x12345678, Shape::d2(7, 9));
+  ByteReader r(buf);
+  const Shape s = wire::read_header(r, 0x12345678);
+  EXPECT_EQ(s.dims, (std::vector<std::size_t>{7, 9}));
+}
+
+TEST(WireHeader, RejectsWrongMagic) {
+  Bytes buf;
+  ByteWriter w(buf);
+  wire::write_header(w, 0x11111111, Shape::d1(5));
+  ByteReader r(buf);
+  EXPECT_THROW(wire::read_header(r, 0x22222222), FormatError);
+}
+
+TEST(WireHeader, RejectsInsaneDimensions) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u32(0xabc);
+  w.u8(1);
+  w.u64(0);  // zero extent
+  ByteReader r(buf);
+  EXPECT_THROW(wire::read_header(r, 0xabc), FormatError);
+
+  Bytes buf2;
+  ByteWriter w2(buf2);
+  w2.u32(0xabc);
+  w2.u8(9);  // rank > 8
+  ByteReader r2(buf2);
+  EXPECT_THROW(wire::read_header(r2, 0xabc), FormatError);
+}
+
+TEST(RoundTripHelper, ReportsSizeAndRatio) {
+  const FpzCodec codec(32);
+  std::vector<float> data(1000, 1.5f);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  EXPECT_EQ(rt.reconstructed, data);
+  EXPECT_GT(rt.compressed_bytes, 0u);
+  EXPECT_DOUBLE_EQ(rt.cr, static_cast<double>(rt.compressed_bytes) / 4000.0);
+  EXPECT_LT(rt.cr, 0.1);  // constant data compresses hard
+}
+
+TEST(Codec, Default64BitPathThrowsWhenUnsupported) {
+  // Grib2Codec does not implement the double path (Table 1: 32/64 = N);
+  // the base-class default must throw, not silently truncate.
+  class MinimalCodec final : public Codec {
+   public:
+    [[nodiscard]] std::string name() const override { return "minimal"; }
+    [[nodiscard]] std::string family() const override { return "test"; }
+    [[nodiscard]] bool is_lossless() const override { return true; }
+    [[nodiscard]] Capabilities capabilities() const override { return {}; }
+    [[nodiscard]] Bytes encode(std::span<const float>, const Shape&) const override {
+      return {};
+    }
+    [[nodiscard]] std::vector<float> decode(
+        std::span<const std::uint8_t>) const override {
+      return {};
+    }
+  };
+  const MinimalCodec codec;
+  const std::vector<double> data = {1.0};
+  EXPECT_THROW((void)codec.encode64(data, Shape::d1(1)), InvalidArgument);
+  EXPECT_THROW((void)codec.decode64({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::comp

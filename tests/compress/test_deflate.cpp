@@ -1,0 +1,145 @@
+#include "compress/deflate/deflate.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compress/deflate/lz77.h"
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+std::vector<std::uint8_t> to_bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Lz77, TokenizeReconstructIdentity) {
+  const auto input = to_bytes(
+      "the quick brown fox jumps over the lazy dog. "
+      "the quick brown fox jumps over the lazy dog again and again and again.");
+  const auto tokens = lz77_tokenize(input);
+  const auto output = lz77_reconstruct(tokens, input.size());
+  EXPECT_EQ(output, input);
+}
+
+TEST(Lz77, FindsRepeats) {
+  std::vector<std::uint8_t> input;
+  for (int rep = 0; rep < 50; ++rep) {
+    for (const char c : std::string("abcdefgh")) input.push_back(static_cast<std::uint8_t>(c));
+  }
+  const auto tokens = lz77_tokenize(input);
+  // Strong repetition: token count must be far below input size.
+  EXPECT_LT(tokens.size(), input.size() / 4);
+}
+
+TEST(Lz77, OverlappingMatchReconstruction) {
+  // Run-length case: "aaaa..." uses distance 1, length > 1 copies.
+  std::vector<std::uint8_t> input(500, 'a');
+  const auto tokens = lz77_tokenize(input);
+  EXPECT_EQ(lz77_reconstruct(tokens, input.size()), input);
+}
+
+TEST(Lz77, RejectsCorruptDistance) {
+  std::vector<Lz77Token> tokens = {Lz77Token{5, 10, 0}};  // distance 10 into empty output
+  EXPECT_THROW(lz77_reconstruct(tokens, 5), FormatError);
+}
+
+TEST(Deflate, RoundTripsText) {
+  const auto input = to_bytes(std::string(2000, 'x') + "hello" + std::string(2000, 'y'));
+  const Bytes packed = deflate_compress(input);
+  EXPECT_LT(packed.size(), input.size() / 4);
+  EXPECT_EQ(deflate_decompress(packed), input);
+}
+
+TEST(Deflate, RoundTripsEmptyInput) {
+  const std::vector<std::uint8_t> input;
+  const Bytes packed = deflate_compress(input);
+  EXPECT_TRUE(deflate_decompress(packed).empty());
+}
+
+TEST(Deflate, RandomBytesFallBackToStored) {
+  Pcg32 rng(6);
+  std::vector<std::uint8_t> input(4096);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng.next_u32());
+  const Bytes packed = deflate_compress(input);
+  // Incompressible: stored mode caps expansion at the small header.
+  EXPECT_LE(packed.size(), input.size() + 16);
+  EXPECT_EQ(deflate_decompress(packed), input);
+}
+
+TEST(Deflate, RoundTripsEveryEffortLevel) {
+  const auto input = to_bytes(
+      "compression effort sweep compression effort sweep compression effort sweep");
+  for (int effort = 1; effort <= 9; ++effort) {
+    const Bytes packed = deflate_compress(input, effort);
+    EXPECT_EQ(deflate_decompress(packed), input) << "effort " << effort;
+  }
+}
+
+TEST(Deflate, ThrowsOnTruncatedStream) {
+  const auto input = to_bytes("some payload that compresses fine fine fine fine fine");
+  Bytes packed = deflate_compress(input);
+  packed.resize(packed.size() / 2);
+  EXPECT_THROW(deflate_decompress(packed), FormatError);
+}
+
+TEST(Deflate, ThrowsOnGarbage) {
+  Bytes garbage = {1, 2, 3};
+  EXPECT_THROW(deflate_decompress(garbage), FormatError);
+}
+
+TEST(Shuffle, RoundTripsAndTransposes) {
+  const std::vector<std::uint8_t> input = {0, 1, 2, 3, 10, 11, 12, 13};
+  const Bytes shuffled = shuffle_bytes(input, 4);
+  EXPECT_EQ(shuffled[0], 0);
+  EXPECT_EQ(shuffled[1], 10);  // byte 0 of element 1
+  EXPECT_EQ(unshuffle_bytes(shuffled, 4), input);
+}
+
+TEST(Shuffle, ImprovesFloatCompression) {
+  // Smooth float sequence: shuffle groups the nearly-constant exponent
+  // bytes, which must help deflate substantially.
+  std::vector<float> values(8192);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 100.0f + 0.001f * static_cast<float>(i);
+  }
+  std::vector<std::uint8_t> raw(values.size() * 4);
+  std::memcpy(raw.data(), values.data(), raw.size());
+  const std::size_t plain = deflate_compress(raw).size();
+  const std::size_t shuffled = deflate_compress(shuffle_bytes(raw, 4)).size();
+  EXPECT_LT(shuffled, plain);
+}
+
+TEST(DeflateCodec, LosslessFloatRoundTrip) {
+  Pcg32 rng(7);
+  std::vector<float> data(5000);
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-1e6, 1e6));
+  const DeflateCodec codec;
+  const Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  EXPECT_EQ(codec.decode(stream), data);
+}
+
+TEST(DeflateCodec, LosslessDoubleRoundTrip) {
+  Pcg32 rng(8);
+  std::vector<double> data(2000);
+  for (auto& v : data) v = rng.uniform(-1e12, 1e12);
+  const DeflateCodec codec;
+  const Bytes stream = codec.encode64(data, Shape::d1(data.size()));
+  EXPECT_EQ(codec.decode64(stream), data);
+}
+
+TEST(DeflateCodec, SmoothFieldCompresses) {
+  std::vector<float> data(20000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::sin(static_cast<float>(i) * 0.01f) * 100.0f;
+  }
+  const DeflateCodec codec;
+  const Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  EXPECT_LT(compression_ratio(stream.size(), data.size()), 0.8);
+}
+
+}  // namespace
+}  // namespace cesm::comp

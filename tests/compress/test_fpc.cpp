@@ -1,0 +1,112 @@
+#include "compress/fpc/fpc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+std::vector<double> smooth_doubles(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<double> data(n);
+  double acc = 100.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += rng.uniform(-0.01, 0.01);
+    data[i] = acc + std::sin(i * 0.001) * 10.0;
+  }
+  return data;
+}
+
+TEST(FpcCodec, LosslessDoubleRoundTrip) {
+  const FpcCodec codec;
+  const auto data = smooth_doubles(20000, 1);
+  const Bytes stream = codec.encode64(data, Shape::d1(data.size()));
+  EXPECT_EQ(codec.decode64(stream), data);
+}
+
+TEST(FpcCodec, BitPatternsSurviveExactly) {
+  const FpcCodec codec;
+  std::vector<double> data = {0.0, -0.0, std::numeric_limits<double>::infinity(),
+                              -std::numeric_limits<double>::infinity(),
+                              std::numeric_limits<double>::denorm_min(), 1e308, -1e-308};
+  const Bytes stream = codec.encode64(data, Shape::d1(data.size()));
+  const auto out = codec.decode64(stream);
+  ASSERT_EQ(out.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out[i]), std::bit_cast<std::uint64_t>(data[i]));
+  }
+}
+
+TEST(FpcCodec, CompressesSmoothDoubles) {
+  const FpcCodec codec;
+  const auto data = smooth_doubles(50000, 2);
+  const Bytes stream = codec.encode64(data, Shape::d1(data.size()));
+  // FPC removes the shared sign/exponent/top-mantissa bytes.
+  EXPECT_LT(compression_ratio(stream.size(), data.size(), 8), 0.85);
+}
+
+TEST(FpcCodec, RandomDoublesDoNotExplode) {
+  const FpcCodec codec;
+  Pcg32 rng(3);
+  std::vector<double> data(10000);
+  for (auto& v : data) v = std::bit_cast<double>(rng.next_u64() | (1ull << 52));
+  const Bytes stream = codec.encode64(data, Shape::d1(data.size()));
+  // Worst case: 4 flag bits + 8 bytes per value plus header.
+  EXPECT_LT(stream.size(), data.size() * 9 + 64);
+  // Compare bit patterns: random exponents include NaNs, for which
+  // operator== would report false even on an exact round trip.
+  const auto out = codec.decode64(stream);
+  ASSERT_EQ(out.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(out[i]), std::bit_cast<std::uint64_t>(data[i]));
+  }
+}
+
+TEST(FpcCodec, FloatPathRoundTripsExactly) {
+  const FpcCodec codec;
+  Pcg32 rng(4);
+  std::vector<float> data(10000);
+  for (auto& v : data) v = static_cast<float>(std::sin(rng.uniform()) * 1e4);
+  const Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  EXPECT_EQ(codec.decode(stream), data);
+}
+
+TEST(FpcCodec, LargerTablesNeverHurtMuch) {
+  const auto data = smooth_doubles(30000, 5);
+  const Bytes small = FpcCodec(8).encode64(data, Shape::d1(data.size()));
+  const Bytes large = FpcCodec(20).encode64(data, Shape::d1(data.size()));
+  // More context usually helps; at worst it is a wash on this data.
+  EXPECT_LT(large.size(), small.size() * 11 / 10);
+}
+
+TEST(FpcCodec, RepeatedValuesCompressExtremelyWell) {
+  std::vector<double> data(20000, 3.14159);
+  const FpcCodec codec;
+  const Bytes stream = codec.encode64(data, Shape::d1(data.size()));
+  EXPECT_LT(compression_ratio(stream.size(), data.size(), 8), 0.1);
+}
+
+TEST(FpcCodec, ThrowsOnCorruptStream) {
+  const FpcCodec codec;
+  Bytes garbage(16, 0x55);
+  EXPECT_THROW(codec.decode64(garbage), FormatError);
+}
+
+TEST(FpcCodec, RejectsBadTableBits) {
+  EXPECT_THROW(FpcCodec(0), InvalidArgument);
+  EXPECT_THROW(FpcCodec(27), InvalidArgument);
+}
+
+TEST(FpcCodec, NameAndCapabilities) {
+  const FpcCodec codec(12);
+  EXPECT_EQ(codec.name(), "FPC-12");
+  EXPECT_TRUE(codec.is_lossless());
+  EXPECT_TRUE(codec.capabilities().handles_64bit);
+}
+
+}  // namespace
+}  // namespace cesm::comp

@@ -1,0 +1,193 @@
+#include "compress/fpz/fpz.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "compress/fpz/predictor.h"
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+std::vector<float> smooth_field(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<float> data(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += rng.uniform(-1.0, 1.0);
+    data[i] = static_cast<float>(std::sin(i * 0.01) * 50.0 + acc * 0.1);
+  }
+  return data;
+}
+
+TEST(OrderedMap, PreservesTotalOrder) {
+  const float values[] = {-1e30f, -5.0f, -1e-30f, -0.0f, 0.0f, 1e-30f, 2.5f, 1e30f};
+  for (std::size_t i = 0; i + 1 < std::size(values); ++i) {
+    EXPECT_LE(float_to_ordered(values[i]), float_to_ordered(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+}
+
+TEST(OrderedMap, IsBijective) {
+  Pcg32 rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    const auto bits = rng.next_u32();
+    const float f = std::bit_cast<float>(bits);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(ordered_to_float(float_to_ordered(f))), bits);
+  }
+}
+
+TEST(OrderedMap, DoubleVariantPreservesOrder) {
+  EXPECT_LT(double_to_ordered(-3.0), double_to_ordered(-2.9));
+  EXPECT_LT(double_to_ordered(-1e-300), double_to_ordered(1e-300));
+  EXPECT_EQ(ordered_to_double(double_to_ordered(42.0)), 42.0);
+}
+
+TEST(Zigzag, SmallMagnitudesGetSmallCodes) {
+  EXPECT_EQ(zigzag_encode<std::uint32_t>(0u), 0u);
+  EXPECT_EQ(zigzag_encode<std::uint32_t>(static_cast<std::uint32_t>(-1)), 1u);
+  EXPECT_EQ(zigzag_encode<std::uint32_t>(1u), 2u);
+  for (std::int32_t v : {-1000, -3, 0, 7, 12345}) {
+    const auto u = static_cast<std::uint32_t>(v);
+    EXPECT_EQ(zigzag_decode(zigzag_encode(u)), u);
+  }
+}
+
+TEST(FpzCodec, LosslessModeIsBitExact) {
+  const FpzCodec codec(32);
+  EXPECT_TRUE(codec.is_lossless());
+  std::vector<float> data = smooth_field(10000, 11);
+  data.push_back(-0.0f);
+  data.push_back(std::numeric_limits<float>::infinity());
+  data.push_back(1e35f);
+  const Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  const std::vector<float> out = codec.decode(stream);
+  ASSERT_EQ(out.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(out[i]), std::bit_cast<std::uint32_t>(data[i]));
+  }
+}
+
+TEST(FpzCodec, LosslessCompressesSmoothData) {
+  const FpzCodec codec(32);
+  const auto data = smooth_field(50000, 12);
+  const Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  EXPECT_LT(compression_ratio(stream.size(), data.size()), 0.7);
+}
+
+TEST(FpzCodec, PrecisionControlsErrorMonotonically) {
+  const auto data = smooth_field(20000, 13);
+  double prev_err = -1.0;
+  double prev_cr = -1.0;
+  for (unsigned prec : {16u, 24u, 32u}) {
+    const FpzCodec codec(prec);
+    const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+    double emax = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      emax = std::max(emax, std::fabs(static_cast<double>(data[i]) - rt.reconstructed[i]));
+    }
+    if (prev_err >= 0.0) {
+      EXPECT_LE(emax, prev_err);  // more precision, less error
+      EXPECT_GE(rt.cr, prev_cr);  // more precision, less compression
+    }
+    prev_err = emax;
+    prev_cr = rt.cr;
+  }
+  EXPECT_NEAR(prev_err, 0.0, 0.0);  // 32-bit is exact
+}
+
+TEST(FpzCodec, TruncationBoundsRelativeError) {
+  // Keeping 24 of 32 bits leaves 16 mantissa bits: relative error per
+  // value is bounded by ~2^-16 (the ordered-int map truncates mantissa
+  // bits for normal floats).
+  const FpzCodec codec(24);
+  std::vector<float> data;
+  Pcg32 rng(14);
+  for (int i = 0; i < 20000; ++i) data.push_back(static_cast<float>(rng.uniform(1.0, 2.0)));
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double rel = std::fabs(data[i] - rt.reconstructed[i]) / data[i];
+    ASSERT_LT(rel, std::pow(2.0, -15));
+  }
+}
+
+TEST(FpzCodec, MultiDimPredictorBeatsOneDim) {
+  // A separable 2-D field is predicted far better by the 2-D Lorenzo
+  // stencil than by a flat 1-D pass.
+  constexpr std::size_t kRows = 64, kCols = 256;
+  std::vector<float> data(kRows * kCols);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t c = 0; c < kCols; ++c) {
+      data[r * kCols + c] =
+          static_cast<float>(std::sin(r * 0.2) * 30.0 + std::cos(c * 0.05) * 20.0);
+    }
+  }
+  const FpzCodec codec(32);
+  const Bytes as2d = codec.encode(data, Shape::d2(kRows, kCols));
+  const Bytes as1d = codec.encode(data, Shape::d1(data.size()));
+  EXPECT_LT(as2d.size(), as1d.size());
+}
+
+TEST(FpzCodec, Rank3RoundTrip) {
+  constexpr std::size_t kP = 4, kR = 16, kC = 32;
+  std::vector<float> data(kP * kR * kC);
+  Pcg32 rng(15);
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-10.0, 10.0));
+  const FpzCodec codec(32);
+  const Bytes stream = codec.encode(data, Shape::d3(kP, kR, kC));
+  EXPECT_EQ(codec.decode(stream), data);
+}
+
+TEST(FpzCodec, DoubleLosslessRoundTrip) {
+  const FpzCodec codec(64);
+  std::vector<double> data(5000);
+  Pcg32 rng(16);
+  for (auto& v : data) v = rng.uniform(-1e100, 1e100);
+  const Bytes stream = codec.encode64(data, Shape::d1(data.size()));
+  EXPECT_EQ(codec.decode64(stream), data);
+}
+
+TEST(FpzCodec, DoubleLossyBoundsError) {
+  const FpzCodec codec(40);  // keep 40 of 64 bits
+  std::vector<double> data(5000);
+  Pcg32 rng(17);
+  for (auto& v : data) v = rng.uniform(1.0, 2.0);
+  const Bytes stream = codec.encode64(data, Shape::d1(data.size()));
+  const auto out = codec.decode64(stream);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LT(std::fabs(data[i] - out[i]) / data[i], std::pow(2.0, -25));
+  }
+}
+
+TEST(FpzCodec, RejectsInvalidPrecision) {
+  EXPECT_THROW(FpzCodec(12), InvalidArgument);
+  EXPECT_THROW(FpzCodec(0), InvalidArgument);
+  EXPECT_THROW(FpzCodec(72), InvalidArgument);
+}
+
+TEST(FpzCodec, ThrowsOnCorruptMagic) {
+  const FpzCodec codec(32);
+  Bytes garbage = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  EXPECT_THROW(codec.decode(garbage), FormatError);
+}
+
+TEST(FpzCodec, ThrowsOnTruncatedStream) {
+  const FpzCodec codec(32);
+  const auto data = smooth_field(1000, 18);
+  Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  stream.resize(10);
+  EXPECT_THROW(codec.decode(stream), FormatError);
+}
+
+TEST(FpzCodec, NamesMatchPaperTables) {
+  EXPECT_EQ(FpzCodec(16).name(), "fpzip-16");
+  EXPECT_EQ(FpzCodec(24).name(), "fpzip-24");
+  EXPECT_EQ(FpzCodec(32).name(), "fpzip-32");
+}
+
+}  // namespace
+}  // namespace cesm::comp

@@ -1,0 +1,66 @@
+// Corruption fuzzing: random byte flips in valid streams must never
+// crash, hang, or invoke UB — every codec either throws a library error
+// or returns a (garbage but well-formed) buffer. This is the safety
+// property an archive system needs when media rot meets old files.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/variants.h"
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+class CorruptionFuzz : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CorruptionFuzz, ByteFlipsNeverCrash) {
+  const CodecPtr codec = make_variant(GetParam());
+  std::vector<float> data(3000);
+  Pcg32 data_rng(1);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(std::sin(i * 0.01) * 40.0 + data_rng.uniform(-1.0, 1.0));
+  }
+  const Bytes original = codec->encode(data, Shape::d1(data.size()));
+
+  Pcg32 rng(0xf022);
+  int decoded_ok = 0, threw = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes corrupted = original;
+    const int flips = 1 + static_cast<int>(rng.bounded(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.bounded(static_cast<std::uint32_t>(corrupted.size()));
+      corrupted[pos] ^= static_cast<std::uint8_t>(1u << rng.bounded(8));
+    }
+    try {
+      const std::vector<float> out = codec->decode(corrupted);
+      // Garbage data is acceptable; a wrong element count is not, unless
+      // the flip hit the header's own count fields — in which case the
+      // decoder believed a different (validated) size.
+      EXPECT_LE(out.size(), wire::kMaxDecodeElements);
+      ++decoded_ok;
+    } catch (const Error&) {
+      ++threw;  // expected path
+    }
+  }
+  // Both outcomes legal; the assertion is that we reached this line 200
+  // times without UB/crash. Record the split for the curious.
+  RecordProperty("decoded_ok", decoded_ok);
+  RecordProperty("threw", threw);
+  EXPECT_EQ(decoded_ok + threw, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, CorruptionFuzz,
+                         ::testing::Values("NetCDF-4", "fpzip-24", "fpzip-32", "APAX-4",
+                                           "ISA-0.5", "GRIB2:3"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace cesm::comp

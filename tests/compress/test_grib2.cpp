@@ -1,0 +1,164 @@
+#include "compress/grib2/grib2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+std::vector<float> field_with_range(std::size_t n, double lo, double hi, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<float> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = 0.5 + 0.5 * std::sin(i * 0.02);
+    data[i] = static_cast<float>(lo + (hi - lo) * (0.7 * s + 0.3 * rng.uniform()));
+  }
+  return data;
+}
+
+class GribDecimalScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(GribDecimalScale, AbsoluteErrorBoundedByHalfStep) {
+  const int d = GetParam();
+  const Grib2Codec codec(d);
+  const auto data = field_with_range(8192, -5.0, 5.0, 32);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  // Quantization step is 10^-D (binary scale stays 0 for this range);
+  // bound is half a step plus float round-off.
+  const double bound = 0.5 * std::pow(10.0, -d) * (1.0 + 1e-4) + 1e-6;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::fabs(data[i] - rt.reconstructed[i]), bound) << "D=" << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScaleSweep, GribDecimalScale, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Grib2Codec, FinerScaleCostsMoreBits) {
+  const auto data = field_with_range(16384, 0.0, 100.0, 33);
+  const Bytes coarse = Grib2Codec(1).encode(data, Shape::d1(data.size()));
+  const Bytes fine = Grib2Codec(5).encode(data, Shape::d1(data.size()));
+  EXPECT_LT(coarse.size(), fine.size());
+}
+
+TEST(Grib2Codec, BinaryScaleEngagesForHugeIntegerRanges) {
+  // Range 1e6 at D=8 would need 10^14 integer levels; the encoder must
+  // engage the binary scale factor E instead of overflowing.
+  const auto data = field_with_range(4096, 0.0, 1.0e6, 34);
+  const Grib2Codec codec(8);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  // Precision is capped by E, so just require sane reconstruction.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(rt.reconstructed[i], data[i], 1.0);
+  }
+}
+
+TEST(Grib2Codec, MissingValuesRestoredExactly) {
+  auto data = field_with_range(4096, 10.0, 20.0, 35);
+  for (std::size_t i = 0; i < data.size(); i += 7) data[i] = 1.0e35f;
+  const Grib2Codec codec(3, 1.0e35f);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 7 == 0) {
+      ASSERT_EQ(rt.reconstructed[i], 1.0e35f);
+    } else {
+      ASSERT_NEAR(rt.reconstructed[i], data[i], 5.1e-4);
+    }
+  }
+}
+
+TEST(Grib2Codec, MissingValuesDoNotPolluteReference) {
+  // Without bitmap support the 1e35 fill would destroy quantization of
+  // the real values; with it, precision is unaffected.
+  auto with_fill = field_with_range(2048, 0.0, 1.0, 36);
+  auto without_fill = with_fill;
+  with_fill[100] = 1.0e35f;
+  const Grib2Codec codec(4, 1.0e35f);
+  const RoundTrip rt = round_trip(codec, with_fill, Shape::d1(with_fill.size()));
+  for (std::size_t i = 0; i < with_fill.size(); ++i) {
+    if (i == 100) continue;
+    ASSERT_NEAR(rt.reconstructed[i], without_fill[i], 5.1e-5);
+  }
+}
+
+TEST(Grib2Codec, AllMissingFieldRoundTrips) {
+  std::vector<float> data(512, 1.0e35f);
+  const Grib2Codec codec(2, 1.0e35f);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  for (float v : rt.reconstructed) EXPECT_EQ(v, 1.0e35f);
+}
+
+TEST(Grib2Codec, SmoothFieldsCompressWell) {
+  std::vector<float> data(32768);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(std::sin(i * 0.005) * 40.0 + 100.0);
+  }
+  const Grib2Codec codec(3);
+  const Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  EXPECT_LT(compression_ratio(stream.size(), data.size()), 0.35);
+}
+
+TEST(Grib2Codec, TwoDimensionalShapeUsesWavelet) {
+  constexpr std::size_t kRows = 32, kCols = 512;
+  std::vector<float> data(kRows * kCols);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (std::size_t c = 0; c < kCols; ++c) {
+      data[r * kCols + c] = static_cast<float>(std::sin(r * 0.3) * 10.0 + std::cos(c * 0.01) * 5.0);
+    }
+  }
+  const Grib2Codec codec(3);
+  const Bytes stream = codec.encode(data, Shape::d2(kRows, kCols));
+  const auto out = codec.decode(stream);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(out[i], data[i], 5.1e-4);
+  }
+  EXPECT_LT(compression_ratio(stream.size(), data.size()), 0.5);
+}
+
+TEST(Grib2Codec, LargeRangeVariableLosesSmallValues) {
+  // The CCN3 failure mode: with range ~1e3 and D chosen by magnitude, the
+  // absolute step crushes the tiny values entirely.
+  std::vector<float> data(4096);
+  Pcg32 rng(37);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(std::exp(rng.uniform(-10.0, 7.0)));  // 4.5e-5 .. 1.1e3
+  }
+  const int d = choose_decimal_scale(0.0, 1100.0, 4);
+  const Grib2Codec codec(d);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  double worst_rel = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] < 1e-2) {
+      worst_rel = std::max(
+          worst_rel, std::fabs(data[i] - rt.reconstructed[i]) / static_cast<double>(data[i]));
+    }
+  }
+  EXPECT_GT(worst_rel, 0.5);  // small values essentially destroyed
+}
+
+TEST(ChooseDecimalScale, MagnitudeHeuristic) {
+  // Range 100 with 4 digits -> step 1e-2 -> D = 2.
+  EXPECT_EQ(choose_decimal_scale(0.0, 100.0, 4), 2);
+  // Tiny range (SO2-like): D large and positive.
+  EXPECT_GE(choose_decimal_scale(0.0, 1e-8, 4), 11);
+  // Huge range (Z3-like): D can go negative? 4 - log10(4e4) = -0.6 -> 0.
+  EXPECT_LE(choose_decimal_scale(0.0, 4e4, 4), 0);
+  // Degenerate range falls back to the digit count.
+  EXPECT_EQ(choose_decimal_scale(5.0, 5.0, 4), 4);
+}
+
+TEST(Grib2Codec, ThrowsOnCorruptStream) {
+  Bytes garbage(40, 0x42);
+  EXPECT_THROW(Grib2Codec(3).decode(garbage), FormatError);
+}
+
+TEST(Grib2Codec, RejectsInsaneDecimalScale) {
+  EXPECT_THROW(Grib2Codec(99), InvalidArgument);
+  EXPECT_THROW(Grib2Codec(-99), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::comp

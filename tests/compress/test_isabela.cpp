@@ -1,0 +1,165 @@
+#include "compress/isabela/isabela.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/isabela/bspline.h"
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+std::vector<float> noisy_field(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<float> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(std::sin(i * 0.003) * 40.0 + rng.uniform(-10.0, 10.0) + 60.0);
+  }
+  return data;
+}
+
+TEST(BSpline, FitsLineExactly) {
+  std::vector<float> values(100);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = 2.0f * static_cast<float>(i) + 5.0f;
+  const CubicBSpline spline = CubicBSpline::fit(values, 8);
+  // Cubic B-splines reproduce linears exactly up to the stabilizing ridge
+  // term, which perturbs at the ~1e-6 relative level.
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_NEAR(spline.evaluate(i), values[i], 1e-4 * (1.0 + std::fabs(values[i])));
+  }
+}
+
+TEST(BSpline, FitsSortedMonotoneCurveClosely) {
+  Pcg32 rng(19);
+  std::vector<float> values(1024);
+  for (auto& v : values) v = static_cast<float>(rng.uniform(-100.0, 100.0));
+  std::sort(values.begin(), values.end());
+  const CubicBSpline spline = CubicBSpline::fit(values, 32);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    worst = std::max(worst, std::fabs(spline.evaluate(i) - values[i]));
+  }
+  // Sorted uniform noise is nearly linear; a 32-coefficient spline should
+  // stay within a couple of percent of the 200-unit range.
+  EXPECT_LT(worst, 5.0);
+}
+
+TEST(BSpline, CoefficientsRoundTripThroughConstructor) {
+  std::vector<float> values(50);
+  for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<float>(i * i);
+  const CubicBSpline fitted = CubicBSpline::fit(values, 10);
+  const CubicBSpline rebuilt(fitted.coefficients(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fitted.evaluate(i), rebuilt.evaluate(i));
+  }
+}
+
+TEST(SolveBandedSpd, SolvesKnownSystem) {
+  // Tridiagonal SPD system: A = diag(2) with -1 off-diagonals (bandwidth 1
+  // stored in a bandwidth-3 layout like the spline fit uses).
+  const std::size_t n = 5;
+  std::vector<std::vector<double>> band(n, std::vector<double>(4, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    band[i][0] = 2.0;
+    if (i + 1 < n) band[i][1] = -1.0;
+  }
+  std::vector<double> b = {1.0, 0.0, 0.0, 0.0, 1.0};
+  solve_banded_spd(band, b, 3);
+  // Solution of this classic system is symmetric with x0 = x4 = 1, x2 = 1.
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[2], 1.0, 1e-12);
+  EXPECT_NEAR(b[4], 1.0, 1e-12);
+}
+
+class IsabelaErrorBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(IsabelaErrorBound, RelativeErrorRespectsRequest) {
+  const double eps_percent = GetParam();
+  const IsabelaCodec codec(eps_percent);
+  const auto data = noisy_field(5000, 20);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  // Guarantee analysis: reconstruction error <= eps/2 * max(|estimate|,
+  // floor); with |estimate| within a factor ~2 of |x| this stays below
+  // eps * |x| for all but degenerate tiny values. Allow 2x headroom.
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double rel = std::fabs(data[i] - rt.reconstructed[i]) /
+                       std::max(1e-6, std::fabs(static_cast<double>(data[i])));
+    if (rel > 2.0 * eps_percent / 100.0) ++violations;
+  }
+  EXPECT_EQ(violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperVariants, IsabelaErrorBound, ::testing::Values(1.0, 0.5, 0.1));
+
+TEST(IsabelaCodec, TighterErrorCostsMoreBits) {
+  const auto data = noisy_field(20000, 21);
+  const RoundTrip loose = round_trip(IsabelaCodec(1.0), data, Shape::d1(data.size()));
+  const RoundTrip tight = round_trip(IsabelaCodec(0.1), data, Shape::d1(data.size()));
+  EXPECT_LT(loose.cr, tight.cr);
+}
+
+TEST(IsabelaCodec, VariantCrsAreClose) {
+  // Paper: "the difference between the three ISABELA variants is small
+  // [at single precision] because the sort index dominates".
+  const auto data = noisy_field(20000, 22);
+  const RoundTrip a = round_trip(IsabelaCodec(1.0), data, Shape::d1(data.size()));
+  const RoundTrip b = round_trip(IsabelaCodec(0.1), data, Shape::d1(data.size()));
+  EXPECT_LT(b.cr - a.cr, 0.25);
+}
+
+TEST(IsabelaCodec, HandlesShortTailWindow) {
+  const auto data = noisy_field(1024 + 37, 23);  // final window is tiny
+  const IsabelaCodec codec(0.5);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  EXPECT_EQ(rt.reconstructed.size(), data.size());
+}
+
+TEST(IsabelaCodec, HandlesConstantData) {
+  std::vector<float> data(4096, 3.5f);
+  const IsabelaCodec codec(0.5);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  for (float v : rt.reconstructed) EXPECT_NEAR(v, 3.5f, 3.5f * 0.005);
+}
+
+TEST(IsabelaCodec, HandlesAllZeroData) {
+  std::vector<float> data(2048, 0.0f);
+  const IsabelaCodec codec(1.0);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  for (float v : rt.reconstructed) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(IsabelaCodec, DoublePathRoundTrips) {
+  Pcg32 rng(24);
+  std::vector<double> data(3000);
+  for (auto& v : data) v = rng.uniform(10.0, 20.0);
+  const IsabelaCodec codec(0.5);
+  const Bytes stream = codec.encode64(data, Shape::d1(data.size()));
+  const auto out = codec.decode64(stream);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(out[i], data[i], data[i] * 0.02);
+  }
+}
+
+TEST(IsabelaCodec, ThrowsOnCorruptStream) {
+  const IsabelaCodec codec(0.5);
+  Bytes garbage(32, 0xcd);
+  EXPECT_THROW(codec.decode(garbage), FormatError);
+}
+
+TEST(IsabelaCodec, RejectsBadParameters) {
+  EXPECT_THROW(IsabelaCodec(0.0), InvalidArgument);
+  EXPECT_THROW(IsabelaCodec(-1.0), InvalidArgument);
+  EXPECT_THROW(IsabelaCodec(0.5, 4), InvalidArgument);  // window too small
+}
+
+TEST(IsabelaCodec, NamesMatchPaperTables) {
+  EXPECT_EQ(IsabelaCodec(0.1).name(), "ISA-0.1");
+  EXPECT_EQ(IsabelaCodec(0.5).name(), "ISA-0.5");
+  EXPECT_EQ(IsabelaCodec(1.0).name(), "ISA-1.0");
+}
+
+}  // namespace
+}  // namespace cesm::comp

@@ -1,0 +1,123 @@
+// Parameterized sweeps over codec parameter spaces — the "does the knob
+// do what it says, everywhere" property tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "compress/apax/apax.h"
+#include "compress/fpz/fpz.h"
+#include "compress/isabela/isabela.h"
+#include "compress/special.h"
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+std::vector<float> test_field(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<float> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(std::sin(i * 0.02) * 30.0 + 50.0 + rng.uniform(-1.0, 1.0));
+  }
+  return data;
+}
+
+// ---------------------------------------------------------------- fpzip
+using FpzCase = std::tuple<unsigned /*precision*/, int /*rank*/>;
+class FpzSweep : public ::testing::TestWithParam<FpzCase> {};
+
+TEST_P(FpzSweep, RoundTripsAndBoundsError) {
+  const auto [precision, rank] = GetParam();
+  const FpzCodec codec(precision);
+  const std::size_t n = 6144;
+  const auto data = test_field(n, precision * 100 + rank);
+  Shape shape;
+  switch (rank) {
+    case 1: shape = Shape::d1(n); break;
+    case 2: shape = Shape::d2(8, n / 8); break;
+    default: shape = Shape::d3(4, 8, n / 32); break;
+  }
+  const RoundTrip rt = round_trip(codec, data, shape);
+  ASSERT_EQ(rt.reconstructed.size(), n);
+  if (precision == 32) {
+    EXPECT_EQ(rt.reconstructed, data);
+  } else {
+    // Precision p keeps p-9 explicit mantissa bits: relative error bound
+    // (with centring) is 2^-(p-8) of each value's magnitude.
+    const double bound = std::pow(2.0, -static_cast<int>(precision) + 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double rel = std::fabs(data[i] - rt.reconstructed[i]) /
+                         std::max(1.0, std::fabs(static_cast<double>(data[i])));
+      ASSERT_LE(rel, bound) << "precision " << precision;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PrecisionByRank, FpzSweep,
+                         ::testing::Combine(::testing::Values(16u, 24u, 32u),
+                                            ::testing::Values(1, 2, 3)));
+
+// -------------------------------------------------------------- ISABELA
+class IsabelaWindowSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IsabelaWindowSweep, WindowSizeIsQualityNeutral) {
+  const std::size_t window = GetParam();
+  const IsabelaCodec codec(0.5, window, std::min<std::size_t>(32, window / 2));
+  const auto data = test_field(10000, window);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double rel = std::fabs(data[i] - rt.reconstructed[i]) /
+                       std::max(1.0, std::fabs(static_cast<double>(data[i])));
+    ASSERT_LE(rel, 0.01) << "window " << window;  // 0.5% requested, 2x slack
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, IsabelaWindowSweep,
+                         ::testing::Values(64, 256, 1024, 4096));
+
+// ----------------------------------------------------------------- APAX
+class ApaxQualitySweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ApaxQualitySweep, MantissaBitsBoundBlockError) {
+  const unsigned bits = GetParam();
+  const ApaxCodec codec = ApaxCodec::fixed_quality(bits);
+  const auto data = test_field(8192, bits);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  // Block max is <= ~82; quantization error <= scale / (2^(b-1)-1).
+  const double bound = 82.0 / static_cast<double>((1u << (bits - 1)) - 1);
+  // Derivative-filtered blocks accumulate; allow the full random walk.
+  const double walk = bound * 8.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_LE(std::fabs(data[i] - rt.reconstructed[i]), walk) << "bits " << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QualityLadder, ApaxQualitySweep,
+                         ::testing::Values(6u, 8u, 12u, 16u, 20u));
+
+// -------------------------------------------------- special-value density
+class FillDensitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FillDensitySweep, FillsAlwaysSurvive) {
+  const int every = GetParam();
+  const SpecialValueCodec codec(std::make_shared<FpzCodec>(24), 1e35f);
+  auto data = test_field(4096, static_cast<std::uint64_t>(every));
+  for (std::size_t i = 0; i < data.size(); i += static_cast<std::size_t>(every)) {
+    data[i] = 1e35f;
+  }
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % static_cast<std::size_t>(every) == 0) {
+      ASSERT_EQ(rt.reconstructed[i], 1e35f);
+    } else {
+      ASSERT_NEAR(rt.reconstructed[i], data[i], 0.02);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, FillDensitySweep, ::testing::Values(2, 5, 17, 501));
+
+}  // namespace
+}  // namespace cesm::comp

@@ -1,0 +1,112 @@
+#include "compress/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "compress/apax/apax.h"
+#include "compress/fpz/fpz.h"
+#include "compress/isabela/isabela.h"
+#include "util/rng.h"
+
+namespace cesm::comp {
+namespace {
+
+constexpr float kFill = 1.0e35f;
+
+std::vector<float> masked_field(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<float> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = (i % 5 == 2) ? kFill
+                           : static_cast<float>(std::sin(i * 0.01) * 10.0 + rng.uniform());
+  }
+  return data;
+}
+
+TEST(PatchFillValues, ReplacesWithLastValid) {
+  std::vector<float> data = {1.0f, kFill, kFill, 4.0f, kFill};
+  const auto mask = patch_fill_values(data, kFill);
+  EXPECT_EQ(data[1], 1.0f);
+  EXPECT_EQ(data[2], 1.0f);
+  EXPECT_EQ(data[4], 4.0f);
+  EXPECT_EQ(mask, (std::vector<std::uint8_t>{1, 0, 0, 1, 0}));
+}
+
+TEST(PatchFillValues, LeadingFillUsesMean) {
+  std::vector<float> data = {kFill, 2.0f, 4.0f};
+  patch_fill_values(data, kFill);
+  EXPECT_FLOAT_EQ(data[0], 3.0f);  // mean of valid values
+}
+
+TEST(PatchFillValues, AllFillBecomesZero) {
+  std::vector<float> data = {kFill, kFill};
+  patch_fill_values(data, kFill);
+  EXPECT_EQ(data[0], 0.0f);
+  EXPECT_EQ(data[1], 0.0f);
+}
+
+TEST(SpecialValueCodec, FillsSurviveLossyRoundTripExactly) {
+  const SpecialValueCodec codec(std::make_shared<FpzCodec>(16), kFill);
+  const auto data = masked_field(5000, 38);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 5 == 2) {
+      ASSERT_EQ(rt.reconstructed[i], kFill);
+    } else {
+      // fpzip-16 keeps ~7 mantissa bits: |err| <~ 2^-8 * |value| ~ 0.04.
+      ASSERT_NEAR(rt.reconstructed[i], data[i], 0.05);
+    }
+  }
+}
+
+TEST(SpecialValueCodec, InnerCodecNeverSeesFillMagnitude) {
+  // With a fill of 1e35 leaking into APAX blocks, quantization of ±11
+  // values would be catastrophic. Through the wrapper it must stay tight.
+  const SpecialValueCodec codec(
+      std::make_shared<ApaxCodec>(ApaxCodec::fixed_rate(2)), kFill);
+  const auto data = masked_field(4096, 39);
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 5 != 2) ASSERT_NEAR(rt.reconstructed[i], data[i], 0.05);
+  }
+}
+
+TEST(SpecialValueCodec, NoFillDataPassesThrough) {
+  const SpecialValueCodec codec(std::make_shared<FpzCodec>(32), kFill);
+  std::vector<float> data(1000);
+  Pcg32 rng(40);
+  for (auto& v : data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const RoundTrip rt = round_trip(codec, data, Shape::d1(data.size()));
+  EXPECT_EQ(rt.reconstructed, data);
+}
+
+TEST(SpecialValueCodec, CapabilitiesGainSpecialValues) {
+  const SpecialValueCodec codec(std::make_shared<IsabelaCodec>(0.5), kFill);
+  EXPECT_TRUE(codec.capabilities().special_values);
+  EXPECT_EQ(codec.name(), "ISA-0.5");
+  EXPECT_EQ(codec.family(), "ISABELA");
+}
+
+TEST(SpecialValueCodec, ThrowsOnCorruptWrapper) {
+  const SpecialValueCodec codec(std::make_shared<FpzCodec>(32), kFill);
+  Bytes garbage(16, 0x00);
+  EXPECT_THROW(codec.decode(garbage), FormatError);
+}
+
+TEST(SpecialValueCodec, BitmapOverheadIsSmall) {
+  // Long runs of fill compress to almost nothing via the RLE bitmap.
+  std::vector<float> data(8192, kFill);
+  for (std::size_t i = 0; i < 4096; ++i) data[i] = static_cast<float>(i % 100);
+  const SpecialValueCodec codec(std::make_shared<FpzCodec>(32), kFill);
+  const SpecialValueCodec dense(std::make_shared<FpzCodec>(32), -12345.0f);  // no fills
+  const Bytes with_bitmap = codec.encode(data, Shape::d1(data.size()));
+  // The bitmap (2 runs) should cost well under 100 bytes over the payload.
+  const Bytes without = dense.encode(data, Shape::d1(data.size()));
+  EXPECT_LT(with_bitmap.size(), without.size() + 4096);
+}
+
+}  // namespace
+}  // namespace cesm::comp

@@ -1,0 +1,108 @@
+#include "compress/variants.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cesm::comp {
+namespace {
+
+TEST(Variants, PaperVariantsInTableOrder) {
+  const auto v = paper_variants(4);
+  ASSERT_EQ(v.size(), 9u);
+  EXPECT_EQ(v[0]->name(), "GRIB2");
+  EXPECT_EQ(v[1]->name(), "APAX-2");
+  EXPECT_EQ(v[2]->name(), "APAX-4");
+  EXPECT_EQ(v[3]->name(), "APAX-5");
+  EXPECT_EQ(v[4]->name(), "fpzip-24");
+  EXPECT_EQ(v[5]->name(), "fpzip-16");
+  EXPECT_EQ(v[6]->name(), "ISA-0.1");
+  EXPECT_EQ(v[7]->name(), "ISA-0.5");
+  EXPECT_EQ(v[8]->name(), "ISA-1.0");
+}
+
+TEST(Variants, Table1CapabilityMatrix) {
+  // Reproduces paper Table 1 row by row.
+  const auto v = paper_variants(4);
+  const Capabilities grib = v[0]->capabilities();
+  EXPECT_FALSE(grib.lossless_mode);
+  EXPECT_TRUE(grib.special_values);
+  EXPECT_TRUE(grib.freely_available);
+  EXPECT_FALSE(grib.fixed_quality);
+  EXPECT_FALSE(grib.fixed_rate);
+  EXPECT_FALSE(grib.handles_64bit);
+
+  const Capabilities apax = v[1]->capabilities();
+  EXPECT_TRUE(apax.lossless_mode);
+  EXPECT_FALSE(apax.freely_available);
+  EXPECT_TRUE(apax.fixed_quality);
+  EXPECT_TRUE(apax.fixed_rate);
+  EXPECT_TRUE(apax.handles_64bit);
+
+  const Capabilities fpz = v[4]->capabilities();
+  EXPECT_TRUE(fpz.lossless_mode);
+  EXPECT_FALSE(fpz.special_values);
+  EXPECT_TRUE(fpz.freely_available);
+  EXPECT_FALSE(fpz.fixed_quality);
+  EXPECT_FALSE(fpz.fixed_rate);
+  EXPECT_TRUE(fpz.handles_64bit);
+
+  const Capabilities isa = v[6]->capabilities();
+  EXPECT_FALSE(isa.lossless_mode);
+  EXPECT_FALSE(isa.special_values);
+  EXPECT_TRUE(isa.freely_available);
+  EXPECT_TRUE(isa.handles_64bit);
+}
+
+TEST(Variants, FillHandlingWrapsOnlyWhereNeeded) {
+  // GRIB2 has native support: no wrapper; fpzip does not: wrapper adds it.
+  const auto with_fill = paper_variants(4, 1.0e35f);
+  for (const auto& codec : with_fill) {
+    EXPECT_TRUE(codec->capabilities().special_values) << codec->name();
+  }
+}
+
+TEST(MakeVariant, ResolvesAllTableNames) {
+  for (const char* name :
+       {"NetCDF-4", "fpzip-16", "fpzip-24", "fpzip-32", "ISA-0.1", "ISA-0.5", "ISA-1.0",
+        "APAX-2", "APAX-4", "APAX-5", "APAX-q12", "GRIB2:4", "FPC", "FPC-12", "ISOBAR",
+        "MAFISC"}) {
+    const CodecPtr codec = make_variant(name);
+    ASSERT_NE(codec, nullptr) << name;
+  }
+  EXPECT_EQ(make_variant("GRIB2:4")->name(), "GRIB2");
+  EXPECT_EQ(make_variant("NC")->name(), "NetCDF-4");
+}
+
+TEST(MakeVariant, RejectsUnknownNames) {
+  EXPECT_THROW(make_variant("zfp"), InvalidArgument);
+  EXPECT_THROW(make_variant("FPC-abc"), InvalidArgument);
+  EXPECT_THROW(make_variant("GRIB2:x"), InvalidArgument);
+  EXPECT_THROW(make_variant(""), InvalidArgument);
+}
+
+TEST(FamilyLadder, OrderedMostCompressiveFirstWithLosslessTail) {
+  const auto fpz = family_ladder("fpzip", 4);
+  ASSERT_EQ(fpz.size(), 3u);
+  EXPECT_EQ(fpz[0]->name(), "fpzip-16");
+  EXPECT_EQ(fpz[2]->name(), "fpzip-32");
+  EXPECT_TRUE(fpz[2]->is_lossless());
+
+  const auto isa = family_ladder("ISABELA", 4);
+  ASSERT_EQ(isa.size(), 4u);
+  EXPECT_EQ(isa[0]->name(), "ISA-1.0");
+  EXPECT_EQ(isa[3]->name(), "NetCDF-4");  // ISABELA cannot be lossless
+
+  const auto apax = family_ladder("APAX", 4);
+  ASSERT_EQ(apax.size(), 4u);
+  EXPECT_EQ(apax[0]->name(), "APAX-5");
+
+  const auto grib = family_ladder("GRIB2", 4);
+  ASSERT_EQ(grib.size(), 2u);
+  EXPECT_EQ(grib[1]->name(), "NetCDF-4");
+
+  EXPECT_THROW(family_ladder("bogus", 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::comp

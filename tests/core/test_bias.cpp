@@ -1,0 +1,78 @@
+#include "core/bias.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cesm::core {
+namespace {
+
+std::vector<double> rmsz_like_scores(std::size_t n, std::uint64_t seed) {
+  NormalSampler rng(seed);
+  std::vector<double> scores(n);
+  for (auto& s : scores) s = 1.0 + 0.1 * rng.next();  // paper: RMSZ ~ O(1)
+  return scores;
+}
+
+TEST(BiasTest, PerfectReconstructionPasses) {
+  const auto orig = rmsz_like_scores(101, 1);
+  const BiasResult r = bias_test(orig, orig);
+  EXPECT_TRUE(r.pass);
+  EXPECT_NEAR(r.fit.slope, 1.0, 1e-12);
+  EXPECT_NEAR(r.fit.intercept, 0.0, 1e-12);
+  EXPECT_TRUE(r.contains_ideal);
+  EXPECT_LT(r.slope_distance, 1e-9);
+}
+
+TEST(BiasTest, TinyUnbiasedNoisePasses) {
+  const auto orig = rmsz_like_scores(101, 2);
+  NormalSampler noise(3);
+  std::vector<double> recon = orig;
+  for (auto& s : recon) s += 1e-4 * noise.next();
+  EXPECT_TRUE(bias_test(orig, recon).pass);
+}
+
+TEST(BiasTest, SlopeBiasFails) {
+  const auto orig = rmsz_like_scores(101, 4);
+  std::vector<double> recon;
+  for (double s : orig) recon.push_back(0.8 * s);  // systematic shrink
+  const BiasResult r = bias_test(orig, recon);
+  EXPECT_FALSE(r.pass);
+  EXPECT_GT(r.slope_distance, 0.15);
+}
+
+TEST(BiasTest, UniformInterceptShiftKeepsSlopeButMovesRect) {
+  // Paper: "if the line of best fit has slope ~1 and small uncertainty but
+  // a non-zero intercept, bias has been introduced uniformly" — eq. (9)
+  // alone passes; the rectangle must reveal it.
+  const auto orig = rmsz_like_scores(101, 5);
+  std::vector<double> recon;
+  for (double s : orig) recon.push_back(s + 0.3);
+  const BiasResult r = bias_test(orig, recon);
+  EXPECT_TRUE(r.pass);                // slope is still 1
+  EXPECT_FALSE(r.contains_ideal);     // but (1, 0) is excluded
+}
+
+TEST(BiasTest, LargeUncertaintyFailsEvenWithUnitSlope) {
+  // Paper: "if the uncertainty is relatively large, then even if the
+  // slope is close to one" the method is unacceptable.
+  const auto orig = rmsz_like_scores(101, 6);
+  NormalSampler noise(7);
+  std::vector<double> recon;
+  for (double s : orig) recon.push_back(s + 0.15 * noise.next());
+  const BiasResult r = bias_test(orig, recon);
+  EXPECT_GT(r.slope_distance, kBiasSlopeTolerance);
+  EXPECT_FALSE(r.pass);
+}
+
+TEST(BiasTest, SlopeDistanceUsesWorstCaseBound) {
+  const auto orig = rmsz_like_scores(101, 8);
+  const BiasResult r = bias_test(orig, orig);
+  EXPECT_GE(r.slope_distance, std::fabs(1.0 - r.rect.slope_lo) - 1e-15);
+  EXPECT_GE(r.slope_distance, std::fabs(1.0 - r.rect.slope_hi) - 1e-15);
+}
+
+}  // namespace
+}  // namespace cesm::core

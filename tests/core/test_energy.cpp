@@ -1,0 +1,81 @@
+#include "core/energy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/deflate/deflate.h"
+#include "compress/variants.h"
+
+namespace cesm::core {
+namespace {
+
+climate::EnsembleSpec tiny_spec() {
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{12, 36, 3};
+  spec.members = 8;
+  spec.latent.k = 48;
+  spec.latent.spinup_steps = 200;
+  spec.latent.average_steps = 400;
+  return spec;
+}
+
+TEST(Energy, GlobalMeanWeightedMatchesConstantField) {
+  const climate::Grid grid(climate::GridSpec{8, 16, 1});
+  climate::Field f;
+  f.name = "X";
+  f.shape = comp::Shape::d1(grid.columns());
+  f.data.assign(grid.columns(), 5.0f);
+  EXPECT_NEAR(global_mean_weighted(f, grid), 5.0, 1e-12);
+}
+
+TEST(Energy, GlobalMeanSkipsFillValues) {
+  const climate::Grid grid(climate::GridSpec{8, 16, 1});
+  climate::Field f;
+  f.name = "X";
+  f.shape = comp::Shape::d1(grid.columns());
+  f.data.assign(grid.columns(), 2.0f);
+  f.fill = 1e35f;
+  f.data[0] = 1e35f;
+  f.data[50] = 1e35f;
+  EXPECT_NEAR(global_mean_weighted(f, grid), 2.0, 1e-9);
+}
+
+TEST(Energy, BudgetHasPlausibleMagnitudes) {
+  const climate::EnsembleGenerator ens(tiny_spec());
+  const EnergyBudget b = energy_budget(ens, 1);
+  // FSNT/FLNT catalog centers are ~240/235 W/m2.
+  EXPECT_GT(b.fsnt, 100.0);
+  EXPECT_LT(b.fsnt, 400.0);
+  EXPECT_GT(b.flnt, 100.0);
+  EXPECT_LT(b.flnt, 400.0);
+  EXPECT_LT(std::fabs(b.imbalance()), 150.0);
+}
+
+TEST(Energy, LosslessCompressionHasZeroDrift) {
+  const climate::EnsembleGenerator ens(tiny_spec());
+  const comp::DeflateCodec codec;
+  const BudgetDriftResult r = energy_budget_drift(ens, codec, 2, 6);
+  EXPECT_DOUBLE_EQ(r.imbalance_drift, 0.0);
+  EXPECT_TRUE(r.pass);
+  EXPECT_GT(r.ensemble_spread, 0.0);
+}
+
+TEST(Energy, GentleLossyCompressionPasses) {
+  const climate::EnsembleGenerator ens(tiny_spec());
+  const comp::CodecPtr codec = comp::make_variant("fpzip-24");
+  const BudgetDriftResult r = energy_budget_drift(ens, *codec, 2, 6);
+  EXPECT_TRUE(r.pass) << "drift " << r.imbalance_drift << " spread " << r.ensemble_spread;
+}
+
+TEST(Energy, CrushingCompressionFails) {
+  const climate::EnsembleGenerator ens(tiny_spec());
+  // 3-bit mantissas shift flux means by O(1) W/m2 — budget-unsafe.
+  const comp::CodecPtr codec = comp::make_variant("APAX-q3");
+  const BudgetDriftResult r = energy_budget_drift(ens, *codec, 2, 6, 0.01);
+  EXPECT_GT(r.imbalance_drift, 0.0);
+  EXPECT_FALSE(r.pass);
+}
+
+}  // namespace
+}  // namespace cesm::core

@@ -1,0 +1,72 @@
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cesm::core {
+namespace {
+
+SuiteResults small_results() {
+  const climate::EnsembleSpec spec = [] {
+    climate::EnsembleSpec s;
+    s.grid = climate::GridSpec{8, 24, 2};
+    s.members = 7;
+    s.latent.k = 48;
+    s.latent.spinup_steps = 150;
+    s.latent.average_steps = 300;
+    return s;
+  }();
+  const climate::EnsembleGenerator ens(spec);
+  SuiteConfig cfg;
+  cfg.test_member_count = 2;
+  return run_suite(ens, cfg, {"U", "PS"});
+}
+
+TEST(Export, SuiteCsvHasHeaderAndAllRows) {
+  const SuiteResults results = small_results();
+  const std::string csv = suite_results_csv(results);
+  std::istringstream in(csv);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  // header + 2 variables x 9 variants
+  EXPECT_EQ(lines, 1u + 2u * 9u);
+  EXPECT_NE(csv.find("variable,is_3d,variant"), std::string::npos);
+  EXPECT_NE(csv.find("U,1,fpzip-24"), std::string::npos);
+  EXPECT_NE(csv.find("PS,0,APAX-2"), std::string::npos);
+}
+
+TEST(Export, HybridCsvCoversAllFamilies) {
+  const SuiteResults results = small_results();
+  const auto hybrids = build_all_hybrids(results);
+  const std::string csv = hybrid_selections_csv(hybrids);
+  EXPECT_NE(csv.find("family,variable,variant"), std::string::npos);
+  EXPECT_NE(csv.find("fpzip,U,"), std::string::npos);
+  EXPECT_NE(csv.find("NetCDF-4,PS,NetCDF-4"), std::string::npos);
+  std::istringstream in(csv);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1u + 5u * 2u);  // header + 5 families x 2 variables
+}
+
+TEST(Export, WriteTextFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cesmcomp_export_test.csv").string();
+  write_text_file(path, "a,b\n1,2\n");
+  std::ifstream f(path);
+  std::stringstream back;
+  back << f.rdbuf();
+  EXPECT_EQ(back.str(), "a,b\n1,2\n");
+  std::filesystem::remove(path);
+}
+
+TEST(Export, WriteToInvalidPathThrows) {
+  EXPECT_THROW(write_text_file("/nonexistent_dir_xyz/file.csv", "x"), IoError);
+}
+
+}  // namespace
+}  // namespace cesm::core

@@ -1,0 +1,101 @@
+#include "core/gradients.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "compress/variants.h"
+
+namespace cesm::core {
+namespace {
+
+climate::Grid small_grid() { return climate::Grid(climate::GridSpec{16, 32, 1}); }
+
+TEST(Gradients, ZonalWaveHasKnownDerivative) {
+  const climate::Grid grid = small_grid();
+  std::vector<float> data(grid.columns());
+  for (std::size_t c = 0; c < data.size(); ++c) {
+    data[c] = static_cast<float>(std::sin(2.0 * grid.longitude(c)));
+  }
+  const GradientFields g = compute_gradients(data, grid);
+  // d/dlon sin(2 lon) = 2 cos(2 lon); centred differences approximate it.
+  for (std::size_t c = 0; c < data.size(); ++c) {
+    const double expected = 2.0 * std::cos(2.0 * grid.longitude(c));
+    EXPECT_NEAR(g.zonal[c], expected, 0.1) << c;
+  }
+}
+
+TEST(Gradients, ConstantFieldHasZeroGradients) {
+  const climate::Grid grid = small_grid();
+  std::vector<float> data(grid.columns(), 7.5f);
+  const GradientFields g = compute_gradients(data, grid);
+  for (std::size_t c = 0; c < data.size(); ++c) {
+    EXPECT_EQ(g.zonal[c], 0.0f);
+    EXPECT_EQ(g.meridional[c], 0.0f);
+  }
+}
+
+TEST(Gradients, MeridionalRampHasUniformGradient) {
+  const climate::Grid grid = small_grid();
+  std::vector<float> data(grid.columns());
+  for (std::size_t c = 0; c < data.size(); ++c) {
+    data[c] = static_cast<float>(3.0 * grid.latitude(c));
+  }
+  const GradientFields g = compute_gradients(data, grid);
+  // Interior rows: centred difference of a linear ramp is exact.
+  const std::size_t nlon = grid.spec().nlon;
+  for (std::size_t c = nlon; c + nlon < data.size(); ++c) {
+    EXPECT_NEAR(g.meridional[c], 3.0, 1e-4);
+  }
+}
+
+TEST(Gradients, FillPointsPropagateToNeighbours) {
+  const climate::Grid grid = small_grid();
+  std::vector<float> data(grid.columns(), 1.0f);
+  const std::size_t nlon = grid.spec().nlon;
+  data[5 * nlon + 10] = 1e35f;
+  const GradientFields g = compute_gradients(data, grid, 1e35f);
+  ASSERT_FALSE(g.valid.empty());
+  EXPECT_EQ(g.valid[5 * nlon + 10], 0);   // itself
+  EXPECT_EQ(g.valid[5 * nlon + 11], 0);   // east neighbour
+  EXPECT_EQ(g.valid[4 * nlon + 10], 0);   // south neighbour
+  EXPECT_EQ(g.valid[5 * nlon + 13], 1);   // far point untouched
+}
+
+TEST(Gradients, PerfectReconstructionScoresPerfectly) {
+  const climate::Grid grid = small_grid();
+  climate::Field f;
+  f.name = "X";
+  f.shape = comp::Shape::d1(grid.columns());
+  f.data.resize(grid.columns());
+  for (std::size_t c = 0; c < f.data.size(); ++c) {
+    f.data[c] = static_cast<float>(std::sin(grid.longitude(c)) * std::cos(grid.latitude(c)));
+  }
+  const GradientMetrics m = compare_gradients(f, f.data, grid);
+  EXPECT_DOUBLE_EQ(m.worst_pearson(), 1.0);
+  EXPECT_EQ(m.zonal.e_max, 0.0);
+}
+
+TEST(Gradients, CompressionDegradesGradientsMoreThanValues) {
+  // Gradients amplify quantization noise: the gradient correlation must
+  // be no better than (and typically worse than) the value correlation.
+  const climate::Grid grid = small_grid();
+  climate::Field f;
+  f.name = "X";
+  f.shape = comp::Shape::d1(grid.columns());
+  f.data.resize(grid.columns());
+  for (std::size_t c = 0; c < f.data.size(); ++c) {
+    f.data[c] = static_cast<float>(100.0 + 30.0 * std::sin(2.0 * grid.longitude(c)) *
+                                               std::cos(grid.latitude(c)));
+  }
+  const comp::CodecPtr codec = comp::make_variant("APAX-5");
+  const comp::RoundTrip rt = comp::round_trip(*codec, f.data, f.shape);
+  const ErrorMetrics values = compare_fields(f, rt.reconstructed);
+  const GradientMetrics grads = compare_gradients(f, rt.reconstructed, grid);
+  EXPECT_LE(grads.worst_pearson(), values.pearson + 1e-12);
+  EXPECT_LT(grads.worst_pearson(), 1.0);
+}
+
+}  // namespace
+}  // namespace cesm::core

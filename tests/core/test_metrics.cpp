@@ -1,0 +1,94 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cesm::core {
+namespace {
+
+TEST(CompareFields, ExactReconstructionIsZeroErrorPerfectCorrelation) {
+  const std::vector<float> x = {1.0f, 2.0f, 3.0f, 4.0f};
+  const ErrorMetrics m = compare_fields(x, x);
+  EXPECT_EQ(m.e_max, 0.0);
+  EXPECT_EQ(m.rmse, 0.0);
+  EXPECT_EQ(m.nrmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.pearson, 1.0);
+  EXPECT_TRUE(std::isinf(m.psnr));
+}
+
+TEST(CompareFields, HandComputedErrors) {
+  const std::vector<float> x = {0.0f, 10.0f};
+  const std::vector<float> y = {1.0f, 10.0f};
+  const ErrorMetrics m = compare_fields(x, y);
+  EXPECT_DOUBLE_EQ(m.e_max, 1.0);
+  EXPECT_DOUBLE_EQ(m.e_nmax, 0.1);                 // eq. (2): / R_X = 10
+  EXPECT_NEAR(m.rmse, std::sqrt(0.5), 1e-12);      // eq. (3)
+  EXPECT_NEAR(m.nrmse, std::sqrt(0.5) / 10.0, 1e-12);  // eq. (4)
+  EXPECT_EQ(m.points, 2u);
+}
+
+TEST(CompareFields, ExplicitRangeOverridesDataRange) {
+  const std::vector<float> x = {0.0f, 1.0f};
+  const std::vector<float> y = {0.5f, 1.0f};
+  const ErrorMetrics m = compare_fields(x, y, {}, 100.0);
+  EXPECT_DOUBLE_EQ(m.e_nmax, 0.5 / 100.0);
+}
+
+TEST(CompareFields, MaskExcludesFillPoints) {
+  const std::vector<float> x = {1.0f, 1e35f, 2.0f};
+  const std::vector<float> y = {1.0f, 0.0f, 2.5f};  // fill destroyed, ignored
+  const std::vector<std::uint8_t> mask = {1, 0, 1};
+  const ErrorMetrics m = compare_fields(x, y, mask);
+  EXPECT_DOUBLE_EQ(m.e_max, 0.5);
+  EXPECT_EQ(m.points, 2u);
+}
+
+TEST(CompareFields, FieldOverloadUsesFillMask) {
+  climate::Field f;
+  f.name = "X";
+  f.shape = comp::Shape::d1(3);
+  f.data = {1.0f, 1e35f, 3.0f};
+  f.fill = 1e35f;
+  const std::vector<float> recon = {1.0f, 1e35f, 3.0f};
+  const ErrorMetrics m = compare_fields(f, recon);
+  EXPECT_EQ(m.points, 2u);
+  EXPECT_EQ(m.e_max, 0.0);
+}
+
+TEST(CompareFields, ConstantFieldDegradesGracefully) {
+  const std::vector<float> x = {5.0f, 5.0f};
+  const std::vector<float> y = {5.5f, 5.5f};
+  const ErrorMetrics m = compare_fields(x, y);
+  EXPECT_DOUBLE_EQ(m.e_max, 0.5);
+  EXPECT_DOUBLE_EQ(m.e_nmax, 0.5);  // unnormalized fallback
+}
+
+TEST(Characterize, ComputesSummaryAndLosslessCr) {
+  climate::Field f;
+  f.name = "Z";
+  f.shape = comp::Shape::d1(10000);
+  f.data.resize(10000);
+  for (std::size_t i = 0; i < f.data.size(); ++i) {
+    f.data[i] = static_cast<float>(std::sin(i * 0.001) * 100.0);
+  }
+  const Characterization c = characterize(f);
+  EXPECT_NEAR(c.summary.min, -100.0, 1.0);
+  EXPECT_NEAR(c.summary.max, 100.0, 1.0);
+  EXPECT_GT(c.lossless_cr, 0.0);
+  EXPECT_LT(c.lossless_cr, 1.0);  // smooth data must compress
+}
+
+TEST(Characterize, FillValuesExcludedFromSummary) {
+  climate::Field f;
+  f.name = "SST";
+  f.shape = comp::Shape::d1(4);
+  f.data = {1e35f, 280.0f, 290.0f, 1e35f};
+  f.fill = 1e35f;
+  const Characterization c = characterize(f);
+  EXPECT_DOUBLE_EQ(c.summary.max, 290.0);
+  EXPECT_EQ(c.summary.count, 2u);
+}
+
+}  // namespace
+}  // namespace cesm::core

@@ -1,0 +1,82 @@
+#include "core/port_verification.h"
+
+#include <gtest/gtest.h>
+
+namespace cesm::core {
+namespace {
+
+climate::EnsembleSpec tiny_spec() {
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{8, 36, 3};
+  spec.members = 15;
+  spec.latent.k = 48;
+  spec.latent.spinup_steps = 200;
+  spec.latent.average_steps = 400;
+  return spec;
+}
+
+TEST(PortVerification, ExchangeableNewRunsUsuallyPass) {
+  const climate::EnsembleGenerator ens(tiny_spec());
+  const std::vector<std::uint32_t> new_runs = {100, 101, 102};
+  const auto verdicts = verify_port(ens, new_runs, {"U", "T", "PS", "FSDSC"});
+  ASSERT_EQ(verdicts.size(), 4u);
+  std::size_t passed = 0;
+  for (const PortVerdict& v : verdicts) {
+    if (v.pass()) ++passed;
+    EXPECT_GT(v.worst_new_rmsz, 0.0);
+    EXPECT_LT(v.rmsz_lo, v.rmsz_hi);
+  }
+  // New runs are statistically exchangeable with the trusted ensemble:
+  // most variables must pass (tail events are possible at 15 members).
+  EXPECT_GE(passed, 3u);
+}
+
+TEST(PortVerification, CorruptedRunFailsRmsz) {
+  const climate::EnsembleGenerator ens(tiny_spec());
+  const climate::VariableSpec& spec = ens.variable("T");
+  const EnsembleStats stats(ens.ensemble_fields(spec));
+
+  climate::Field bad = ens.field(spec, 100);
+  // A "climate-changing" bug: uniform warming of several ensemble sigmas.
+  for (float& v : bad.data) v += 5.0f;
+
+  const PortVerdict verdict =
+      verify_port_variable(stats, std::span<const climate::Field>(&bad, 1));
+  EXPECT_FALSE(verdict.rmsz_pass);
+  EXPECT_FALSE(verdict.global_mean_pass);
+  EXPECT_FALSE(verdict.pass());
+}
+
+TEST(PortVerification, SmallMeanShiftCaughtByRangeCheck) {
+  const climate::EnsembleGenerator ens(tiny_spec());
+  const climate::VariableSpec& spec = ens.variable("PS");
+  const EnsembleStats stats(ens.ensemble_fields(spec));
+
+  climate::Field shifted = ens.field(spec, 100);
+  // Shift just past the trusted global-mean range plus tolerance.
+  const auto& gmeans = stats.global_means();
+  const double range = *std::max_element(gmeans.begin(), gmeans.end()) -
+                       *std::min_element(gmeans.begin(), gmeans.end());
+  for (float& v : shifted.data) v += static_cast<float>(2.0 * range);
+
+  PortVerificationOptions options;
+  options.mean_shift_tolerance = 0.25;
+  const PortVerdict verdict =
+      verify_port_variable(stats, std::span<const climate::Field>(&shifted, 1), options);
+  EXPECT_FALSE(verdict.global_mean_pass);
+}
+
+TEST(PortVerification, DefaultsLimitVariableCount) {
+  const climate::EnsembleGenerator ens(tiny_spec());
+  const std::vector<std::uint32_t> new_runs = {50};
+  const auto verdicts = verify_port(ens, new_runs, {}, 5);
+  EXPECT_EQ(verdicts.size(), 5u);
+}
+
+TEST(PortVerification, RejectsEmptyNewRuns) {
+  const climate::EnsembleGenerator ens(tiny_spec());
+  EXPECT_THROW(verify_port(ens, {}, {"U"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::core

@@ -1,0 +1,75 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace cesm::core {
+namespace {
+
+TEST(FormatSci, PaperStyleExponents) {
+  EXPECT_EQ(format_sci(3.6e-4), "3.6e-4");
+  EXPECT_EQ(format_sci(5.8e-7), "5.8e-7");
+  EXPECT_EQ(format_sci(1.22e1, 3), "1.22e1");
+  EXPECT_EQ(format_sci(-2.56e1, 3), "-2.56e1");
+  EXPECT_EQ(format_sci(0.0), "0");
+}
+
+TEST(FormatFixed, Digits) {
+  EXPECT_EQ(format_fixed(0.5, 2), "0.50");
+  EXPECT_EQ(format_fixed(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Variable", "CR"});
+  t.add_row({"U", ".50"});
+  t.add_row({"FSDSC", ".25"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Variable"), std::string::npos);
+  EXPECT_NE(s.find("FSDSC"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsRaggedRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), InvalidArgument);
+}
+
+TEST(RenderBoxplot, ContainsLabelsAndQuartiles) {
+  std::vector<LabelledBox> boxes;
+  LabelledBox b;
+  b.label = "APAX-2";
+  b.box.lo = 1e-8;
+  b.box.q1 = 1e-7;
+  b.box.median = 1e-6;
+  b.box.q3 = 1e-5;
+  b.box.hi = 1e-4;
+  b.box.count = 170;
+  boxes.push_back(b);
+  const std::string s = render_boxplot_log(boxes);
+  EXPECT_NE(s.find("APAX-2"), std::string::npos);
+  EXPECT_NE(s.find("M"), std::string::npos);  // median marker
+  EXPECT_NE(s.find("1.0e-6"), std::string::npos);
+}
+
+TEST(RenderHistogram, ShowsBarsAndMarkers) {
+  stats::Histogram h(0.0, 2.0, 4);
+  for (double v : {0.9, 1.0, 1.1, 1.2, 0.4}) h.add(v);
+  const std::string s = render_histogram(h, {Marker{"fpzip-24", 1.05}});
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("fpzip-24"), std::string::npos);
+}
+
+TEST(RenderBiasRects, MarksPassAndFail) {
+  std::vector<LabelledRect> rects;
+  rects.push_back(LabelledRect{"good", {0.99, 1.01, -0.01, 0.01}, true});
+  rects.push_back(LabelledRect{"bad", {0.8, 0.9, 0.1, 0.2}, false});
+  const std::string s = render_bias_rects(rects);
+  EXPECT_NE(s.find("pass"), std::string::npos);
+  EXPECT_NE(s.find("FAIL"), std::string::npos);
+  EXPECT_NE(s.find("good"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cesm::core

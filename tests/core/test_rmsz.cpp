@@ -1,0 +1,168 @@
+#include "core/rmsz.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace cesm::core {
+namespace {
+
+std::vector<climate::Field> make_members(std::size_t members, std::size_t n,
+                                          std::uint64_t seed, double spread = 1.0) {
+  std::vector<climate::Field> fields(members);
+  for (std::size_t m = 0; m < members; ++m) {
+    NormalSampler rng(hash_combine(seed, m));
+    fields[m].name = "X";
+    fields[m].shape = comp::Shape::d1(n);
+    fields[m].data.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Shared spatial pattern + member-specific anomaly.
+      fields[m].data[i] =
+          static_cast<float>(std::sin(i * 0.1) * 10.0 + spread * rng.next());
+    }
+  }
+  return fields;
+}
+
+/// Naive O(N*M) reference for the leave-one-out z-score of member m.
+double naive_rmsz(const std::vector<climate::Field>& members, std::size_t m,
+                  std::span<const float> data) {
+  const std::size_t n = members[0].data.size();
+  double sum_z2 = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double mu = 0.0;
+    std::size_t cnt = 0;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      if (k == m) continue;
+      mu += members[k].data[i];
+      ++cnt;
+    }
+    mu /= static_cast<double>(cnt);
+    double var = 0.0;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      if (k == m) continue;
+      const double d = members[k].data[i] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(cnt);
+    if (var <= 0.0) continue;
+    const double z = (data[i] - mu) / std::sqrt(var);
+    sum_z2 += z * z;
+    ++used;
+  }
+  return used ? std::sqrt(sum_z2 / static_cast<double>(used)) : 0.0;
+}
+
+TEST(EnsembleStats, RmszMatchesNaiveReference) {
+  const auto members = make_members(12, 200, 0xabc);
+  const EnsembleStats stats(members);
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    EXPECT_NEAR(stats.rmsz(m), naive_rmsz(members, m, members[m].data), 1e-8);
+  }
+}
+
+TEST(EnsembleStats, RmszOfForeignDataMatchesNaive) {
+  const auto members = make_members(10, 150, 0xdef);
+  const EnsembleStats stats(members);
+  // Perturb member 4's data as a stand-in "reconstruction".
+  std::vector<float> recon = members[4].data;
+  for (std::size_t i = 0; i < recon.size(); i += 3) recon[i] += 0.01f;
+  EXPECT_NEAR(stats.rmsz_of(4, recon), naive_rmsz(members, 4, recon), 1e-8);
+}
+
+TEST(EnsembleStats, RmszNearOneForExchangeableMembers) {
+  // Gaussian anomalies: each member is statistically exchangeable with the
+  // rest, so RMSZ ~ 1 with slight inflation from the leave-one-out.
+  const auto members = make_members(40, 3000, 0x123);
+  const EnsembleStats stats(members);
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    EXPECT_GT(stats.rmsz(m), 0.7);
+    EXPECT_LT(stats.rmsz(m), 1.5);
+  }
+}
+
+TEST(EnsembleStats, IdenticalDataGivesIdenticalRmsz) {
+  const auto members = make_members(8, 100, 0x77);
+  const EnsembleStats stats(members);
+  EXPECT_DOUBLE_EQ(stats.rmsz_of(3, members[3].data), stats.rmsz(3));
+}
+
+TEST(EnsembleStats, PerturbationRaisesRmszDiff) {
+  const auto members = make_members(20, 500, 0x88);
+  const EnsembleStats stats(members);
+  std::vector<float> recon = members[7].data;
+  for (auto& v : recon) v += 5.0f;  // huge shift vs spread 1.0
+  EXPECT_GT(stats.rmsz_of(7, recon) - stats.rmsz(7), 1.0);
+}
+
+TEST(EnsembleStats, EnmaxDistributionMatchesNaive) {
+  const auto members = make_members(9, 120, 0x99);
+  const EnsembleStats stats(members);
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    // Naive eq. (10).
+    double worst = 0.0;
+    for (std::size_t i = 0; i < members[0].data.size(); ++i) {
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        if (k == m) continue;
+        worst = std::max(worst, std::fabs(static_cast<double>(members[m].data[i]) -
+                                          static_cast<double>(members[k].data[i])));
+      }
+    }
+    const double expected = worst / stats.member_range(m);
+    EXPECT_NEAR(stats.enmax(m), expected, 1e-9);
+  }
+}
+
+TEST(EnsembleStats, EnmaxRangeIsPositive) {
+  const auto members = make_members(15, 300, 0xaa);
+  const EnsembleStats stats(members);
+  EXPECT_GT(stats.enmax_range(), 0.0);
+}
+
+TEST(EnsembleStats, FillValuesExcludedEverywhere) {
+  auto members = make_members(6, 50, 0xbb);
+  for (auto& f : members) {
+    f.fill = 1e35f;
+    f.data[10] = 1e35f;
+    f.data[20] = 1e35f;
+  }
+  const EnsembleStats stats(members);
+  EXPECT_EQ(stats.point_count(), 48u);
+  // RMSZ must be finite and sane despite the fills.
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    EXPECT_TRUE(std::isfinite(stats.rmsz(m)));
+    EXPECT_TRUE(std::isfinite(stats.enmax(m)));
+  }
+}
+
+TEST(EnsembleStats, GlobalMeansTrackMemberData) {
+  const auto members = make_members(5, 100, 0xcc);
+  const EnsembleStats stats(members);
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    double mean = 0.0;
+    for (float v : members[m].data) mean += v;
+    mean /= static_cast<double>(members[m].data.size());
+    EXPECT_NEAR(stats.global_mean(m), mean, 1e-9);
+  }
+}
+
+TEST(EnsembleStats, DegenerateSpreadPointsAreSkipped) {
+  // One grid point identical across members: its sub-ensemble variance is
+  // zero and it must not poison RMSZ with NaN/Inf.
+  auto members = make_members(6, 20, 0xdd);
+  for (auto& f : members) f.data[5] = 3.14f;
+  const EnsembleStats stats(members);
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    EXPECT_TRUE(std::isfinite(stats.rmsz(m)));
+  }
+}
+
+TEST(EnsembleStats, RequiresAtLeastThreeMembers) {
+  EXPECT_THROW(EnsembleStats(make_members(2, 10, 1)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::core

@@ -1,0 +1,102 @@
+#include "core/ssim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "compress/variants.h"
+#include "util/rng.h"
+
+namespace cesm::core {
+namespace {
+
+std::vector<float> image(std::size_t rows, std::size_t cols) {
+  std::vector<float> img(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      img[r * cols + c] =
+          static_cast<float>(std::sin(r * 0.2) * 50.0 + std::cos(c * 0.1) * 30.0 + 100.0);
+    }
+  }
+  return img;
+}
+
+TEST(Ssim, IdenticalImagesScoreOne) {
+  const auto img = image(32, 64);
+  EXPECT_DOUBLE_EQ(ssim_2d(img, img, 32, 64), 1.0);
+}
+
+TEST(Ssim, SmallNoiseScoresBelowOneButHigh) {
+  const auto img = image(32, 64);
+  std::vector<float> noisy = img;
+  Pcg32 rng(1);
+  for (auto& v : noisy) v += static_cast<float>(rng.uniform(-0.5, 0.5));
+  const double s = ssim_2d(img, noisy, 32, 64);
+  EXPECT_LT(s, 1.0);
+  EXPECT_GT(s, 0.98);
+}
+
+TEST(Ssim, HeavyDistortionScoresLow) {
+  const auto img = image(32, 64);
+  std::vector<float> bad = img;
+  Pcg32 rng(2);
+  for (auto& v : bad) v = static_cast<float>(rng.uniform(0.0, 200.0));
+  EXPECT_LT(ssim_2d(img, bad, 32, 64), 0.5);
+}
+
+TEST(Ssim, MonotoneInNoiseLevel) {
+  const auto img = image(40, 40);
+  double prev = 1.0;
+  for (double amp : {0.1, 1.0, 5.0, 20.0}) {
+    std::vector<float> noisy = img;
+    Pcg32 rng(3);
+    for (auto& v : noisy) v += static_cast<float>(rng.uniform(-amp, amp));
+    const double s = ssim_2d(img, noisy, 40, 40);
+    EXPECT_LT(s, prev) << "amp " << amp;
+    prev = s;
+  }
+}
+
+TEST(Ssim, InsensitiveToGlobalScaleOfTheField) {
+  // SSIM's constants scale with the dynamic range: scaling both images by
+  // 1e6 must not change the score materially.
+  const auto img = image(24, 48);
+  std::vector<float> noisy = img;
+  Pcg32 rng(4);
+  for (auto& v : noisy) v += static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> img_big = img, noisy_big = noisy;
+  for (auto& v : img_big) v *= 1e6f;
+  for (auto& v : noisy_big) v *= 1e6f;
+  EXPECT_NEAR(ssim_2d(img, noisy, 24, 48), ssim_2d(img_big, noisy_big, 24, 48), 1e-3);
+}
+
+TEST(Ssim, FieldOverloadAveragesLevels) {
+  climate::Field f;
+  f.name = "X";
+  f.shape = comp::Shape::d2(2, 24 * 24);
+  const auto level = image(24, 24);
+  f.data = level;
+  f.data.insert(f.data.end(), level.begin(), level.end());
+  const double s = ssim_field(f, f.data, 24, 24);
+  EXPECT_DOUBLE_EQ(s, 1.0);
+}
+
+TEST(Ssim, RanksCompressionAggressiveness) {
+  // More aggressive variants must not score better — the image-quality
+  // use case of §6.
+  const auto img = image(48, 72);
+  const comp::Shape shape = comp::Shape::d1(img.size());
+  double prev = 1.1;
+  for (const char* variant : {"fpzip-24", "APAX-4", "APAX-5"}) {
+    const comp::CodecPtr codec = comp::make_variant(variant);
+    const comp::RoundTrip rt = comp::round_trip(*codec, img, shape);
+    const double s = ssim_2d(img, rt.reconstructed, 48, 72);
+    EXPECT_LE(s, prev + 1e-9) << variant;
+    EXPECT_GT(s, 0.5) << variant;
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace cesm::core

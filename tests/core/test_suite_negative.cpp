@@ -1,0 +1,62 @@
+// Negative-path coverage for the suite/hybrid layer.
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid.h"
+#include "core/suite.h"
+
+namespace cesm::core {
+namespace {
+
+SuiteResults tiny_results() {
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{8, 24, 2};
+  spec.members = 5;
+  spec.latent.k = 48;
+  spec.latent.spinup_steps = 100;
+  spec.latent.average_steps = 200;
+  const climate::EnsembleGenerator ens(spec);
+  SuiteConfig cfg;
+  cfg.test_member_count = 1;
+  cfg.run_bias = false;
+  return run_suite(ens, cfg, {"U"});
+}
+
+TEST(SuiteNegative, UnknownVariantIndexThrows) {
+  const SuiteResults r = tiny_results();
+  EXPECT_THROW(r.variant_index("zfp"), InvalidArgument);
+  EXPECT_EQ(r.variant_index("fpzip-24"), 4u);
+}
+
+TEST(SuiteNegative, UnknownVariableThrows) {
+  const SuiteResults r = tiny_results();
+  EXPECT_THROW(r.variable("NOPE"), InvalidArgument);
+  EXPECT_EQ(r.variable("U").variable, "U");
+}
+
+TEST(SuiteNegative, UnknownHybridFamilyThrows) {
+  const SuiteResults r = tiny_results();
+  EXPECT_THROW(build_hybrid(r, "zstd"), InvalidArgument);
+}
+
+TEST(SuiteNegative, BiasSkippedVerdictsDoNotVeto) {
+  const SuiteResults r = tiny_results();
+  for (const VariableVerdict& v : r.variables[0].verdicts) {
+    EXPECT_FALSE(v.bias_evaluated);
+    EXPECT_TRUE(v.bias_pass);  // unevaluated => no veto
+  }
+}
+
+TEST(SuiteNegative, UnknownVariableInRunSuiteThrows) {
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{8, 24, 2};
+  spec.members = 4;
+  spec.latent.k = 48;
+  spec.latent.spinup_steps = 100;
+  spec.latent.average_steps = 200;
+  const climate::EnsembleGenerator ens(spec);
+  EXPECT_THROW(run_suite(ens, SuiteConfig{}, {"NOT_A_VAR"}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::core

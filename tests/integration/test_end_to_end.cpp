@@ -1,0 +1,125 @@
+// End-to-end integration: the full §4–§5 pipeline on a miniature ensemble
+// — generate members, write/read a history file, compress with the paper
+// variants, run all four acceptance tests, and check the paper-shape
+// qualitative outcomes.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "climate/ensemble.h"
+#include "climate/history.h"
+#include "compress/grib2/grib2.h"
+#include "compress/variants.h"
+#include "core/hybrid.h"
+#include "core/suite.h"
+
+namespace cesm {
+namespace {
+
+climate::EnsembleSpec mini_spec() {
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{16, 24, 4};
+  spec.members = 11;
+  spec.latent.k = 64;
+  spec.latent.spinup_steps = 300;
+  spec.latent.average_steps = 600;
+  return spec;
+}
+
+TEST(EndToEnd, HistoryFileCompressVerifyPipeline) {
+  const climate::EnsembleGenerator ens(mini_spec());
+
+  // 1. Write member 2's history file to disk and read it back.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cesmcomp_e2e.cnc").string();
+  make_history(ens, 2, {"U", "FSDSC", "Z3", "CCN3"}, ncio::Storage::kDeflate)
+      .write_file(path);
+  const ncio::Dataset ds = ncio::Dataset::read_file(path);
+  std::remove(path.c_str());
+
+  // 2. The history data must match the generator bit-for-bit (deflate is
+  // lossless).
+  const climate::Field u = climate::field_from_history(ds, "U");
+  EXPECT_EQ(u.data, ens.field("U", 2).data);
+
+  // 3. Compress the history field with every paper variant and check the
+  // reconstruction against the §4.2 metrics.
+  for (const comp::CodecPtr& codec : comp::paper_variants(5)) {
+    const comp::RoundTrip rt = comp::round_trip(*codec, u.data, u.shape);
+    const core::ErrorMetrics m = core::compare_fields(u, rt.reconstructed);
+    EXPECT_GT(m.pearson, 0.99) << codec->name();
+    EXPECT_LT(m.nrmse, 0.05) << codec->name();
+  }
+}
+
+TEST(EndToEnd, SuiteReproducesPaperShapeOnSpotlightVariables) {
+  const climate::EnsembleGenerator ens(mini_spec());
+  core::SuiteConfig cfg;
+  cfg.test_member_count = 2;
+  const core::SuiteResults results =
+      run_suite(ens, cfg, {"U", "FSDSC", "Z3", "CCN3"});
+
+  // Paper shape 1: U is benign — the gentle variant of every family
+  // passes its RMSZ test (the most aggressive variants legitimately fail
+  // some variables even in the paper's Table 6).
+  const core::VariableResult& u = results.variable("U");
+  for (const char* gentle : {"GRIB2", "APAX-2", "fpzip-24", "ISA-0.1"}) {
+    EXPECT_TRUE(u.verdicts[results.variant_index(gentle)].rmsz_pass) << gentle << " on U";
+  }
+
+  // Paper shape 2: GRIB2 struggles on the huge-range CCN3 (§5.3) — either
+  // no decimal scale passes, or preserving the tiny values forces a much
+  // worse compression ratio than on the benign FSDSC.
+  const auto extra_digits = [&](const core::VariableResult& var) {
+    const core::Characterization& c = var.character;
+    const int d0 = comp::choose_decimal_scale(c.summary.min, c.summary.max, 4);
+    return var.grib_decimal_scale - d0;
+  };
+  const core::VariableResult& ccn3 = results.variable("CCN3");
+  const core::VariableResult& fsdsc = results.variable("FSDSC");
+  const bool grib_worse_on_ccn3 =
+      !ccn3.grib_tuning_passed || extra_digits(ccn3) > extra_digits(fsdsc);
+  EXPECT_TRUE(grib_worse_on_ccn3)
+      << "ccn3: tuned=" << ccn3.grib_tuning_passed << " extra=" << extra_digits(ccn3)
+      << " | fsdsc: tuned=" << fsdsc.grib_tuning_passed
+      << " extra=" << extra_digits(fsdsc);
+
+  // Paper shape 3: APAX-2 (CR .5) passes everywhere it is tested here.
+  const std::size_t apax2 = results.variant_index("APAX-2");
+  for (const core::VariableResult& var : results.variables) {
+    EXPECT_TRUE(var.verdicts[apax2].rho_pass) << var.variable;
+  }
+
+  // Paper shape 4: hybrids cover all variables and fpzip's average CR is
+  // competitive (Table 7 has fpzip best overall).
+  const auto hybrids = core::build_all_hybrids(results);
+  const auto& nc = hybrids.back();
+  EXPECT_EQ(nc.family, "NetCDF-4");
+  for (const auto& h : hybrids) {
+    EXPECT_LE(h.avg_cr, 1.05);
+  }
+}
+
+TEST(EndToEnd, NewMachineMembersVerifyLikePaperPortingUseCase) {
+  // The original PVT use case: members beyond the base ensemble act as
+  // "runs on the new machine"; their RMSZ must fall inside the base
+  // distribution (the architecture change is not climate-changing).
+  const climate::EnsembleGenerator ens(mini_spec());
+  const core::EnsembleStats stats(ens.ensemble_fields(ens.variable("T")));
+
+  for (std::uint32_t new_member : {20u, 21u, 22u}) {
+    const climate::Field f = ens.field("T", new_member);
+    // Score the new run against each sub-ensemble; it should look like
+    // any other member for at least one exclusion (use member 0's).
+    const double rmsz = stats.rmsz_of(0, f.data);
+    const auto& dist = stats.rmsz_distribution();
+    const double lo = *std::min_element(dist.begin(), dist.end());
+    const double hi = *std::max_element(dist.begin(), dist.end());
+    EXPECT_GT(rmsz, lo * 0.5);
+    EXPECT_LT(rmsz, hi * 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace cesm

@@ -1,0 +1,154 @@
+#include "ncio/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cesm::ncio {
+namespace {
+
+Dataset sample_dataset(Storage storage = Storage::kRaw) {
+  Dataset ds;
+  ds.attrs()["title"] = std::string("test file");
+  ds.attrs()["case_id"] = std::int64_t{17};
+  ds.attrs()["dt"] = 0.25;
+
+  const auto ncol = ds.add_dimension("ncol", 100);
+  const auto lev = ds.add_dimension("lev", 4);
+
+  Variable v2;
+  v2.name = "PS";
+  v2.dtype = DataType::kFloat32;
+  v2.dim_ids = {ncol};
+  v2.storage = storage;
+  v2.attrs["units"] = std::string("Pa");
+  cesm::Pcg32 rng(41);
+  v2.f32.resize(100);
+  for (auto& x : v2.f32) x = static_cast<float>(rng.uniform(9e4, 1e5));
+  ds.add_variable(std::move(v2));
+
+  Variable v3;
+  v3.name = "T";
+  v3.dtype = DataType::kFloat32;
+  v3.dim_ids = {lev, ncol};
+  v3.storage = storage;
+  v3.fill_value = 1.0e35;
+  v3.f32.resize(400);
+  for (auto& x : v3.f32) x = static_cast<float>(rng.uniform(200.0, 300.0));
+  ds.add_variable(std::move(v3));
+
+  Variable v64;
+  v64.name = "time_bounds";
+  v64.dtype = DataType::kFloat64;
+  v64.dim_ids = {};
+  v64.f64 = {};
+  // A scalar-rank variable is legal only if element count is 1; give it a
+  // dimension instead.
+  v64.dim_ids = {lev};
+  v64.f64 = {0.0, 0.25, 0.5, 0.75};
+  ds.add_variable(std::move(v64));
+  return ds;
+}
+
+TEST(Dataset, SerializeDeserializeRoundTrip) {
+  const Dataset ds = sample_dataset();
+  const Dataset back = Dataset::deserialize(ds.serialize());
+
+  ASSERT_EQ(back.dimensions().size(), 2u);
+  EXPECT_EQ(back.dimension(0).name, "ncol");
+  EXPECT_EQ(back.dimension(0).length, 100u);
+
+  ASSERT_EQ(back.variables().size(), 3u);
+  const Variable* ps = back.find_variable("PS");
+  ASSERT_NE(ps, nullptr);
+  EXPECT_EQ(ps->f32, ds.find_variable("PS")->f32);
+  EXPECT_EQ(std::get<std::string>(ps->attrs.at("units")), "Pa");
+
+  const Variable* t = back.find_variable("T");
+  ASSERT_NE(t, nullptr);
+  ASSERT_TRUE(t->fill_value.has_value());
+  EXPECT_DOUBLE_EQ(*t->fill_value, 1.0e35);
+  EXPECT_EQ(t->f32, ds.find_variable("T")->f32);
+
+  const Variable* tb = back.find_variable("time_bounds");
+  ASSERT_NE(tb, nullptr);
+  EXPECT_EQ(tb->f64, (std::vector<double>{0.0, 0.25, 0.5, 0.75}));
+
+  EXPECT_EQ(std::get<std::int64_t>(back.attrs().at("case_id")), 17);
+  EXPECT_DOUBLE_EQ(std::get<double>(back.attrs().at("dt")), 0.25);
+}
+
+TEST(Dataset, DeflateStorageIsLosslessAndSmallerOnSmoothData) {
+  Dataset ds;
+  const auto ncol = ds.add_dimension("ncol", 20000);
+  Variable v;
+  v.name = "Z";
+  v.dim_ids = {ncol};
+  v.storage = Storage::kDeflate;
+  v.f32.resize(20000);
+  for (std::size_t i = 0; i < v.f32.size(); ++i) {
+    v.f32[i] = static_cast<float>(std::sin(i * 0.001) * 1000.0);
+  }
+  const std::vector<float> original = v.f32;
+  ds.add_variable(std::move(v));
+
+  EXPECT_LT(ds.stored_payload_bytes("Z"), 20000u * 4u);
+  const Dataset back = Dataset::deserialize(ds.serialize());
+  EXPECT_EQ(back.find_variable("Z")->f32, original);
+}
+
+TEST(Dataset, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "cesmcomp_test_ds.cnc").string();
+  const Dataset ds = sample_dataset(Storage::kDeflate);
+  ds.write_file(path);
+  const Dataset back = Dataset::read_file(path);
+  EXPECT_EQ(back.variables().size(), 3u);
+  EXPECT_EQ(back.find_variable("T")->f32, ds.find_variable("T")->f32);
+  std::remove(path.c_str());
+}
+
+TEST(Dataset, ReadMissingFileThrows) {
+  EXPECT_THROW(Dataset::read_file("/nonexistent/path/file.cnc"), IoError);
+}
+
+TEST(Dataset, RejectsDuplicateNames) {
+  Dataset ds;
+  ds.add_dimension("ncol", 10);
+  EXPECT_THROW(ds.add_dimension("ncol", 20), InvalidArgument);
+  Variable v;
+  v.name = "X";
+  v.dim_ids = {0};
+  v.f32.assign(10, 1.0f);
+  ds.add_variable(v);
+  EXPECT_THROW(ds.add_variable(v), InvalidArgument);
+}
+
+TEST(Dataset, RejectsShapeMismatch) {
+  Dataset ds;
+  ds.add_dimension("ncol", 10);
+  Variable v;
+  v.name = "X";
+  v.dim_ids = {0};
+  v.f32.assign(7, 1.0f);  // wrong size
+  EXPECT_THROW(ds.add_variable(std::move(v)), InvalidArgument);
+}
+
+TEST(Dataset, ThrowsOnCorruptBytes) {
+  Bytes garbage = {'n', 'o', 'p', 'e', 0, 0};
+  EXPECT_THROW(Dataset::deserialize(garbage), FormatError);
+}
+
+TEST(Dataset, ThrowsOnTruncatedPayload) {
+  const Dataset ds = sample_dataset();
+  Bytes bytes = ds.serialize();
+  bytes.resize(bytes.size() - 50);
+  EXPECT_THROW(Dataset::deserialize(bytes), FormatError);
+}
+
+}  // namespace
+}  // namespace cesm::ncio

@@ -1,0 +1,75 @@
+// Container-level corruption fuzzing: a damaged CNC1 file must never
+// crash the reader — it either throws a library error or yields a
+// well-formed dataset.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ncio/dataset.h"
+#include "util/rng.h"
+
+namespace cesm::ncio {
+namespace {
+
+Dataset sample(Storage storage) {
+  Dataset ds;
+  ds.attrs()["title"] = std::string("fuzz target");
+  const auto ncol = ds.add_dimension("ncol", 400);
+  Variable v;
+  v.name = "T";
+  v.dim_ids = {ncol};
+  v.storage = storage;
+  if (storage == Storage::kCodec) v.codec_spec = "fpzip-24";
+  v.f32.resize(400);
+  for (std::size_t i = 0; i < v.f32.size(); ++i) {
+    v.f32[i] = static_cast<float>(std::sin(i * 0.1) * 10.0);
+  }
+  ds.add_variable(std::move(v));
+  return ds;
+}
+
+class DatasetFuzz : public ::testing::TestWithParam<Storage> {};
+
+TEST_P(DatasetFuzz, ByteFlipsNeverCrash) {
+  const Bytes original = sample(GetParam()).serialize();
+  Pcg32 rng(0xdc);
+  int ok = 0, threw = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    Bytes corrupted = original;
+    for (int f = 0; f < 3; ++f) {
+      const std::size_t pos = rng.bounded(static_cast<std::uint32_t>(corrupted.size()));
+      corrupted[pos] ^= static_cast<std::uint8_t>(1u << rng.bounded(8));
+    }
+    try {
+      const Dataset back = Dataset::deserialize(corrupted);
+      ++ok;
+    } catch (const Error&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(ok + threw, 150);
+}
+
+TEST_P(DatasetFuzz, TruncationAlwaysThrowsOrParses) {
+  const Bytes original = sample(GetParam()).serialize();
+  for (std::size_t keep : {std::size_t{0}, std::size_t{5}, original.size() / 4,
+                           original.size() / 2, original.size() - 1}) {
+    Bytes cut(original.begin(), original.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(Dataset::deserialize(cut), Error) << "keep=" << keep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Storages, DatasetFuzz,
+                         ::testing::Values(Storage::kRaw, Storage::kDeflate,
+                                           Storage::kCodec),
+                         [](const ::testing::TestParamInfo<Storage>& info) {
+                           switch (info.param) {
+                             case Storage::kRaw: return "raw";
+                             case Storage::kDeflate: return "deflate";
+                             default: return "codec";
+                           }
+                         });
+
+}  // namespace
+}  // namespace cesm::ncio

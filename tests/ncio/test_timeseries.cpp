@@ -1,0 +1,96 @@
+#include "ncio/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "climate/ensemble.h"
+#include "climate/history.h"
+
+namespace cesm::ncio {
+namespace {
+
+std::vector<Dataset> make_slices(std::size_t count) {
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{8, 24, 3};
+  spec.members = static_cast<std::size_t>(count);
+  const climate::EnsembleGenerator ens(spec);
+  std::vector<Dataset> slices;
+  for (std::uint32_t t = 0; t < count; ++t) {
+    // Each "time slice" is a member snapshot (weather evolves between
+    // slices exactly like between members).
+    slices.push_back(climate::make_history(ens, t, {"U", "PS", "SST"}));
+  }
+  return slices;
+}
+
+TEST(TimeSeries, ConcatenatesSlicesWithTimeDimension) {
+  const auto slices = make_slices(4);
+  const Dataset series = to_timeseries(slices, "U");
+  const Variable* u = series.find_variable("U");
+  ASSERT_NE(u, nullptr);
+  ASSERT_GE(u->dim_ids.size(), 2u);
+  EXPECT_EQ(series.dimension(u->dim_ids[0]).name, "time");
+  EXPECT_EQ(series.dimension(u->dim_ids[0]).length, 4u);
+  EXPECT_EQ(u->f32.size(), 4u * slices[0].find_variable("U")->f32.size());
+}
+
+TEST(TimeSeries, SliceExtractionInvertsConcatenation) {
+  const auto slices = make_slices(3);
+  const Dataset series = to_timeseries(slices, "PS");
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(timeseries_slice(series, "PS", t), slices[t].find_variable("PS")->f32);
+  }
+}
+
+TEST(TimeSeries, FillValueCarriesThrough) {
+  const auto slices = make_slices(2);
+  const Dataset series = to_timeseries(slices, "SST");
+  const Variable* sst = series.find_variable("SST");
+  ASSERT_TRUE(sst->fill_value.has_value());
+  EXPECT_FLOAT_EQ(static_cast<float>(*sst->fill_value), climate::kFillValue);
+}
+
+TEST(TimeSeries, CodecPolicyAppliesLossyStorage) {
+  const auto slices = make_slices(3);
+  StoragePolicy policy;
+  policy.storage = Storage::kCodec;
+  policy.codec_spec = "fpzip-24";
+  const Dataset series = to_timeseries(slices, "U", policy);
+  // Round-trip through bytes: reconstruction must stay close per slice.
+  const Dataset back = Dataset::deserialize(series.serialize());
+  const auto t0 = timeseries_slice(back, "U", 0);
+  const auto& orig = slices[0].find_variable("U")->f32;
+  ASSERT_EQ(t0.size(), orig.size());
+  for (std::size_t i = 0; i < t0.size(); ++i) {
+    ASSERT_NEAR(t0[i], orig[i], 2e-3);
+  }
+  // And the stored payload is smaller than raw.
+  EXPECT_LT(series.stored_payload_bytes("U"),
+            series.find_variable("U")->f32.size() * 4);
+}
+
+TEST(TimeSeries, AllVariablesConversion) {
+  const auto slices = make_slices(2);
+  const auto all = to_timeseries_all(slices, [](const Variable& v) {
+    StoragePolicy p;
+    p.storage = v.fill_value ? Storage::kDeflate : Storage::kCodec;
+    p.codec_spec = v.fill_value ? "" : "fpzip-32";
+    return p;
+  });
+  EXPECT_EQ(all.size(), 3u);
+  EXPECT_EQ(all.at("U").find_variable("U")->codec_spec, "fpzip-32");
+  EXPECT_EQ(all.at("SST").find_variable("SST")->storage, Storage::kDeflate);
+}
+
+TEST(TimeSeries, MissingVariableThrows) {
+  const auto slices = make_slices(2);
+  EXPECT_THROW(to_timeseries(slices, "NOPE"), InvalidArgument);
+}
+
+TEST(TimeSeries, InconsistentSlicesThrow) {
+  auto slices = make_slices(2);
+  slices[1].find_variable("U")->f32.pop_back();
+  EXPECT_THROW(to_timeseries(slices, "U"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::ncio

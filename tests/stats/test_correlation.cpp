@@ -1,0 +1,76 @@
+#include "stats/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cesm::stats {
+namespace {
+
+TEST(Pearson, PerfectPositiveCorrelation) {
+  const std::vector<float> x = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> y = {2.0f, 4.0f, 6.0f, 8.0f};
+  EXPECT_NEAR(pearson(std::span<const float>(x), std::span<const float>(y)), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation) {
+  const std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> y = {3.0f, 2.0f, 1.0f};
+  EXPECT_NEAR(pearson(std::span<const float>(x), std::span<const float>(y)), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentSeriesNearZero) {
+  Pcg32 rng(3);
+  std::vector<float> x(20000), y(20000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.uniform());
+    y[i] = static_cast<float>(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(std::span<const float>(x), std::span<const float>(y)), 0.0, 0.03);
+}
+
+TEST(Pearson, IdenticalConstantSeriesIsOne) {
+  const std::vector<float> x = {5.0f, 5.0f, 5.0f};
+  EXPECT_DOUBLE_EQ(pearson(std::span<const float>(x), std::span<const float>(x)), 1.0);
+}
+
+TEST(Pearson, DifferentConstantSeriesIsZero) {
+  const std::vector<float> x = {5.0f, 5.0f};
+  const std::vector<float> y = {7.0f, 7.0f};
+  EXPECT_DOUBLE_EQ(pearson(std::span<const float>(x), std::span<const float>(y)), 0.0);
+}
+
+TEST(Pearson, MaskRemovesOutlierInfluence) {
+  const std::vector<float> x = {1.0f, 2.0f, 3.0f, 1e30f};
+  const std::vector<float> y = {2.0f, 4.0f, 6.0f, -1e30f};
+  const std::vector<std::uint8_t> mask = {1, 1, 1, 0};
+  EXPECT_NEAR(pearson(std::span<const float>(x), std::span<const float>(y), mask), 1.0,
+              1e-12);
+}
+
+TEST(Covariance, MatchesHandComputation) {
+  const std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> y = {2.0f, 4.0f, 6.0f};
+  // cov = E[(x - 2)(y - 4)] = (2 + 0 + 2) / 3
+  EXPECT_NEAR(covariance(std::span<const float>(x), std::span<const float>(y)), 4.0 / 3.0,
+              1e-12);
+}
+
+TEST(Pearson, NearIdenticalReconstructionScoresAboveThreshold) {
+  // Mimics the paper's 0.99999 acceptance bar: a tiny perturbation should
+  // stay above it; a large one should not.
+  Pcg32 rng(17);
+  std::vector<float> x(10000), tiny(10000), big(10000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(0.0, 100.0));
+    tiny[i] = x[i] + static_cast<float>(rng.uniform(-1e-3, 1e-3));
+    big[i] = x[i] + static_cast<float>(rng.uniform(-30.0, 30.0));
+  }
+  EXPECT_GT(pearson(std::span<const float>(x), std::span<const float>(tiny)), 0.99999);
+  EXPECT_LT(pearson(std::span<const float>(x), std::span<const float>(big)), 0.99999);
+}
+
+}  // namespace
+}  // namespace cesm::stats

@@ -1,0 +1,100 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cesm::stats {
+namespace {
+
+TEST(Summarize, BasicMoments) {
+  const std::vector<float> data = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  const Summary s = summarize(data);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.range(), 4.0);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Summarize, MaskExcludesFillPoints) {
+  const std::vector<float> data = {1.0f, 1.0e35f, 3.0f};
+  const std::vector<std::uint8_t> mask = {1, 0, 1};
+  const Summary s = summarize(std::span<const float>(data), mask);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(Summarize, EmptyInputGivesZeroCount) {
+  const Summary s = summarize(std::span<const float>{});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Summarize, AllMaskedGivesZeroCount) {
+  const std::vector<float> data = {1.0f, 2.0f};
+  const std::vector<std::uint8_t> mask = {0, 0};
+  EXPECT_EQ(summarize(std::span<const float>(data), mask).count, 0u);
+}
+
+TEST(Summarize, LargeOffsetFieldKeepsPrecision) {
+  // Z3-like: values near 3.7e4 with tiny spread; naive E[x^2]-E[x]^2 loses
+  // digits, the two-pass method must not.
+  std::vector<float> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(37000.0f + 0.001f * static_cast<float>(i % 10));
+  const Summary s = summarize(data);
+  EXPECT_GT(s.stddev, 0.002);
+  EXPECT_LT(s.stddev, 0.004);
+}
+
+TEST(QuantileSorted, Endpoints) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 4.0);
+}
+
+TEST(QuantileSorted, LinearInterpolation) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 5.0);
+}
+
+TEST(QuantileSorted, SingleElement) {
+  const std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.7), 42.0);
+}
+
+TEST(BoxSummary, MatchesManualQuartiles) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const BoxSummary b = box_summary(v);
+  EXPECT_DOUBLE_EQ(b.lo, 1.0);
+  EXPECT_DOUBLE_EQ(b.hi, 5.0);
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_EQ(b.count, 5u);
+}
+
+TEST(BoxSummary, EmptyThrows) {
+  EXPECT_THROW(box_summary({}), InvalidArgument);
+}
+
+TEST(WeightedMean, WeightsApply) {
+  const std::vector<float> data = {1.0f, 3.0f};
+  const std::vector<double> weights = {3.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(data, weights), 1.5);
+}
+
+TEST(WeightedMean, MaskedPointsIgnored) {
+  const std::vector<float> data = {1.0f, 100.0f};
+  const std::vector<double> weights = {1.0, 1.0};
+  const std::vector<std::uint8_t> mask = {1, 0};
+  EXPECT_DOUBLE_EQ(weighted_mean(data, weights, mask), 1.0);
+}
+
+}  // namespace
+}  // namespace cesm::stats

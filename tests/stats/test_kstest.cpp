@@ -1,0 +1,83 @@
+#include "stats/kstest.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cesm::stats {
+namespace {
+
+std::vector<double> normal_sample(std::size_t n, double mean, double sd,
+                                  std::uint64_t seed) {
+  NormalSampler rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next(mean, sd);
+  return v;
+}
+
+TEST(KolmogorovQ, LimitingValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(10.0), 0.0, 1e-12);
+  // Known point: Q(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(kolmogorov_q(1.36), 0.049, 0.002);
+}
+
+TEST(KolmogorovQ, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double l : {0.2, 0.5, 0.8, 1.1, 1.5, 2.0}) {
+    const double q = kolmogorov_q(l);
+    EXPECT_LE(q, prev);
+    prev = q;
+  }
+}
+
+TEST(KsTwoSample, IdenticalSamplesIndistinguishable) {
+  const auto a = normal_sample(200, 0.0, 1.0, 1);
+  const KsResult r = ks_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_FALSE(r.distinguishable());
+}
+
+TEST(KsTwoSample, SameDistributionUsuallyPasses) {
+  int distinguishable = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto a = normal_sample(150, 1.0, 0.2, 100 + rep);
+    const auto b = normal_sample(150, 1.0, 0.2, 900 + rep);
+    if (ks_two_sample(a, b).distinguishable(0.05)) ++distinguishable;
+  }
+  EXPECT_LE(distinguishable, 4);  // ~5% false positive rate expected
+}
+
+TEST(KsTwoSample, ShiftedDistributionDetected) {
+  const auto a = normal_sample(200, 0.0, 1.0, 7);
+  const auto b = normal_sample(200, 1.0, 1.0, 8);
+  const KsResult r = ks_two_sample(a, b);
+  EXPECT_TRUE(r.distinguishable(0.01));
+  EXPECT_GT(r.statistic, 0.3);
+}
+
+TEST(KsTwoSample, ScaleChangeDetected) {
+  const auto a = normal_sample(400, 0.0, 1.0, 9);
+  const auto b = normal_sample(400, 0.0, 3.0, 10);
+  EXPECT_TRUE(ks_two_sample(a, b).distinguishable(0.01));
+}
+
+TEST(KsTwoSample, UnequalSampleSizesSupported) {
+  const auto a = normal_sample(500, 0.0, 1.0, 11);
+  const auto b = normal_sample(50, 0.0, 1.0, 12);
+  const KsResult r = ks_two_sample(a, b);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+TEST(KsTwoSample, EmptySampleRejected) {
+  const std::vector<double> a = {1.0};
+  EXPECT_THROW(ks_two_sample(a, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::stats

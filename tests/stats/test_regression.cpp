@@ -1,0 +1,98 @@
+#include "stats/regression.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cesm::stats {
+namespace {
+
+TEST(FitLinear, ExactLineRecovered) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(2.5 * xi - 1.0);
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 2.5, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(f.residual_sd, 0.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLinear, RequiresVariationInX) {
+  const std::vector<double> x = {2.0, 2.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_THROW(fit_linear(x, y), InvalidArgument);
+}
+
+TEST(FitLinear, RequiresAtLeastThreePoints) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(fit_linear(x, y), InvalidArgument);
+}
+
+TEST(FitLinear, NoisyLineEstimatesWithinStandardErrors) {
+  Pcg32 rng(31);
+  NormalSampler noise(rng);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = static_cast<double>(i) / 10.0;
+    x.push_back(xi);
+    y.push_back(1.0 + 0.5 * xi + 0.1 * noise.next());
+  }
+  const LinearFit f = fit_linear(x, y);
+  EXPECT_NEAR(f.slope, 0.5, 4.0 * f.slope_se);
+  EXPECT_NEAR(f.intercept, 1.0, 4.0 * f.intercept_se);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(ConfidenceRect, ContainsTruthForUnbiasedData) {
+  // ~95 % coverage: with 40 independent replications, the true (slope,
+  // intercept) should land inside the rectangle nearly always (both
+  // marginal intervals at 95 % → joint miss rate <~ 10 %).
+  int contained = 0;
+  for (int rep = 0; rep < 40; ++rep) {
+    NormalSampler noise(1000 + rep);
+    std::vector<double> x, y;
+    for (int i = 0; i < 101; ++i) {
+      const double xi = 1.0 + 0.01 * i;
+      x.push_back(xi);
+      y.push_back(xi + 0.02 * noise.next());  // slope 1, intercept 0
+    }
+    const ConfidenceRect rect = confidence_rect(fit_linear(x, y), 0.95);
+    if (rect.contains(1.0, 0.0)) ++contained;
+  }
+  EXPECT_GE(contained, 32);
+}
+
+TEST(ConfidenceRect, ExcludesIdealForBiasedData) {
+  std::vector<double> x, y;
+  NormalSampler noise(77);
+  for (int i = 0; i < 101; ++i) {
+    const double xi = 1.0 + 0.01 * i;
+    x.push_back(xi);
+    y.push_back(0.8 * xi + 0.3 + 0.001 * noise.next());  // strong bias
+  }
+  const ConfidenceRect rect = confidence_rect(fit_linear(x, y), 0.95);
+  EXPECT_FALSE(rect.contains(1.0, 0.0));
+}
+
+TEST(ConfidenceRect, WidthShrinksWithLessNoise) {
+  auto width_for = [](double noise_sd) {
+    NormalSampler noise(5);
+    std::vector<double> x, y;
+    for (int i = 0; i < 101; ++i) {
+      const double xi = 1.0 + 0.01 * i;
+      x.push_back(xi);
+      y.push_back(xi + noise_sd * noise.next());
+    }
+    const ConfidenceRect r = confidence_rect(fit_linear(x, y), 0.95);
+    return r.slope_hi - r.slope_lo;
+  };
+  EXPECT_LT(width_for(0.001), width_for(0.1));
+}
+
+}  // namespace
+}  // namespace cesm::stats

@@ -1,0 +1,65 @@
+#include "stats/tdist.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace cesm::stats {
+namespace {
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1,1) = x (uniform distribution CDF).
+  EXPECT_NEAR(incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-12);
+  // I_x(2,2) = x^2 (3 - 2x).
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(incomplete_beta(2.0, 2.0, 0.25), 0.25 * 0.25 * 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(incomplete_beta(3.0, 4.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(3.0, 4.0, 1.0), 1.0);
+}
+
+TEST(TCdf, SymmetryAndMidpoint) {
+  EXPECT_NEAR(t_cdf(0.0, 10.0), 0.5, 1e-12);
+  EXPECT_NEAR(t_cdf(1.5, 7.0) + t_cdf(-1.5, 7.0), 1.0, 1e-12);
+}
+
+TEST(TCdf, MatchesTables) {
+  // t_{0.95, 1} = 6.3138 (Cauchy).
+  EXPECT_NEAR(t_cdf(6.3138, 1.0), 0.95, 1e-4);
+  // t_{0.975, 10} = 2.2281.
+  EXPECT_NEAR(t_cdf(2.2281, 10.0), 0.975, 1e-4);
+}
+
+TEST(TQuantile, InvertsCdf) {
+  for (double df : {1.0, 5.0, 30.0, 99.0}) {
+    for (double p : {0.05, 0.5, 0.9, 0.975, 0.999}) {
+      const double t = t_quantile(p, df);
+      EXPECT_NEAR(t_cdf(t, df), p, 1e-9) << "df=" << df << " p=" << p;
+    }
+  }
+}
+
+TEST(TQuantile, KnownCriticalValues) {
+  EXPECT_NEAR(t_quantile(0.975, 10.0), 2.2281, 2e-4);
+  EXPECT_NEAR(t_quantile(0.95, 1.0), 6.3138, 2e-3);
+  // df = 99 ~ the paper's bias-regression dof (101 members - 2).
+  EXPECT_NEAR(t_quantile(0.975, 99.0), 1.9842, 2e-4);
+}
+
+TEST(TQuantile, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(t_quantile(0.975, 1e6), 1.95996, 1e-3);
+}
+
+TEST(TCritical, TwoSided95) {
+  EXPECT_NEAR(t_critical(0.95, 99.0), t_quantile(0.975, 99.0), 1e-12);
+}
+
+TEST(TQuantile, RejectsBadArguments) {
+  EXPECT_THROW(t_quantile(0.0, 5.0), InvalidArgument);
+  EXPECT_THROW(t_quantile(1.0, 5.0), InvalidArgument);
+  EXPECT_THROW(t_quantile(0.5, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cesm::stats

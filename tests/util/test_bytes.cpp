@@ -1,0 +1,100 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace cesm {
+namespace {
+
+TEST(Bytes, RoundTripsAllScalarTypes) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.f32(3.14159f);
+  w.f64(-2.718281828459045);
+  w.str("hello world");
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_FLOAT_EQ(r.f32(), 3.14159f);
+  EXPECT_DOUBLE_EQ(r.f64(), -2.718281828459045);
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u32(0x01020304u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(Bytes, FloatBitPatternsSurviveExactly) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.f32(-0.0f);
+  w.f32(std::numeric_limits<float>::infinity());
+  w.f64(std::numeric_limits<double>::denorm_min());
+  ByteReader r(buf);
+  const float neg_zero = r.f32();
+  EXPECT_EQ(std::signbit(neg_zero), true);
+  EXPECT_EQ(neg_zero, 0.0f);
+  EXPECT_EQ(r.f32(), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Bytes, ReaderThrowsOnTruncation) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u16(7);
+  ByteReader r(buf);
+  EXPECT_THROW(r.u32(), FormatError);
+}
+
+TEST(Bytes, StringWithEmbeddedNulRoundTrips) {
+  Bytes buf;
+  ByteWriter w(buf);
+  const std::string s("a\0b", 3);
+  w.str(s);
+  ByteReader r(buf);
+  EXPECT_EQ(r.str(), s);
+}
+
+TEST(Bytes, TruncatedStringThrows) {
+  Bytes buf;
+  ByteWriter w(buf);
+  w.u32(100);  // claims 100 bytes follow
+  buf.push_back('x');
+  ByteReader r(buf);
+  EXPECT_THROW(r.str(), FormatError);
+}
+
+TEST(Bytes, RawSpanAccess) {
+  Bytes buf;
+  ByteWriter w(buf);
+  const std::uint8_t payload[] = {1, 2, 3, 4, 5};
+  w.raw(payload, 5);
+  ByteReader r(buf);
+  auto s = r.raw(3);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[2], 3);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_THROW(r.raw(3), FormatError);
+}
+
+}  // namespace
+}  // namespace cesm

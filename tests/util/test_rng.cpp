@@ -1,0 +1,98 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace cesm {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, NoObviousCollisions) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 64; ++a) {
+    for (std::uint64_t b = 0; b < 64; ++b) {
+      seen.insert(hash_combine(a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+TEST(Pcg32, DeterministicStream) {
+  Pcg32 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 rng(123);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Pcg32, BoundedIsInRange) {
+  Pcg32 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+  EXPECT_EQ(rng.bounded(1), 0u);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Pcg32, BoundedCoversAllValues) {
+  Pcg32 rng(5);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(NormalSampler, MomentsMatchStandardNormal) {
+  NormalSampler n(2024);
+  constexpr int kN = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = n.next();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(NormalSampler, ShiftAndScale) {
+  NormalSampler n(11);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += n.next(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace cesm

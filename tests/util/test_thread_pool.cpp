@@ -1,0 +1,86 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cesm {
+namespace {
+
+TEST(ThreadPool, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), Error);
+  // Pool remains usable after an exception.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool ran = false;
+  parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  parallel_for(7, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, ComputesCorrectSum) {
+  std::vector<double> values(10000);
+  parallel_for(0, values.size(), [&](std::size_t i) {
+    values[i] = static_cast<double>(i);
+  });
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 10000.0 * 9999.0 / 2.0);
+}
+
+TEST(ParallelFor, NestedCallsDegradeToSerialWithoutDeadlock) {
+  std::atomic<int> counter{0};
+  parallel_for(0, 16, [&](std::size_t) {
+    parallel_for(0, 16, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  EXPECT_EQ(counter.load(), 256);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  EXPECT_THROW(
+      parallel_for(0, 100,
+                   [](std::size_t i) {
+                     if (i == 50) throw Error("body failure");
+                   }),
+      Error);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cesm

@@ -1,0 +1,224 @@
+// cesmtool — command-line front end for the library's file workflow.
+//
+//   cesmtool generate <out.cnc> [--members=1] [--member=N] [--vars=N] [--scale=paper]
+//       synthesize a CAM-like history file
+//   cesmtool info <file.cnc>
+//       list dimensions, variables, attributes and stored sizes
+//   cesmtool compress <in.cnc> <out.cnc> --codec=NAME [--min-rho=0.99999]
+//       per-variable codec storage; falls back to lossless when the
+//       reconstruction misses the quality bar (paper §5.4's hybrid idea)
+//   cesmtool decompress <in.cnc> <out.cnc>
+//       rewrite every variable as raw float storage
+//   cesmtool diff <a.cnc> <b.cnc>
+//       §4.2 error metrics per shared variable
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "climate/ensemble.h"
+#include "climate/history.h"
+#include "compress/variants.h"
+#include "core/metrics.h"
+#include "core/report.h"
+#include "ncio/dataset.h"
+
+namespace {
+
+using namespace cesm;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cesmtool <generate|info|compress|decompress|diff> ...\n"
+               "  generate <out.cnc> [--member=N] [--vars=N] [--scale=paper]\n"
+               "  info <file.cnc>\n"
+               "  compress <in.cnc> <out.cnc> --codec=NAME [--min-rho=R]\n"
+               "  decompress <in.cnc> <out.cnc>\n"
+               "  diff <a.cnc> <b.cnc>\n");
+  return 2;
+}
+
+std::string opt_value(int argc, char** argv, const char* prefix) {
+  const std::size_t n = std::strlen(prefix);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, n) == 0) return argv[i] + n;
+  }
+  return "";
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string out = argv[2];
+  const std::string member_s = opt_value(argc, argv, "--member=");
+  const std::string vars_s = opt_value(argc, argv, "--vars=");
+  const bool paper = opt_value(argc, argv, "--scale=") == "paper";
+
+  climate::EnsembleSpec spec;
+  spec.grid = paper ? climate::GridSpec::paper() : climate::GridSpec::reduced();
+  spec.members = 3;
+  const climate::EnsembleGenerator ens(spec);
+
+  const auto member = static_cast<std::uint32_t>(
+      member_s.empty() ? 1 : std::strtoul(member_s.c_str(), nullptr, 10));
+  std::vector<std::string> vars;
+  if (!vars_s.empty()) {
+    const std::size_t limit = std::strtoull(vars_s.c_str(), nullptr, 10);
+    for (const climate::VariableSpec& v : ens.catalog()) {
+      if (vars.size() >= limit) break;
+      vars.push_back(v.name);
+    }
+  }
+  const ncio::Dataset ds = climate::make_history(ens, member, vars);
+  ds.write_file(out);
+  std::printf("wrote %s: %zu variables, member %u, %zu columns x %zu levels\n",
+              out.c_str(), ds.variables().size(), member, ens.grid().columns(),
+              ens.grid().levels());
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const ncio::Dataset ds = ncio::Dataset::read_file(argv[2]);
+
+  std::printf("attributes:\n");
+  for (const auto& [name, value] : ds.attrs()) {
+    if (const auto* s = std::get_if<std::string>(&value)) {
+      std::printf("  %s = \"%s\"\n", name.c_str(), s->c_str());
+    } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
+      std::printf("  %s = %lld\n", name.c_str(), static_cast<long long>(*i));
+    } else {
+      std::printf("  %s = %g\n", name.c_str(), std::get<double>(value));
+    }
+  }
+  std::printf("dimensions:\n");
+  for (const ncio::Dimension& d : ds.dimensions()) {
+    std::printf("  %s = %llu\n", d.name.c_str(), static_cast<unsigned long long>(d.length));
+  }
+
+  core::TextTable table({"variable", "dtype", "storage", "elements", "stored bytes", "CR"});
+  for (const ncio::Variable& v : ds.variables()) {
+    const std::size_t elems = v.element_count();
+    const std::size_t raw = elems * (v.dtype == ncio::DataType::kFloat32 ? 4 : 8);
+    const std::size_t stored = ds.stored_payload_bytes(v.name);
+    const char* storage = v.storage == ncio::Storage::kRaw       ? "raw"
+                          : v.storage == ncio::Storage::kDeflate ? "deflate"
+                                                                 : v.codec_spec.c_str();
+    table.add_row({v.name, v.dtype == ncio::DataType::kFloat32 ? "f32" : "f64", storage,
+                   std::to_string(elems), std::to_string(stored),
+                   core::format_fixed(static_cast<double>(stored) / static_cast<double>(raw), 2)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}
+
+int cmd_compress(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string codec_spec = opt_value(argc, argv, "--codec=");
+  if (codec_spec.empty()) return usage();
+  const std::string rho_s = opt_value(argc, argv, "--min-rho=");
+  const double min_rho = rho_s.empty() ? core::kPearsonThreshold
+                                       : std::strtod(rho_s.c_str(), nullptr);
+
+  ncio::Dataset ds = ncio::Dataset::read_file(argv[2]);
+  std::size_t lossy = 0, lossless = 0;
+  for (ncio::Variable& v : ds.variables()) {
+    if (v.dtype != ncio::DataType::kFloat32) {
+      v.storage = ncio::Storage::kDeflate;
+      ++lossless;
+      continue;
+    }
+    // Trial round trip against the quality bar.
+    const std::optional<float> fill =
+        v.fill_value ? std::optional<float>(static_cast<float>(*v.fill_value))
+                     : std::nullopt;
+    const comp::CodecPtr codec = comp::make_variant(codec_spec, fill);
+    comp::Shape shape;
+    for (std::uint32_t id : v.dim_ids) shape.dims.push_back(ds.dimension(id).length);
+    if (shape.dims.empty()) shape.dims.push_back(v.f32.size());
+    const comp::RoundTrip rt = comp::round_trip(*codec, v.f32, shape);
+    std::vector<std::uint8_t> mask;
+    if (fill) {
+      mask.assign(v.f32.size(), 1);
+      for (std::size_t i = 0; i < v.f32.size(); ++i) {
+        if (v.f32[i] == *fill) mask[i] = 0;
+      }
+    }
+    const core::ErrorMetrics m = core::compare_fields(v.f32, rt.reconstructed, mask);
+    if (m.pearson >= min_rho) {
+      v.storage = ncio::Storage::kCodec;
+      v.codec_spec = codec_spec;
+      ++lossy;
+    } else {
+      v.storage = ncio::Storage::kDeflate;
+      v.codec_spec.clear();
+      ++lossless;
+    }
+  }
+  ds.attrs()["compression"] = codec_spec + " (rho >= " + core::format_fixed(min_rho, 5) + ")";
+  ds.write_file(argv[3]);
+  std::printf("wrote %s: %zu variables with %s, %zu lossless fallbacks\n", argv[3], lossy,
+              codec_spec.c_str(), lossless);
+  return 0;
+}
+
+int cmd_decompress(int argc, char** argv) {
+  if (argc < 4) return usage();
+  ncio::Dataset ds = ncio::Dataset::read_file(argv[2]);  // decodes all payloads
+  for (ncio::Variable& v : ds.variables()) {
+    v.storage = ncio::Storage::kRaw;
+    v.codec_spec.clear();
+  }
+  ds.write_file(argv[3]);
+  std::printf("wrote %s: %zu variables as raw float data\n", argv[3],
+              ds.variables().size());
+  return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const ncio::Dataset a = ncio::Dataset::read_file(argv[2]);
+  const ncio::Dataset b = ncio::Dataset::read_file(argv[3]);
+
+  core::TextTable table({"variable", "e_nmax", "NRMSE", "pearson", "verdict"});
+  std::size_t compared = 0;
+  for (const ncio::Variable& va : a.variables()) {
+    const ncio::Variable* vb = b.find_variable(va.name);
+    if (vb == nullptr || va.dtype != ncio::DataType::kFloat32) continue;
+    if (vb->f32.size() != va.f32.size()) continue;
+    std::vector<std::uint8_t> mask;
+    if (va.fill_value) {
+      const auto fill = static_cast<float>(*va.fill_value);
+      mask.assign(va.f32.size(), 1);
+      for (std::size_t i = 0; i < va.f32.size(); ++i) {
+        if (va.f32[i] == fill) mask[i] = 0;
+      }
+    }
+    const core::ErrorMetrics m = core::compare_fields(va.f32, vb->f32, mask);
+    table.add_row({va.name, core::format_sci(m.e_nmax), core::format_sci(m.nrmse),
+                   core::format_fixed(m.pearson, 7),
+                   m.pearson >= core::kPearsonThreshold ? "pass" : "FAIL"});
+    ++compared;
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("%zu variables compared\n", compared);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "compress") return cmd_compress(argc, argv);
+    if (cmd == "decompress") return cmd_decompress(argc, argv);
+    if (cmd == "diff") return cmd_diff(argc, argv);
+  } catch (const cesm::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
