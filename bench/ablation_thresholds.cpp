@@ -70,5 +70,6 @@ int main(int argc, char** argv) {
       "Reading: pass counts should be monotone in each threshold; the rho test\n"
       "binds the aggressive variants (the paper's five-nines bar is the strict\n"
       "one), while eq. (8) and eq. (11) mostly confirm what rho already decided.\n");
+  bench::write_profile(options);
   return 0;
 }

@@ -7,7 +7,10 @@
 #include <string>
 
 #include "compress/variants.h"
+#include "core/profile_report.h"
+#include "util/error.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace cesm::bench {
 
@@ -16,12 +19,15 @@ namespace {
 [[noreturn]] void usage_and_exit(const char* prog) {
   std::printf(
       "usage: %s [--scale=reduced|paper] [--members=N] [--vars=N] [--no-bias] [--seed=N]\n"
+      "          [--profile=out.json]\n"
       "  --scale=reduced  3,456 columns x 8 levels (default for ensemble benches)\n"
       "  --scale=paper    48,672 columns x 30 levels (the paper's ne30-scale grid)\n"
       "  --members=N      perturbation ensemble size (paper: 101)\n"
       "  --vars=N         limit the variable census (0 = all 170)\n"
       "  --no-bias        skip the all-member bias regression (fast preview)\n"
-      "  --seed=N         seed for the random test-member choice\n",
+      "  --seed=N         seed for the random test-member choice\n"
+      "  --profile=PATH   enable per-stage tracing; write the JSON span tree\n"
+      "                   to PATH and a readable tree to stderr\n",
       prog);
   std::exit(2);
 }
@@ -47,13 +53,40 @@ Options Options::parse(int argc, char** argv, bool default_paper_scale) {
       o.run_bias = false;
     } else if (arg.rfind("--seed=", 0) == 0) {
       o.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      o.profile_path = arg.substr(10);
+      if (o.profile_path.empty()) usage_and_exit(argv[0]);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage_and_exit(argv[0]);
     }
   }
   o.grid = o.paper_scale ? climate::GridSpec::paper() : climate::GridSpec::reduced();
+  if (!o.profile_path.empty()) {
+    // Fail fast on an unwritable path: a bench run can take minutes and
+    // the profile is the whole point of passing the flag.
+    try {
+      core::write_profile_json(o.profile_path);
+    } catch (const IoError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(2);
+    }
+    trace::set_enabled(true);
+  }
   return o;
+}
+
+void write_profile(const Options& options) {
+  if (options.profile_path.empty()) return;
+  std::fputs(core::profile_text().c_str(), stderr);
+  try {
+    core::write_profile_json(options.profile_path);
+    std::fprintf(stderr, "profile written to %s\n", options.profile_path.c_str());
+  } catch (const IoError& e) {
+    // The path was probed at parse time; losing the file mid-run is
+    // worth a message, not an abort that hides the bench's results.
+    std::fprintf(stderr, "%s\n", e.what());
+  }
 }
 
 climate::EnsembleGenerator make_ensemble(const Options& options) {

@@ -7,6 +7,8 @@
 //   --vars=N                limit the variable census (0 = all 170)
 //   --no-bias               skip the all-member bias sweep (fast preview)
 //   --seed=N                test-member selection seed
+//   --profile=out.json      enable cesm::trace, write the JSON span tree
+//                           to out.json and a text tree to stderr
 
 #include <cstdint>
 #include <string>
@@ -24,8 +26,10 @@ struct Options {
   std::size_t var_limit = 0;  ///< 0 = whole catalog
   bool run_bias = true;
   std::uint64_t seed = 0x73575eedull;
+  std::string profile_path;  ///< empty = tracing stays disabled
 
   /// Parse argv; prints usage and exits on --help or bad arguments.
+  /// --profile=PATH additionally enables cesm::trace collection.
   static Options parse(int argc, char** argv,
                        bool default_paper_scale = false);
 };
@@ -40,6 +44,11 @@ std::vector<std::string> select_variables(const climate::EnsembleGenerator& ens,
 
 /// Suite configuration matching the options.
 core::SuiteConfig suite_config(const Options& options);
+
+/// When --profile was given: write the JSON profile to the requested
+/// path and print the span tree to stderr. No-op otherwise. Call at the
+/// end of a bench's main().
+void write_profile(const Options& options);
 
 /// The paper's variant display order.
 const std::vector<std::string>& variant_order();

@@ -71,5 +71,6 @@ int main(int argc, char** argv) {
       "gentle variants leave the RMSZ distribution KS-indistinguishable while the\n"
       "harsh ones shift it; budget drift stays small relative to ensemble spread\n"
       "for every variant that passes the paper's main tests.\n");
+  bench::write_profile(options);
   return 0;
 }

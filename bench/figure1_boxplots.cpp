@@ -80,5 +80,6 @@ int main(int argc, char** argv) {
       "Paper shape checks: within each family the boxes shift upward with\n"
       "compression level; each variant spans several orders of magnitude across\n"
       "the diverse variables — the motivation for per-variable treatment.\n");
+  bench::write_profile(options);
   return 0;
 }

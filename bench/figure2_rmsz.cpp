@@ -69,5 +69,6 @@ int main(int argc, char** argv) {
   std::printf(
       "Paper shape checks: all methods sit inside the distribution for U; the\n"
       "aggressive variants drift on Z3; GRIB2's marker is the outlier for CCN3.\n");
+  bench::write_profile(options);
   return 0;
 }

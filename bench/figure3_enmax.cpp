@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
       "Paper shape checks: all methods do well on U; ISABELA shows the larger\n"
       "errors on FSDSC; several methods struggle with Z3; GRIB2 is the CCN3\n"
       "outlier.\n");
+  bench::write_profile(options);
   return 0;
 }

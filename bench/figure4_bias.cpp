@@ -50,5 +50,6 @@ int main(int argc, char** argv) {
       "rectangles; tiny off-origin rectangles (uniform but insignificant bias)\n"
       "still pass eq. (9); large-uncertainty rectangles fail even at slope ~ 1;\n"
       "GRIB2 on CCN3 is far off the plot, as in the paper.\n");
+  bench::write_profile(options);
   return 0;
 }

@@ -32,5 +32,6 @@ int main(int argc, char** argv) {
       "\nPaper reference (CAM ne30 data):      U [-2.56e1, 5.45e1] mu 6.39 sd 1.22e1 CR .75\n"
       "  FSDSC [1.24e2, 3.26e2] mu 2.43e2 sd 4.83e1 CR .66 | Z3 [4.12e1, 3.77e4] CR .58\n"
       "  CCN3 [3.37e-5, 1.24e3] mu 2.66e1 sd 5.57e1 CR .71\n");
+  bench::write_profile(options);
   return 0;
 }

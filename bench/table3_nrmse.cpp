@@ -44,5 +44,6 @@ int main(int argc, char** argv) {
       "\nPaper shape checks: errors rise with compression within each family;\n"
       "fpzip-16 has the lowest CRs and the largest errors; APAX rates hit .50/.25/.20;\n"
       "ISABELA variants sit close together in CR (index overhead dominates).\n");
+  bench::write_profile(options);
   return 0;
 }

@@ -45,5 +45,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper shape check: e_nmax roughly tracks NRMSE one order of magnitude higher\n"
       "(compare against table3_nrmse output).\n");
+  bench::write_profile(options);
   return 0;
 }

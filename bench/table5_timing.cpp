@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
       "\nPaper shape checks: APAX is the fastest method (sometimes by orders of\n"
       "magnitude); ISABELA is the slowest (windowed sorting + spline fitting);\n"
       "the 3-D U costs more than the 2-D FSDSC.\n");
+  bench::write_profile(options);
   return 0;
 }

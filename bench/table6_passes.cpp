@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
       "family (APAX-2 > APAX-4 > APAX-5; fpzip-24 > fpzip-16; ISA-0.1 > ISA-0.5 >\n"
       "ISA-1.0); fpzip-24 and APAX-2 are the safest variants; no method passes\n"
       "every variable, motivating the per-variable hybrid of Table 7.\n");
+  bench::write_profile(options);
   return 0;
 }

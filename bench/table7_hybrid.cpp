@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
       "\nPaper shape checks: every hybrid beats the all-lossless NC column on\n"
       "average CR; fpzip achieves the best (lowest) average CR with APAX next;\n"
       "average rho stays at five-nines or better for every family.\n");
+  bench::write_profile(options);
   return 0;
 }

@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
       "\nPaper shape checks: each family's counts sum to the census; most\n"
       "variables use the most aggressive variant that passes, a minority need\n"
       "the lossless fallback (NetCDF-4 / fpzip-32).\n");
+  bench::write_profile(options);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "climate/ensemble.h"
 
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cesm::climate {
 
@@ -44,11 +45,15 @@ Field EnsembleGenerator::field(const std::string& name, std::uint32_t member) co
 }
 
 std::vector<Field> EnsembleGenerator::ensemble_fields(const VariableSpec& var) const {
+  trace::Span span("ensemble.synthesize");
   (void)synthesizer(var);  // construct once before fanning out
   std::vector<Field> fields(spec_.members);
   parallel_for(0, spec_.members, [&](std::size_t m) {
     fields[m] = field(var, static_cast<std::uint32_t>(m));
   });
+  trace::counter_add("ensemble.fields", fields.size());
+  trace::counter_add("ensemble.elements",
+                     fields.empty() ? 0 : fields.size() * fields.front().size());
   return fields;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cesm::comp {
 
@@ -37,6 +38,7 @@ std::vector<std::size_t> ChunkedCodec::chunk_offsets(const Shape& shape) const {
 
 Bytes ChunkedCodec::encode(std::span<const float> data, const Shape& shape) const {
   CESM_REQUIRE(shape.count() == data.size());
+  trace::Span span("chunked.encode");
   const std::vector<std::size_t> offsets = chunk_offsets(shape);
   const std::size_t chunks = offsets.size() - 1;
   const std::size_t slice = shape.rank() > 1 ? data.size() / shape.dims[0] : 0;
@@ -61,18 +63,40 @@ Bytes ChunkedCodec::encode(std::span<const float> data, const Shape& shape) cons
   w.u32(static_cast<std::uint32_t>(chunks));
   for (const Bytes& s : streams) w.u64(s.size());
   for (const Bytes& s : streams) w.raw(s);
+  trace::counter_add("chunked.chunks", chunks);
   return out;
 }
 
 std::vector<float> ChunkedCodec::decode(std::span<const std::uint8_t> stream) const {
+  trace::Span span("chunked.decode");
   ByteReader r(stream);
   const Shape shape = wire::read_header(r, kChunkMagic);
   const std::uint32_t chunks = r.u32();
   if (chunks == 0 || chunks > (1u << 24)) throw FormatError("chunked: bad chunk count");
+  // Every claim the header makes must be validated against the actual
+  // stream before it is allowed to size an allocation: each chunk owes
+  // an 8-byte size entry, chunks decode to at least one element each,
+  // and the chunk sizes must tile the payload region exactly.
+  if (chunks > r.remaining() / 8) {
+    throw FormatError("chunked: chunk count exceeds stream length");
+  }
+  if (chunks > shape.count()) throw FormatError("chunked: more chunks than elements");
+
+  std::vector<std::uint64_t> sizes(chunks);
+  std::uint64_t payload_total = 0;
+  for (auto& s : sizes) {
+    s = r.u64();
+    if (s > stream.size()) throw FormatError("chunked: chunk size exceeds stream length");
+    payload_total += s;  // no overflow: both operands are bounded by stream.size()
+    if (payload_total > stream.size()) {
+      throw FormatError("chunked: chunk sizes exceed stream length");
+    }
+  }
+  if (payload_total != r.remaining()) {
+    throw FormatError("chunked: chunk sizes disagree with stream length");
+  }
 
   std::vector<std::span<const std::uint8_t>> payloads(chunks);
-  std::vector<std::uint64_t> sizes(chunks);
-  for (auto& s : sizes) s = r.u64();
   for (std::uint32_t c = 0; c < chunks; ++c) payloads[c] = r.raw(sizes[c]);
 
   std::vector<std::vector<float>> parts(chunks);

@@ -1,6 +1,79 @@
 #include "compress/codec.h"
 
+#include "util/trace.h"
+
 namespace cesm::comp {
+
+namespace {
+
+/// Transparent observability wrapper: forwards to `inner` under a trace
+/// span and byte/element counters. Disabled tracing costs one relaxed
+/// atomic load per call (see util/trace.h), keeping codec throughput
+/// benchmarks honest.
+class TracedCodec final : public Codec {
+ public:
+  explicit TracedCodec(CodecPtr inner)
+      : inner_(std::move(inner)),
+        encode_label_("encode:" + inner_->name()),
+        decode_label_("decode:" + inner_->name()) {}
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+  [[nodiscard]] std::string family() const override { return inner_->family(); }
+  [[nodiscard]] bool is_lossless() const override { return inner_->is_lossless(); }
+  [[nodiscard]] Capabilities capabilities() const override { return inner_->capabilities(); }
+
+  [[nodiscard]] Bytes encode(std::span<const float> data, const Shape& shape) const override {
+    trace::Span span(encode_label_);
+    Bytes out = inner_->encode(data, shape);
+    trace::counter_add("codec.encode_calls", 1);
+    trace::counter_add("codec.elements_in", data.size());
+    trace::counter_add("codec.bytes_out", out.size());
+    return out;
+  }
+
+  [[nodiscard]] std::vector<float> decode(
+      std::span<const std::uint8_t> stream) const override {
+    trace::Span span(decode_label_);
+    std::vector<float> out = inner_->decode(stream);
+    trace::counter_add("codec.decode_calls", 1);
+    trace::counter_add("codec.bytes_in", stream.size());
+    trace::counter_add("codec.elements_out", out.size());
+    return out;
+  }
+
+  [[nodiscard]] Bytes encode64(std::span<const double> data,
+                               const Shape& shape) const override {
+    trace::Span span(encode_label_);
+    Bytes out = inner_->encode64(data, shape);
+    trace::counter_add("codec.encode_calls", 1);
+    trace::counter_add("codec.elements_in", data.size());
+    trace::counter_add("codec.bytes_out", out.size());
+    return out;
+  }
+
+  [[nodiscard]] std::vector<double> decode64(
+      std::span<const std::uint8_t> stream) const override {
+    trace::Span span(decode_label_);
+    std::vector<double> out = inner_->decode64(stream);
+    trace::counter_add("codec.decode_calls", 1);
+    trace::counter_add("codec.bytes_in", stream.size());
+    trace::counter_add("codec.elements_out", out.size());
+    return out;
+  }
+
+ private:
+  CodecPtr inner_;
+  std::string encode_label_;
+  std::string decode_label_;
+};
+
+}  // namespace
+
+CodecPtr traced(CodecPtr codec) {
+  CESM_REQUIRE(codec != nullptr);
+  if (dynamic_cast<const TracedCodec*>(codec.get()) != nullptr) return codec;
+  return std::make_shared<TracedCodec>(std::move(codec));
+}
 
 Bytes Codec::encode64(std::span<const double>, const Shape&) const {
   throw InvalidArgument(name() + " does not support 64-bit data");

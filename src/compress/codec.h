@@ -104,6 +104,14 @@ struct RoundTrip {
 
 RoundTrip round_trip(const Codec& codec, std::span<const float> data, const Shape& shape);
 
+/// Wrap `codec` so every encode/decode runs under a trace span
+/// ("encode:<name>" / "decode:<name>") with byte/element/call counters
+/// (see util/trace.h). Name, family, and stream format are unchanged;
+/// the factory functions in variants.cpp wrap every variant with this so
+/// all of the paper's methods are profiled uniformly. Returns `codec`
+/// unchanged when it is already traced.
+CodecPtr traced(CodecPtr codec);
+
 namespace wire {
 /// Decode-side safety cap on the total element count a stream header may
 /// claim (2^27 floats = 512 MiB). Large fields should go through

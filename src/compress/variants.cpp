@@ -31,10 +31,14 @@ std::vector<CodecPtr> paper_variants(int grib_decimal_scale,
   v.push_back(with_fill_handling(std::make_shared<IsabelaCodec>(0.1), fill_value));
   v.push_back(with_fill_handling(std::make_shared<IsabelaCodec>(0.5), fill_value));
   v.push_back(with_fill_handling(std::make_shared<IsabelaCodec>(1.0), fill_value));
+  // Trace every variant uniformly so --profile covers all nine methods.
+  for (CodecPtr& codec : v) codec = traced(std::move(codec));
   return v;
 }
 
-CodecPtr make_variant(const std::string& name, std::optional<float> fill_value) {
+namespace {
+
+CodecPtr make_variant_impl(const std::string& name, std::optional<float> fill_value) {
   if (name == "NetCDF-4" || name == "NC") {
     return std::make_shared<DeflateCodec>();
   }
@@ -89,6 +93,12 @@ CodecPtr make_variant(const std::string& name, std::optional<float> fill_value) 
   throw InvalidArgument("unknown codec variant: " + name);
 }
 
+}  // namespace
+
+CodecPtr make_variant(const std::string& name, std::optional<float> fill_value) {
+  return traced(make_variant_impl(name, fill_value));
+}
+
 std::vector<CodecPtr> family_ladder(const std::string& family, int grib_decimal_scale,
                                     std::optional<float> fill_value) {
   std::vector<CodecPtr> ladder;
@@ -116,6 +126,7 @@ std::vector<CodecPtr> family_ladder(const std::string& family, int grib_decimal_
   } else {
     throw InvalidArgument("unknown codec family: " + family);
   }
+  for (CodecPtr& codec : ladder) codec = traced(std::move(codec));
   return ladder;
 }
 

@@ -2,6 +2,7 @@
 
 #include "compress/grib2/grib2.h"
 #include "util/error.h"
+#include "util/trace.h"
 
 namespace cesm::core {
 
@@ -12,6 +13,7 @@ GribTuning rmsz_guided_decimal_scale(const EnsembleStats& stats,
                                      int significant_digits,
                                      int max_extra_digits) {
   CESM_REQUIRE(!test_members.empty());
+  trace::Span span("grib.tune");
   const PvtVerifier verifier(stats, thresholds);
 
   // Magnitude-based starting point from the probe member's range.
@@ -26,6 +28,7 @@ GribTuning rmsz_guided_decimal_scale(const EnsembleStats& stats,
     const int d = std::min(30, d0 + extra);
     const comp::Grib2Codec codec(d, fill);
     ++tuning.attempts;
+    trace::counter_add("grib.tune_attempts", 1);
     bool all_pass = true;
     for (std::size_t m : test_members) {
       const MemberEvaluation eval = verifier.evaluate_member(codec, m);

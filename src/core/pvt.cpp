@@ -6,6 +6,7 @@
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cesm::core {
 
@@ -45,6 +46,7 @@ MemberEvaluation PvtVerifier::evaluate_member(const comp::Codec& codec,
 }
 
 std::vector<double> PvtVerifier::reconstructed_rmsz(const comp::Codec& codec) const {
+  trace::Span span("pvt.bias_sweep");
   std::vector<double> scores(stats_.member_count());
   parallel_for(0, stats_.member_count(), [&](std::size_t m) {
     const climate::Field& original = stats_.member(m);
@@ -58,6 +60,7 @@ VariableVerdict PvtVerifier::verify(const comp::Codec& codec,
                                     std::span<const std::size_t> test_members,
                                     bool run_bias) const {
   CESM_REQUIRE(!test_members.empty());
+  trace::Span span("pvt.verify");
   VariableVerdict verdict;
   verdict.variable = stats_.member(0).name;
   verdict.codec = codec.name();

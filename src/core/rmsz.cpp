@@ -5,8 +5,24 @@
 #include <limits>
 
 #include "util/error.h"
+#include "util/trace.h"
 
 namespace cesm::core {
+
+namespace {
+
+/// A member's validity pattern with "no invalid points" normalized to
+/// the empty mask, so a field whose fill value never occurs compares
+/// equal to a field with no fill value at all.
+std::vector<std::uint8_t> effective_mask(const climate::Field& f) {
+  std::vector<std::uint8_t> mask = f.valid_mask();
+  const bool any_invalid =
+      std::find(mask.begin(), mask.end(), std::uint8_t{0}) != mask.end();
+  if (!any_invalid) mask.clear();
+  return mask;
+}
+
+}  // namespace
 
 EnsembleStats::EnsembleStats(std::vector<climate::Field> members)
     : members_(std::move(members)) {
@@ -15,11 +31,18 @@ EnsembleStats::EnsembleStats(std::vector<climate::Field> members)
   for (const climate::Field& f : members_) {
     CESM_REQUIRE(f.size() == n);
   }
-  mask_ = members_[0].valid_mask();
+  mask_ = effective_mask(members_[0]);
+  // The sufficient statistics below apply member 0's mask to every
+  // member; a member with a different fill pattern would silently
+  // pollute sum_/sum_sq_ with fill values, so reject it up front.
+  for (std::size_t m = 1; m < members_.size(); ++m) {
+    CESM_REQUIRE(effective_mask(members_[m]) == mask_);
+  }
   build();
 }
 
 void EnsembleStats::build() {
+  trace::Span span("stats.build");
   const std::size_t n = members_[0].size();
   const std::size_t m_count = members_.size();
   constexpr float kInf = std::numeric_limits<float>::infinity();

@@ -6,6 +6,7 @@
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cesm::core {
 
@@ -44,6 +45,8 @@ const VariableResult& SuiteResults::variable(const std::string& name) const {
 VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
                             const climate::VariableSpec& spec,
                             const SuiteConfig& config) {
+  trace::Span span("suite.variable");
+  trace::counter_add("suite.variables", 1);
   VariableResult result;
   result.variable = spec.name;
   result.is_3d = spec.is_3d;
@@ -85,6 +88,7 @@ VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
 SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
                        const SuiteConfig& config,
                        std::vector<std::string> variables) {
+  trace::Span span("suite.run");
   SuiteResults results;
   {
     // Record variant names once (decimal scale varies per variable but the

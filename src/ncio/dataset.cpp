@@ -6,6 +6,7 @@
 #include "compress/deflate/deflate.h"
 #include "compress/variants.h"
 #include "util/error.h"
+#include "util/trace.h"
 
 namespace cesm::ncio {
 
@@ -141,6 +142,7 @@ Variable* Dataset::find_variable(const std::string& name) {
 }
 
 Bytes Dataset::serialize() const {
+  trace::Span span("ncio.write");
   Bytes out;
   ByteWriter w(out);
   w.u32(kFileMagic);
@@ -168,10 +170,13 @@ Bytes Dataset::serialize() const {
     w.u64(payload.size());
     w.raw(payload);
   }
+  trace::counter_add("ncio.bytes_written", out.size());
   return out;
 }
 
 Dataset Dataset::deserialize(std::span<const std::uint8_t> bytes) {
+  trace::Span span("ncio.read");
+  trace::counter_add("ncio.bytes_read", bytes.size());
   ByteReader r(bytes);
   if (r.u32() != kFileMagic) throw FormatError("not a CNC1 dataset");
   if (r.u16() != kVersion) throw FormatError("unsupported CNC1 version");

@@ -1,6 +1,7 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/error.h"
@@ -28,14 +29,22 @@ Histogram Histogram::from_data(std::span<const double> data, std::size_t bins) {
 }
 
 std::size_t Histogram::bin_of(double value) const {
+  // Clamp before any float->integer cast: converting a NaN or a value
+  // past the last bin to std::size_t is undefined behavior.
+  CESM_REQUIRE(!std::isnan(value));
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   const double idx = (value - lo_) / width;
-  if (idx < 0.0) return 0;
   const auto i = static_cast<std::size_t>(idx);
   return std::min(i, counts_.size() - 1);
 }
 
 void Histogram::add(double value) {
+  if (std::isnan(value)) {
+    ++rejected_;
+    return;
+  }
   ++counts_[bin_of(value)];
   ++total_;
 }

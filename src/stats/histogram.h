@@ -8,9 +8,11 @@
 
 namespace cesm::stats {
 
-/// Fixed-range uniform histogram. Values outside [lo, hi] clamp into the
-/// first/last bin so a distribution plus a handful of outlier markers can
-/// share one set of axes, as in the paper's ensemble plots.
+/// Fixed-range uniform histogram. Finite values outside [lo, hi]
+/// (including ±inf) clamp into the first/last bin so a distribution plus
+/// a handful of outlier markers can share one set of axes, as in the
+/// paper's ensemble plots. NaN has no meaningful bin: add() routes it to
+/// a counted rejected() slot, and bin_of() throws InvalidArgument.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -24,18 +26,22 @@ class Histogram {
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   [[nodiscard]] std::size_t total() const { return total_; }
+  /// NaN inputs seen by add(); never counted in any bin or in total().
+  [[nodiscard]] std::size_t rejected() const { return rejected_; }
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
   [[nodiscard]] double bin_center(std::size_t bin) const;
   [[nodiscard]] std::size_t max_count() const;
 
-  /// Bin index a value falls into (after clamping).
+  /// Bin index a value falls into (after clamping). Throws
+  /// InvalidArgument for NaN, which belongs to no bin.
   [[nodiscard]] std::size_t bin_of(double value) const;
 
  private:
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t rejected_ = 0;
 };
 
 }  // namespace cesm::stats

@@ -1,0 +1,128 @@
+#pragma once
+// Low-overhead scoped tracing and metrics for the experiment pipeline.
+//
+// The suite harnesses fan out over 9 variants x 170 variables x 101
+// members; without per-stage timing there is no way to tell whether
+// ensemble synthesis, GRIB tuning, codec work, or RMSZ scoring dominates
+// a run. This module provides:
+//
+//   * RAII scoped spans (trace::Span) with nesting, timed on the
+//     monotonic clock;
+//   * named process-wide counters (bytes in/out, elements, codec calls);
+//   * per-thread span buffers merged on demand into one process-wide
+//     span tree with count/total/mean/max per label;
+//   * export hooks (core/profile_report.{h,cpp} renders the tree as
+//     text and JSON; bench/common wires it to --profile=out.json).
+//
+// Tracing is DISABLED by default. A disabled Span construction or
+// counter_add() costs exactly one relaxed atomic load and a branch, so
+// instrumented hot paths (codec encode/decode, ChunkedCodec, ncio)
+// keep their throughput when nobody is profiling.
+//
+// Thread model: each thread owns a private span-tree buffer guarded by
+// its own (uncontended) mutex; buffers register themselves in a global
+// registry on first use and outlive their thread so collect_tree() can
+// merge completed work at any time. Spans that are still open when the
+// tree is collected are simply not counted yet.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cesm::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+void span_begin(const std::string& label);
+void span_end();
+void counter_add_slow(const std::string& name, std::uint64_t delta);
+}  // namespace detail
+
+/// True while tracing collects. One relaxed atomic load — the entire
+/// cost of every disabled-mode Span or counter_add().
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+/// Turn collection on/off (off by default). Spans opened while enabled
+/// finish recording even if tracing is disabled before they close.
+void set_enabled(bool on);
+
+/// Drop every span and counter recorded so far, on every thread.
+/// Currently-open spans survive (their timing restarts from their
+/// original start point under a fresh tree).
+void reset();
+
+/// RAII scoped span. Nesting follows C++ scope per thread:
+///   trace::Span s("suite.variable");
+///   { trace::Span t("grib.tune"); ... }   // child of suite.variable
+class Span {
+ public:
+  explicit Span(const char* label) : armed_(enabled()) {
+    if (armed_) detail::span_begin(label);
+  }
+  explicit Span(const std::string& label) : armed_(enabled()) {
+    if (armed_) detail::span_begin(label);
+  }
+  ~Span() {
+    if (armed_) detail::span_end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool armed_;
+};
+
+/// Add to a named process-wide counter. No-op while disabled.
+inline void counter_add(const char* name, std::uint64_t delta) {
+  if (enabled()) detail::counter_add_slow(name, delta);
+}
+inline void counter_add(const std::string& name, std::uint64_t delta) {
+  if (enabled()) detail::counter_add_slow(name, delta);
+}
+
+/// Aggregated timing for one span label at one tree position.
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  [[nodiscard]] double total_seconds() const { return static_cast<double>(total_ns) * 1e-9; }
+  [[nodiscard]] double mean_seconds() const {
+    return count == 0 ? 0.0 : total_seconds() / static_cast<double>(count);
+  }
+  [[nodiscard]] double max_seconds() const { return static_cast<double>(max_ns) * 1e-9; }
+
+  void merge(const SpanStats& other) {
+    count += other.count;
+    total_ns += other.total_ns;
+    max_ns = max_ns > other.max_ns ? max_ns : other.max_ns;
+  }
+};
+
+/// One node of the merged span tree. The root is synthetic ("profile");
+/// its children are the top-level spans of every thread, merged by
+/// label, sorted by total time descending.
+struct ReportNode {
+  std::string label;
+  SpanStats stats;
+  std::vector<ReportNode> children;
+
+  /// First child with the given label, or nullptr.
+  [[nodiscard]] const ReportNode* child(const std::string& child_label) const;
+  /// Recursive node count, root included.
+  [[nodiscard]] std::size_t size() const;
+};
+
+/// Merge every thread's completed spans into one tree.
+ReportNode collect_tree();
+
+/// Flat per-label totals over the whole tree (a label appearing at
+/// several tree positions is summed).
+std::map<std::string, SpanStats> aggregate_by_label();
+
+/// Snapshot of every named counter, summed over threads.
+std::map<std::string, std::uint64_t> counters();
+
+}  // namespace cesm::trace

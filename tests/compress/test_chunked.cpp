@@ -86,6 +86,61 @@ TEST(ChunkedCodec, CorruptStreamThrows) {
   EXPECT_THROW(codec.decode(stream), FormatError);
 }
 
+// Hand-written "CHK1" stream with an attacker-controlled header.
+Bytes crafted_stream(std::uint64_t dim, std::uint32_t chunks,
+                     const std::vector<std::uint64_t>& sizes,
+                     std::size_t payload_bytes) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u32(0x314b4843);  // "CHK1"
+  w.u8(1);
+  w.u64(dim);
+  w.u32(chunks);
+  for (std::uint64_t s : sizes) w.u64(s);
+  for (std::size_t i = 0; i < payload_bytes; ++i) w.u8(0x5a);
+  return out;
+}
+
+TEST(ChunkedCodec, HugeChunkSizeThrowsInsteadOfAllocating) {
+  // Regression: a corrupt u64 chunk size used to reach reserve()/raw()
+  // unchecked and could demand a multi-GB allocation before failing.
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
+  const Bytes stream = crafted_stream(2048, 1, {1ull << 40}, 64);
+  EXPECT_THROW(codec.decode(stream), FormatError);
+}
+
+TEST(ChunkedCodec, ChunkCountBeyondStreamLengthThrows) {
+  // 2^24 - 1 claimed chunks owe ~128 MB of size entries the 64-byte
+  // stream cannot contain; must throw before sizing any allocation.
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
+  const Bytes stream = crafted_stream(1 << 20, (1u << 24) - 1, {}, 64);
+  EXPECT_THROW(codec.decode(stream), FormatError);
+}
+
+TEST(ChunkedCodec, MoreChunksThanElementsThrows) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
+  const Bytes stream = crafted_stream(4, 64, std::vector<std::uint64_t>(64, 8), 512);
+  EXPECT_THROW(codec.decode(stream), FormatError);
+}
+
+TEST(ChunkedCodec, ChunkSizesMustTilePayloadExactly) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
+  // Sizes sum to 32 but 64 payload bytes follow (and vice versa).
+  EXPECT_THROW(codec.decode(crafted_stream(2048, 2, {16, 16}, 64)), FormatError);
+  EXPECT_THROW(codec.decode(crafted_stream(2048, 2, {48, 48}, 64)), FormatError);
+}
+
+TEST(ChunkedCodec, TamperedChunkSizeInValidStreamThrows) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 1 << 12);
+  const auto data = field(20000);
+  Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  // Overwrite the first u64 chunk-size entry (after magic+rank+dim+count)
+  // with an absurd length.
+  const std::size_t size_offset = 4 + 1 + 8 + 4;
+  for (int i = 0; i < 8; ++i) stream[size_offset + i] = 0xff;
+  EXPECT_THROW(codec.decode(stream), FormatError);
+}
+
 TEST(ChunkedCodec, NameAdvertisesWrapping) {
   const ChunkedCodec codec(std::make_shared<FpzCodec>(24), 4096);
   EXPECT_EQ(codec.name(), "fpzip-24+chunked");

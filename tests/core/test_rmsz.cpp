@@ -164,5 +164,27 @@ TEST(EnsembleStats, RequiresAtLeastThreeMembers) {
   EXPECT_THROW(EnsembleStats(make_members(2, 10, 1)), InvalidArgument);
 }
 
+TEST(EnsembleStats, RejectsMismatchedFillPatterns) {
+  // Member 0's mask is applied to every member; a member whose fill
+  // pattern differs would leak fill values into sum_/sum_sq_, so the
+  // constructor must refuse it (regression: it used to accept silently).
+  auto members = make_members(5, 40, 0xee);
+  for (auto& f : members) {
+    f.fill = 1e35f;
+    f.data[7] = 1e35f;
+  }
+  members[3].data[22] = 1e35f;  // extra fill point only in member 3
+  EXPECT_THROW(EnsembleStats{members}, InvalidArgument);
+}
+
+TEST(EnsembleStats, AcceptsFillValueThatNeverOccurs) {
+  // A member whose declared fill value never appears has an all-valid
+  // mask; that must compare equal to members with no fill value at all.
+  auto members = make_members(4, 30, 0xff);
+  members[2].fill = 1e35f;  // set, but no point equals it
+  const EnsembleStats stats(members);
+  EXPECT_EQ(stats.point_count(), 30u);
+}
+
 }  // namespace
 }  // namespace cesm::core

@@ -47,6 +47,66 @@ TEST(SuiteNegative, BiasSkippedVerdictsDoNotVeto) {
   }
 }
 
+// Hand-built results pin down tally()'s exact arithmetic without paying
+// for an ensemble run.
+SuiteResults hand_built_results() {
+  SuiteResults r;
+  r.variant_names = {"A", "B"};
+
+  VariableVerdict pass;
+  pass.rho_pass = pass.rmsz_pass = pass.enmax_pass = pass.bias_pass = true;
+  VariableVerdict rho_only;
+  rho_only.rho_pass = true;
+  rho_only.rmsz_pass = rho_only.enmax_pass = rho_only.bias_pass = false;
+  VariableVerdict all_fail;
+  all_fail.rho_pass = all_fail.rmsz_pass = all_fail.enmax_pass = all_fail.bias_pass = false;
+
+  VariableResult v1;
+  v1.variable = "X";
+  v1.verdicts = {pass, rho_only};  // variant A passes all, B only rho
+  VariableResult v2;
+  v2.variable = "Y";
+  v2.verdicts = {pass, all_fail};
+  r.variables = {v1, v2};
+  return r;
+}
+
+TEST(SuiteTally, CountsExactlyPerVariant) {
+  const SuiteResults r = hand_built_results();
+  const std::vector<MethodTally> tally = r.tally();
+  ASSERT_EQ(tally.size(), 2u);
+
+  EXPECT_EQ(tally[0].codec, "A");
+  EXPECT_EQ(tally[0].rho, 2u);
+  EXPECT_EQ(tally[0].rmsz, 2u);
+  EXPECT_EQ(tally[0].enmax, 2u);
+  EXPECT_EQ(tally[0].bias, 2u);
+  EXPECT_EQ(tally[0].all, 2u);
+
+  EXPECT_EQ(tally[1].codec, "B");
+  EXPECT_EQ(tally[1].rho, 1u);
+  EXPECT_EQ(tally[1].rmsz, 0u);
+  EXPECT_EQ(tally[1].enmax, 0u);
+  EXPECT_EQ(tally[1].bias, 0u);
+  EXPECT_EQ(tally[1].all, 0u);
+}
+
+TEST(SuiteTally, EmptyResultsTallyToNothing) {
+  SuiteResults r;
+  EXPECT_TRUE(r.tally().empty());
+  EXPECT_THROW(r.variant_index("A"), InvalidArgument);
+  EXPECT_THROW(r.variable("X"), InvalidArgument);
+}
+
+TEST(SuiteTally, VariantIndexAndVariableLookUpHandBuiltEntries) {
+  const SuiteResults r = hand_built_results();
+  EXPECT_EQ(r.variant_index("A"), 0u);
+  EXPECT_EQ(r.variant_index("B"), 1u);
+  EXPECT_THROW(r.variant_index("a"), InvalidArgument);  // lookups are exact
+  EXPECT_EQ(r.variable("Y").variable, "Y");
+  EXPECT_THROW(r.variable("Z"), InvalidArgument);
+}
+
 TEST(SuiteNegative, UnknownVariableInRunSuiteThrows) {
   climate::EnsembleSpec spec;
   spec.grid = climate::GridSpec{8, 24, 2};

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "util/error.h"
@@ -63,6 +64,38 @@ TEST(Histogram, MaxCount) {
   h.add(0.2);
   h.add(0.9);
   EXPECT_EQ(h.max_count(), 2u);
+}
+
+TEST(Histogram, InfinitiesClampToEdgeBinsWithoutOverflow) {
+  // Regression: casting the huge bin index of +inf (or any value far
+  // above hi) to std::size_t was undefined behavior.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Histogram h(0.0, 1.0, 4);
+  h.add(kInf);
+  h.add(-kInf);
+  h.add(1e300);  // finite but would overflow the index cast unclamped
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bin_of(kInf), 3u);
+  EXPECT_EQ(h.bin_of(-kInf), 0u);
+  EXPECT_EQ(h.bin_of(1e300), 3u);
+}
+
+TEST(Histogram, NanIsRejectedAndCounted) {
+  // Regression: NaN -> size_t was undefined behavior; now add() routes
+  // NaN to the rejected() slot and bin_of() refuses it outright.
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  Histogram h(0.0, 1.0, 4);
+  h.add(kNan);
+  h.add(0.5);
+  std::vector<double> values = {kNan, 0.25, kNan};
+  h.add(values);
+  EXPECT_EQ(h.rejected(), 3u);
+  EXPECT_EQ(h.total(), 2u);  // NaNs never land in a bin or the total
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_THROW(h.bin_of(kNan), InvalidArgument);
 }
 
 TEST(Histogram, RejectsBadConstruction) {
