@@ -5,6 +5,7 @@
 
 #include "compress/deflate/deflate.h"
 #include "stats/correlation.h"
+#include "stats/kernels.h"
 #include "util/error.h"
 
 namespace cesm::core {
@@ -27,17 +28,13 @@ ErrorMetrics compare_fields(std::span<const float> original,
   CESM_REQUIRE(valid_mask.empty() || valid_mask.size() == original.size());
 
   ErrorMetrics m;
-  double sum_sq = 0.0;
-  for (std::size_t i = 0; i < original.size(); ++i) {
-    if (!valid_mask.empty() && !valid_mask[i]) continue;
-    const double e = static_cast<double>(original[i]) - static_cast<double>(reconstructed[i]);
-    sum_sq += e * e;
-    m.e_max = std::max(m.e_max, std::fabs(e));
-    ++m.points;
-  }
+  const stats::kernels::ErrorAccum err =
+      stats::kernels::error_norms(original, reconstructed, valid_mask);
+  m.e_max = err.max_abs;
+  m.points = err.count;
   if (m.points == 0) return m;
 
-  m.rmse = std::sqrt(sum_sq / static_cast<double>(m.points));
+  m.rmse = std::sqrt(err.sum_sq / static_cast<double>(m.points));
 
   double r = 0.0;
   double peak = 0.0;

@@ -23,7 +23,10 @@ MemberEvaluation PvtVerifier::evaluate_member(const comp::Codec& codec,
 
   const comp::RoundTrip rt = comp::round_trip(codec, original.data, original.shape);
   eval.cr = rt.cr;
-  eval.metrics = compare_fields(original, rt.reconstructed);
+  // Reuse the ensemble's shared validity mask (every member agrees on it
+  // by EnsembleStats' construction) instead of reallocating
+  // Field::valid_mask() for each of the variants x members evaluations.
+  eval.metrics = compare_fields(original.data, rt.reconstructed, stats_.mask());
 
   eval.rmsz_original = stats_.rmsz(member);
   eval.rmsz_reconstructed = stats_.rmsz_of(member, rt.reconstructed);
@@ -45,14 +48,20 @@ MemberEvaluation PvtVerifier::evaluate_member(const comp::Codec& codec,
   return eval;
 }
 
-std::vector<double> PvtVerifier::reconstructed_rmsz(const comp::Codec& codec) const {
+void PvtVerifier::reconstructed_rmsz_into(const comp::Codec& codec,
+                                          std::span<double> scores) const {
   trace::Span span("pvt.bias_sweep");
-  std::vector<double> scores(stats_.member_count());
+  CESM_REQUIRE(scores.size() == stats_.member_count());
   parallel_for(0, stats_.member_count(), [&](std::size_t m) {
     const climate::Field& original = stats_.member(m);
     const comp::RoundTrip rt = comp::round_trip(codec, original.data, original.shape);
     scores[m] = stats_.rmsz_of(m, rt.reconstructed);
   });
+}
+
+std::vector<double> PvtVerifier::reconstructed_rmsz(const comp::Codec& codec) const {
+  std::vector<double> scores(stats_.member_count());
+  reconstructed_rmsz_into(codec, scores);
   return scores;
 }
 
@@ -66,6 +75,7 @@ VariableVerdict PvtVerifier::verify(const comp::Codec& codec,
   verdict.codec = codec.name();
 
   verdict.rho_pass = verdict.rmsz_pass = verdict.enmax_pass = true;
+  verdict.members.reserve(test_members.size());
   double cr_sum = 0.0;
   for (std::size_t m : test_members) {
     MemberEvaluation eval = evaluate_member(codec, m);
@@ -78,7 +88,11 @@ VariableVerdict PvtVerifier::verify(const comp::Codec& codec,
   verdict.mean_cr = cr_sum / static_cast<double>(test_members.size());
 
   if (run_bias) {
-    const std::vector<double> recon_scores = reconstructed_rmsz(codec);
+    // Arena-backed score buffer: warmed on the first verify, reused
+    // allocation-free for every subsequent codec variant.
+    const std::span<double> recon_scores =
+        scratch_.get<double>(0, stats_.member_count());
+    reconstructed_rmsz_into(codec, recon_scores);
     verdict.bias = bias_test(stats_.rmsz_distribution(), recon_scores,
                              thresholds_.bias_confidence);
     verdict.bias_pass = verdict.bias.pass;

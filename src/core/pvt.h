@@ -20,6 +20,7 @@
 #include "core/bias.h"
 #include "core/metrics.h"
 #include "core/rmsz.h"
+#include "util/arena.h"
 
 namespace cesm::core {
 
@@ -79,6 +80,12 @@ class PvtVerifier {
 
   /// Full verdict: tests 1–3 on `test_members`, bias over all members
   /// when `run_bias` (compresses the whole ensemble; parallelized).
+  ///
+  /// The steady-state loop (same verifier, successive codecs) reuses a
+  /// scratch arena: after the first call it performs zero verify-layer
+  /// heap allocations (asserted via the "arena.grow" trace counter).
+  /// Consequently verify() must not run concurrently on one verifier;
+  /// distinct verifiers remain independent.
   [[nodiscard]] VariableVerdict verify(const comp::Codec& codec,
                                        std::span<const std::size_t> test_members,
                                        bool run_bias = true) const;
@@ -95,8 +102,16 @@ class PvtVerifier {
   [[nodiscard]] const PvtThresholds& thresholds() const { return thresholds_; }
 
  private:
+  /// Fill `scores` (one slot per member) with the reconstructed-ensemble
+  /// RMSZ; the allocation-free core of reconstructed_rmsz().
+  void reconstructed_rmsz_into(const comp::Codec& codec,
+                               std::span<double> scores) const;
+
   const EnsembleStats& stats_;
   PvtThresholds thresholds_;
+  /// Reusable verify-loop scratch (bias-sweep score buffer). Mutable so
+  /// the logically-const verify() can recycle capacity across calls.
+  mutable util::ScratchArena scratch_;
 };
 
 }  // namespace cesm::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "stats/kernels.h"
 #include "util/error.h"
 #include "util/trace.h"
 
@@ -56,54 +57,27 @@ void EnsembleStats::build() {
   argmax_.assign(n, 0);
   argmin_.assign(n, 0);
 
-  valid_points_ = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!mask_.empty() && !mask_[i]) continue;
-    ++valid_points_;
-  }
+  valid_points_ = stats::kernels::count_valid(mask_, n);
   CESM_REQUIRE(valid_points_ > 0);
 
+  // Sufficient statistics and leave-one-out extremes, one fused streaming
+  // pass per member (stats/kernels.h hoists the mask branch per block).
   for (std::size_t m = 0; m < m_count; ++m) {
     const std::vector<float>& x = members_[m].data;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!mask_.empty() && !mask_[i]) continue;
-      const double v = static_cast<double>(x[i]);
-      sum_[i] += v;
-      sum_sq_[i] += v * v;
-      if (x[i] > max1_[i]) {
-        max2_[i] = max1_[i];
-        max1_[i] = x[i];
-        argmax_[i] = static_cast<std::uint32_t>(m);
-      } else if (x[i] > max2_[i]) {
-        max2_[i] = x[i];
-      }
-      if (x[i] < min1_[i]) {
-        min2_[i] = min1_[i];
-        min1_[i] = x[i];
-        argmin_[i] = static_cast<std::uint32_t>(m);
-      } else if (x[i] < min2_[i]) {
-        min2_[i] = x[i];
-      }
-    }
+    stats::kernels::accumulate_sum_sq(x, mask_, sum_, sum_sq_);
+    stats::kernels::update_extremes(x, mask_, static_cast<std::uint32_t>(m), max1_,
+                                    max2_, argmax_, min1_, min2_, argmin_);
   }
 
-  // Per-member range and global mean over valid points.
+  // Per-member range and global mean over valid points: one fused
+  // min/max/mean kernel pass per member.
   ranges_.resize(m_count);
   global_means_.resize(m_count);
   for (std::size_t m = 0; m < m_count; ++m) {
-    const std::vector<float>& x = members_[m].data;
-    double lo = std::numeric_limits<double>::infinity();
-    double hi = -lo;
-    double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!mask_.empty() && !mask_[i]) continue;
-      const double v = static_cast<double>(x[i]);
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-      total += v;
-    }
-    ranges_[m] = hi - lo;
-    global_means_[m] = total / static_cast<double>(valid_points_);
+    const stats::kernels::MomentAccum a =
+        stats::kernels::moments(std::span<const float>(members_[m].data), mask_);
+    ranges_[m] = a.max - a.min;
+    global_means_[m] = a.mean;
   }
 
   // RMSZ distribution (original members).
@@ -113,18 +87,25 @@ void EnsembleStats::build() {
   }
 
   // E_nmax distribution (eq. 10): member m's largest pointwise distance to
-  // any other member, normalized by member m's own range.
+  // any other member, normalized by member m's own range. Mask hoisted per
+  // block; the leave-one-out select is branch-free.
   enmax_dist_.resize(m_count);
   for (std::size_t m = 0; m < m_count; ++m) {
     const std::vector<float>& x = members_[m].data;
     double worst = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!mask_.empty() && !mask_[i]) continue;
-      const float hi = (argmax_[i] == m) ? max2_[i] : max1_[i];
-      const float lo = (argmin_[i] == m) ? min2_[i] : min1_[i];
-      const double d = std::max(static_cast<double>(hi) - static_cast<double>(x[i]),
-                                static_cast<double>(x[i]) - static_cast<double>(lo));
-      worst = std::max(worst, d);
+    const std::span<const std::uint8_t> mask(mask_);
+    for (std::size_t b = 0; b < n; b += stats::kernels::kBlock) {
+      const std::size_t len = std::min(stats::kernels::kBlock, n - b);
+      const bool dense =
+          mask.empty() || stats::kernels::all_valid(mask.subspan(b, len));
+      for (std::size_t i = b; i < b + len; ++i) {
+        if (!dense && !mask_[i]) continue;
+        const float hi = (argmax_[i] == m) ? max2_[i] : max1_[i];
+        const float lo = (argmin_[i] == m) ? min2_[i] : min1_[i];
+        const double d = std::max(static_cast<double>(hi) - static_cast<double>(x[i]),
+                                  static_cast<double>(x[i]) - static_cast<double>(lo));
+        worst = std::max(worst, d);
+      }
     }
     enmax_dist_[m] = ranges_[m] > 0.0 ? worst / ranges_[m] : worst;
   }
@@ -134,30 +115,18 @@ double EnsembleStats::rmsz_of(std::size_t m, std::span<const float> data) const 
   CESM_REQUIRE(m < members_.size());
   const std::size_t n = members_[0].size();
   CESM_REQUIRE(data.size() == n);
-  const auto m_count = static_cast<double>(members_.size());
-  const std::vector<float>& orig = members_[m].data;
 
-  double sum_z2 = 0.0;
-  std::size_t used = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!mask_.empty() && !mask_[i]) continue;
-    // Sub-ensemble {E \ m} statistics via leave-one-out update. The value
-    // removed is the *original* member m, even when scoring reconstructed
-    // data in its place.
-    const double xm = static_cast<double>(orig[i]);
-    const double mu = (sum_[i] - xm) / (m_count - 1.0);
-    const double var = std::max(0.0, (sum_sq_[i] - xm * xm) / (m_count - 1.0) - mu * mu);
-    // Degenerate spread: z-scores are undefined. Spread below the float32
-    // representation noise of the mean (e.g. a saturated cloud-fraction
-    // point identical across members) is equally meaningless — skip both.
-    const double floor_sd = 3e-7 * std::fabs(mu);
-    if (var <= floor_sd * floor_sd) continue;
-    const double z = (static_cast<double>(data[i]) - mu) / std::sqrt(var);
-    sum_z2 += z * z;
-    ++used;
-  }
-  if (used == 0) return 0.0;
-  return std::sqrt(sum_z2 / static_cast<double>(used));
+  // Sub-ensemble {E \ m} statistics via leave-one-out update of the
+  // per-point sufficient statistics. The value removed is the *original*
+  // member m, even when scoring reconstructed data in its place. Points
+  // with degenerate spread — below the float32 representation noise of
+  // the mean (e.g. a saturated cloud-fraction point identical across
+  // members) — are skipped; see kDegenerateSpreadRelTol.
+  const stats::kernels::ZScoreAccum acc = stats::kernels::zscore_sums(
+      data, members_[m].data, sum_, sum_sq_, mask_,
+      static_cast<double>(members_.size()), kDegenerateSpreadRelTol);
+  if (acc.used == 0) return 0.0;
+  return std::sqrt(acc.sum_z2 / static_cast<double>(acc.used));
 }
 
 double EnsembleStats::enmax_range() const {

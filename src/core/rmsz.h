@@ -19,6 +19,10 @@
 
 namespace cesm::core {
 
+/// Spread below this fraction of |mean| is float32 representation noise;
+/// z-scores against it are meaningless (eq. 6 degenerate-spread guard).
+inline constexpr double kDegenerateSpreadRelTol = 3e-7;
+
 class EnsembleStats {
  public:
   /// Takes ownership of all members' fields (same variable, same shape,
@@ -56,6 +60,12 @@ class EnsembleStats {
   /// Equal-weight global mean of member m over valid points.
   [[nodiscard]] double global_mean(std::size_t m) const { return global_means_[m]; }
   [[nodiscard]] const std::vector<double>& global_means() const { return global_means_; }
+
+  /// Shared validity mask of the ensemble (empty = every point valid;
+  /// the constructor enforces that all members agree on it). Lets callers
+  /// reuse it for per-member metric passes instead of reallocating
+  /// Field::valid_mask() per evaluation.
+  [[nodiscard]] std::span<const std::uint8_t> mask() const { return mask_; }
 
  private:
   void build();

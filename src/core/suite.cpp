@@ -47,6 +47,13 @@ VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
                             const SuiteConfig& config) {
   trace::Span span("suite.variable");
   trace::counter_add("suite.variables", 1);
+  // test_members.front() below (and every downstream verify) requires at
+  // least one probe member; a zero count used to slip through pick_members
+  // and dereference an empty vector.
+  if (config.test_member_count == 0) {
+    throw InvalidArgument("SuiteConfig::test_member_count must be >= 1 (variable " +
+                          spec.name + ")");
+  }
   VariableResult result;
   result.variable = spec.name;
   result.is_3d = spec.is_3d;
@@ -90,13 +97,6 @@ SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
                        std::vector<std::string> variables) {
   trace::Span span("suite.run");
   SuiteResults results;
-  {
-    // Record variant names once (decimal scale varies per variable but the
-    // table label is just "GRIB2").
-    for (const comp::CodecPtr& codec : comp::paper_variants(4)) {
-      results.variant_names.push_back(codec->name());
-    }
-  }
 
   std::vector<const climate::VariableSpec*> specs;
   if (variables.empty()) {
@@ -109,6 +109,29 @@ SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
   parallel_for(0, specs.size(), [&](std::size_t i) {
     results.variables[i] = run_variable(ensemble, *specs[i], config);
   });
+
+  // Derive the variant-name row from the verdicts actually recorded, not
+  // from a separately-built paper_variants() list: tally() pairs
+  // variant_names[v] with verdicts[v], so any name/order divergence
+  // between the two constructions would silently misattribute verdicts.
+  // Every variable must agree on the same variant row.
+  if (!results.variables.empty()) {
+    for (const VariableVerdict& verdict : results.variables.front().verdicts) {
+      results.variant_names.push_back(verdict.codec);
+    }
+    for (const VariableResult& var : results.variables) {
+      CESM_REQUIRE(var.verdicts.size() == results.variant_names.size());
+      for (std::size_t v = 0; v < var.verdicts.size(); ++v) {
+        CESM_REQUIRE(var.verdicts[v].codec == results.variant_names[v]);
+      }
+    }
+  } else {
+    // No variables swept: fall back to the canonical list (decimal scale
+    // is a dummy; the table label is just "GRIB2" regardless).
+    for (const comp::CodecPtr& codec : comp::paper_variants(4)) {
+      results.variant_names.push_back(codec->name());
+    }
+  }
   return results;
 }
 

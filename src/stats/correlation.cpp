@@ -1,55 +1,45 @@
 #include "stats/correlation.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "stats/kernels.h"
 #include "util/error.h"
 
 namespace cesm::stats {
 
 namespace {
 
-struct Moments {
-  double mean_x = 0.0, mean_y = 0.0;
-  double sxx = 0.0, syy = 0.0, sxy = 0.0;
-  std::size_t n = 0;
-};
+/// A series whose centered spread is below the float32 representation
+/// noise of its own mean is effectively constant: spread beyond this is
+/// indistinguishable from quantization of the stored values. Mirrors the
+/// degenerate-spread floor used by the RMSZ machinery (core/rmsz.cpp).
+constexpr double kConstantSpreadRelTol = 3e-7;
 
-template <typename T>
-Moments moments(std::span<const T> x, std::span<const T> y,
-                std::span<const std::uint8_t> mask) {
-  CESM_REQUIRE(x.size() == y.size());
-  CESM_REQUIRE(mask.empty() || mask.size() == x.size());
-  Moments m;
-  double sx = 0.0, sy = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    if (!mask.empty() && !mask[i]) continue;
-    sx += static_cast<double>(x[i]);
-    sy += static_cast<double>(y[i]);
-    ++m.n;
-  }
-  if (m.n == 0) return m;
-  m.mean_x = sx / static_cast<double>(m.n);
-  m.mean_y = sy / static_cast<double>(m.n);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    if (!mask.empty() && !mask[i]) continue;
-    const double dx = static_cast<double>(x[i]) - m.mean_x;
-    const double dy = static_cast<double>(y[i]) - m.mean_y;
-    m.sxx += dx * dx;
-    m.syy += dy * dy;
-    m.sxy += dx * dy;
-  }
-  return m;
-}
+/// Two effectively-constant series count as pointwise equal when their
+/// means agree to this relative tolerance. A pure constant bias this small
+/// cannot meaningfully fail the paper's 1 - 1e-5 correlation bar, and a
+/// lossy round trip of a constant field always lands within float
+/// quantization of the original — exact `==` on the means (the seed
+/// behaviour) reported rho = 0 for such fields and spuriously failed them.
+constexpr double kConstantMeanRelTol = 1e-5;
 
 template <typename T>
 double pearson_impl(std::span<const T> x, std::span<const T> y,
                     std::span<const std::uint8_t> mask) {
-  const Moments m = moments(x, y, mask);
-  if (m.n == 0) return 0.0;
-  if (m.sxx == 0.0 || m.syy == 0.0) {
-    // Constant series: correlation is undefined; report 1 only for an
-    // exact pointwise match (both constant and equal means).
-    return (m.sxx == 0.0 && m.syy == 0.0 && m.mean_x == m.mean_y) ? 1.0 : 0.0;
+  const kernels::CoMomentAccum m = kernels::comoments(x, y, mask);
+  if (m.count == 0) return 0.0;
+  const double n = static_cast<double>(m.count);
+  const double floor_x = kConstantSpreadRelTol * std::fabs(m.mean_x);
+  const double floor_y = kConstantSpreadRelTol * std::fabs(m.mean_y);
+  const bool const_x = m.sxx <= n * floor_x * floor_x;
+  const bool const_y = m.syy <= n * floor_y * floor_y;
+  if (const_x || const_y) {
+    // Correlation is undefined for a constant series; report 1 only when
+    // both are constant at (tolerantly) the same level.
+    if (const_x != const_y) return 0.0;
+    const double scale = std::max(std::fabs(m.mean_x), std::fabs(m.mean_y));
+    return std::fabs(m.mean_x - m.mean_y) <= kConstantMeanRelTol * scale ? 1.0 : 0.0;
   }
   return m.sxy / std::sqrt(m.sxx * m.syy);
 }
@@ -58,8 +48,8 @@ double pearson_impl(std::span<const T> x, std::span<const T> y,
 
 double covariance(std::span<const float> x, std::span<const float> y,
                   std::span<const std::uint8_t> mask) {
-  const Moments m = moments(x, y, mask);
-  return m.n ? m.sxy / static_cast<double>(m.n) : 0.0;
+  const kernels::CoMomentAccum m = kernels::comoments(x, y, mask);
+  return m.count ? m.sxy / static_cast<double>(m.count) : 0.0;
 }
 
 double pearson(std::span<const float> x, std::span<const float> y,

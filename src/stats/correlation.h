@@ -11,10 +11,12 @@ double covariance(std::span<const float> x, std::span<const float> y,
                   std::span<const std::uint8_t> mask = {});
 
 /// Pearson correlation coefficient ρ = cov(X,Y)/(σ_X σ_Y)  (paper eq. 5).
-/// Returns 1.0 when either series is constant and the two series are
-/// pointwise identical (perfect reconstruction of a constant field), and
-/// 0.0 when one series is constant but they differ — the conservative
-/// choice for the acceptance test.
+/// Effectively-constant series (spread within float32 representation noise
+/// of the mean) are special-cased: returns 1.0 when both series are
+/// constant at the same level to within a small relative tolerance — so a
+/// faithful lossy reconstruction of a constant field is not spuriously
+/// failed — and 0.0 when one series is constant but the other is not, or
+/// both are constant at clearly different levels.
 double pearson(std::span<const float> x, std::span<const float> y,
                std::span<const std::uint8_t> mask = {});
 

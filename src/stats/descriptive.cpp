@@ -2,40 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
+#include "stats/kernels.h"
 #include "util/error.h"
 
 namespace cesm::stats {
 
 namespace {
 
+// Fused single-pass kernel (stats/kernels.h): blocked min/max/mean/M2 with
+// Chan merging keeps the two-pass code's resistance to catastrophic
+// cancellation on large-offset fields (e.g. Z3) while reading the data
+// from memory once.
 template <typename T>
 Summary summarize_impl(std::span<const T> data, std::span<const std::uint8_t> mask) {
-  CESM_REQUIRE(mask.empty() || mask.size() == data.size());
+  const kernels::MomentAccum a = kernels::moments(data, mask);
+  if (a.count == 0) return Summary{};
   Summary s;
-  s.min = std::numeric_limits<double>::infinity();
-  s.max = -std::numeric_limits<double>::infinity();
-  // Two-pass mean/variance: the variance pass subtracts the mean first,
-  // avoiding catastrophic cancellation on large-offset fields (e.g. Z3).
-  double sum = 0.0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    if (!mask.empty() && !mask[i]) continue;
-    const double x = static_cast<double>(data[i]);
-    s.min = std::min(s.min, x);
-    s.max = std::max(s.max, x);
-    sum += x;
-    ++s.count;
-  }
-  if (s.count == 0) return Summary{};
-  s.mean = sum / static_cast<double>(s.count);
-  double ss = 0.0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    if (!mask.empty() && !mask[i]) continue;
-    const double d = static_cast<double>(data[i]) - s.mean;
-    ss += d * d;
-  }
-  s.stddev = std::sqrt(ss / static_cast<double>(s.count));
+  s.min = a.min;
+  s.max = a.max;
+  s.mean = a.mean;
+  s.stddev = std::sqrt(a.m2 / static_cast<double>(a.count));
+  s.count = a.count;
   return s;
 }
 

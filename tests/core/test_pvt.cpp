@@ -8,6 +8,7 @@
 #include "compress/deflate/deflate.h"
 #include "compress/fpz/fpz.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace cesm::core {
 namespace {
@@ -139,6 +140,27 @@ TEST_F(PvtTest, BiasSkippedWhenRequested) {
   const VariableVerdict v = verifier_.verify(codec, members_, /*run_bias=*/false);
   EXPECT_FALSE(v.bias_evaluated);
   EXPECT_TRUE(v.bias_pass);  // not evaluated: no veto
+}
+
+TEST_F(PvtTest, SteadyStateVerifyLoopIsAllocationFree) {
+  // First verify warms the scratch arena to its high-water mark; every
+  // subsequent verify on the same verifier must reuse it without growing
+  // (the "arena.grow" trace counter stays at zero). This pins the
+  // zero-allocation contract documented on PvtVerifier::verify().
+  const comp::FpzCodec fpz24(24);
+  const comp::DeflateCodec deflate;
+  (void)verifier_.verify(fpz24, members_, /*run_bias=*/true);
+
+  trace::set_enabled(true);
+  trace::reset();
+  (void)verifier_.verify(fpz24, members_, /*run_bias=*/true);
+  (void)verifier_.verify(deflate, members_, /*run_bias=*/true);
+  const auto counters = trace::counters();
+  trace::set_enabled(false);
+
+  const auto it = counters.find("arena.grow");
+  EXPECT_TRUE(it == counters.end() || it->second == 0)
+      << "steady-state verify grew the arena " << it->second << " time(s)";
 }
 
 TEST(PickMembers, DeterministicSortedUnique) {

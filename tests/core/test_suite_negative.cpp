@@ -118,5 +118,40 @@ TEST(SuiteNegative, UnknownVariableInRunSuiteThrows) {
   EXPECT_THROW(run_suite(ens, SuiteConfig{}, {"NOT_A_VAR"}), InvalidArgument);
 }
 
+TEST(SuiteNegative, ZeroTestMembersThrowsInvalidArgument) {
+  // Regression: test_member_count == 0 used to sail through pick_members
+  // and dereference test_members.front() on an empty vector.
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{8, 24, 2};
+  spec.members = 4;
+  spec.latent.k = 48;
+  spec.latent.spinup_steps = 100;
+  spec.latent.average_steps = 200;
+  const climate::EnsembleGenerator ens(spec);
+  SuiteConfig cfg;
+  cfg.test_member_count = 0;
+  cfg.run_bias = false;
+  EXPECT_THROW(run_variable(ens, ens.variable("U"), cfg), InvalidArgument);
+  EXPECT_THROW(run_suite(ens, cfg, {"U"}), InvalidArgument);
+}
+
+TEST(SuiteNegative, VariantNamesMatchRecordedVerdicts) {
+  // variant_names must be derived from the verdicts actually recorded
+  // (tally() pairs variant_names[v] with verdicts[v] by index), and the
+  // order must remain the paper's canonical variant order.
+  const SuiteResults r = tiny_results();
+  ASSERT_FALSE(r.variables.empty());
+  for (const VariableResult& var : r.variables) {
+    ASSERT_EQ(var.verdicts.size(), r.variant_names.size());
+    for (std::size_t v = 0; v < var.verdicts.size(); ++v) {
+      EXPECT_EQ(var.verdicts[v].codec, r.variant_names[v]);
+    }
+  }
+  const std::vector<std::string> expected = {
+      "GRIB2",    "APAX-2",  "APAX-4",  "APAX-5", "fpzip-24",
+      "fpzip-16", "ISA-0.1", "ISA-0.5", "ISA-1.0"};
+  EXPECT_EQ(r.variant_names, expected);
+}
+
 }  // namespace
 }  // namespace cesm::core

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
+#include "compress/grib2/grib2.h"
 #include "util/rng.h"
 
 namespace cesm::stats {
@@ -56,6 +58,48 @@ TEST(Covariance, MatchesHandComputation) {
   // cov = E[(x - 2)(y - 4)] = (2 + 0 + 2) / 3
   EXPECT_NEAR(covariance(std::span<const float>(x), std::span<const float>(y)), 4.0 / 3.0,
               1e-12);
+}
+
+TEST(Pearson, ConstantFieldSurvivesLossyRoundTrip) {
+  // Regression: the constant-series branch used exact float equality on
+  // the two means, so a constant field pushed through a lossy codec —
+  // whose reconstruction is constant but off by one quantization step —
+  // scored rho = 0 and spuriously failed the 0.99999 acceptance bar.
+  const std::vector<float> x(5000, 1234.5678f);
+  const comp::Grib2Codec grib(4);
+  const comp::RoundTrip rt =
+      comp::round_trip(grib, x, comp::Shape::d1(x.size()));
+  ASSERT_EQ(rt.reconstructed.size(), x.size());
+  EXPECT_DOUBLE_EQ(
+      pearson(std::span<const float>(x), std::span<const float>(rt.reconstructed)),
+      1.0);
+}
+
+TEST(Pearson, ConstantSeriesWithTinyOffsetIsOne) {
+  // One float quantization step apart at this magnitude: well inside the
+  // mean tolerance, must count as the same constant.
+  const std::vector<float> x(100, 1234.5678f);
+  const std::vector<float> y(100, std::nextafter(1234.5678f, 2000.0f));
+  EXPECT_DOUBLE_EQ(pearson(std::span<const float>(x), std::span<const float>(y)), 1.0);
+}
+
+TEST(Pearson, ConstantVsNonConstantSeriesIsZero) {
+  const std::vector<float> x(64, 5.0f);
+  std::vector<float> y(64);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = static_cast<float>(i);
+  EXPECT_DOUBLE_EQ(pearson(std::span<const float>(x), std::span<const float>(y)), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(std::span<const float>(y), std::span<const float>(x)), 0.0);
+}
+
+TEST(Pearson, EffectivelyConstantBelowFloatNoiseIsTreatedAsConstant) {
+  // Spread far below float32 representation noise of the mean (ulp of
+  // 3.7e4 is ~4e-3): indistinguishable from a stored constant.
+  std::vector<float> x(1000, 37000.0f);
+  std::vector<float> y(1000);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = 37000.0f + ((i % 2 == 0) ? 1e-4f : -1e-4f);  // absorbed by rounding
+  }
+  EXPECT_DOUBLE_EQ(pearson(std::span<const float>(x), std::span<const float>(y)), 1.0);
 }
 
 TEST(Pearson, NearIdenticalReconstructionScoresAboveThreshold) {
