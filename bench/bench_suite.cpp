@@ -1,0 +1,258 @@
+// End-to-end suite benchmark: run_suite under three scheduler shapes.
+//
+//   fifo_baseline  N workers, serialize_nested — the seed thread pool's
+//                  behaviour (outer variable loop parallel, every nested
+//                  loop serial on the worker that entered it);
+//   sched_serial   1 worker — the plain serial reference;
+//   sched_full     N workers with nested work-stealing parallelism.
+//
+// Each timed repetition is truly end-to-end: it synthesizes a fresh
+// ensemble and runs the whole §4 methodology over the selected variables,
+// so the speedup covers synthesis, stats builds, GRIB tuning, PVT verify
+// and the chunked codec paths together. After timing, one traced pass
+// under sched_full produces the per-phase breakdown, and the three
+// configurations' results are cross-checked bitwise — a speedup that
+// changed a verdict would be a bug, not a feature.
+//
+// Output: a table on stdout and BENCH_suite.json (override with
+// --out=PATH). --quick shrinks members/variables for CI smoke runs;
+// --threads=N pins the worker count (default: CESM_THREADS env, then
+// hardware concurrency).
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "core/suite.h"
+#include "util/scheduler.h"
+#include "util/stopwatch.h"
+#include "util/trace.h"
+
+namespace {
+
+using namespace cesm;
+
+struct ConfigResult {
+  std::string name;
+  double seconds = 0.0;  ///< best-of-reps end-to-end wall time
+  SchedulerStats sched;  ///< accumulated over all reps
+  core::SuiteResults results;  ///< from the last rep (determinism check)
+};
+
+/// One timed configuration: `threads` workers (0 = default resolution),
+/// optionally reproducing the seed FIFO pool's nested-serial shape.
+ConfigResult run_config(const std::string& name, std::size_t threads,
+                        bool serialize_nested, int reps,
+                        const bench::Options& options,
+                        const std::vector<std::string>& variables) {
+  ConfigResult out;
+  out.name = name;
+  ScopedScheduler scoped(threads);
+  scoped.scheduler().set_serialize_nested(serialize_nested);
+  scoped.scheduler().reset_stats();
+  out.seconds = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    const climate::EnsembleGenerator ensemble = bench::make_ensemble(options);
+    out.results = core::run_suite(ensemble, bench::suite_config(options), variables);
+    out.seconds = std::min(out.seconds, sw.seconds());
+  }
+  out.sched = scoped.scheduler().stats();
+  return out;
+}
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Bitwise cross-check of two configurations' suite outputs. Returns
+/// false (after printing the first divergence) when any verdict, ratio,
+/// or tally differs — the scheduler's determinism contract says none may.
+bool identical_results(const core::SuiteResults& x, const core::SuiteResults& y,
+                       const std::string& xn, const std::string& yn) {
+  const auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "DETERMINISM FAILURE: %s differs between %s and %s\n",
+                 what.c_str(), xn.c_str(), yn.c_str());
+    return false;
+  };
+  if (x.variant_names != y.variant_names) return fail("variant_names");
+  if (x.variables.size() != y.variables.size()) return fail("variable count");
+  for (std::size_t i = 0; i < x.variables.size(); ++i) {
+    const core::VariableResult& a = x.variables[i];
+    const core::VariableResult& b = y.variables[i];
+    if (a.variable != b.variable) return fail("variable order");
+    if (a.test_members != b.test_members) return fail(a.variable + " test_members");
+    if (a.grib_decimal_scale != b.grib_decimal_scale)
+      return fail(a.variable + " grib_decimal_scale");
+    if (!same_bits(a.netcdf4_cr, b.netcdf4_cr)) return fail(a.variable + " netcdf4_cr");
+    if (!same_bits(a.fpzip32_cr, b.fpzip32_cr)) return fail(a.variable + " fpzip32_cr");
+    if (a.verdicts.size() != b.verdicts.size()) return fail(a.variable + " verdicts");
+    for (std::size_t v = 0; v < a.verdicts.size(); ++v) {
+      const core::VariableVerdict& va = a.verdicts[v];
+      const core::VariableVerdict& vb = b.verdicts[v];
+      if (va.rho_pass != vb.rho_pass || va.rmsz_pass != vb.rmsz_pass ||
+          va.enmax_pass != vb.enmax_pass || va.bias_pass != vb.bias_pass)
+        return fail(a.variable + "/" + va.codec + " pass flags");
+      if (!same_bits(va.mean_cr, vb.mean_cr))
+        return fail(a.variable + "/" + va.codec + " mean_cr");
+      if (va.members.size() != vb.members.size())
+        return fail(a.variable + "/" + va.codec + " member count");
+      for (std::size_t m = 0; m < va.members.size(); ++m) {
+        if (!same_bits(va.members[m].cr, vb.members[m].cr) ||
+            !same_bits(va.members[m].metrics.pearson, vb.members[m].metrics.pearson) ||
+            !same_bits(va.members[m].rmsz_reconstructed,
+                       vb.members[m].rmsz_reconstructed))
+          return fail(a.variable + "/" + va.codec + " member metrics");
+      }
+    }
+  }
+  return true;
+}
+
+struct PhaseRow {
+  std::string label;
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+};
+
+void write_json(std::ofstream& out, const std::vector<ConfigResult>& configs,
+                const std::vector<PhaseRow>& phases, const bench::Options& options,
+                std::size_t threads, std::size_t n_vars, int reps, bool deterministic,
+                double speedup_vs_fifo, double speedup_vs_serial) {
+  out << "{\n"
+      << "  \"bench\": \"suite\",\n"
+      << "  \"quick\": " << (options.quick ? "true" : "false") << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"members\": " << options.members << ",\n"
+      << "  \"variables\": " << n_vars << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"deterministic\": " << (deterministic ? "true" : "false") << ",\n"
+      << "  \"speedup_vs_fifo\": " << speedup_vs_fifo << ",\n"
+      << "  \"speedup_vs_serial\": " << speedup_vs_serial << ",\n"
+      << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const ConfigResult& c = configs[i];
+    out << "    {\"name\": \"" << c.name << "\", "
+        << "\"seconds\": " << c.seconds << ", "
+        << "\"tasks_spawned\": " << c.sched.spawned << ", "
+        << "\"tasks_stolen\": " << c.sched.stolen << ", "
+        << "\"tasks_popped\": " << c.sched.popped << ", "
+        << "\"tasks_injected\": " << c.sched.injected << ", "
+        << "\"tasks_helped_in_wait\": " << c.sched.helped << ", "
+        << "\"steal_ratio\": " << c.sched.steal_ratio() << ", "
+        << "\"busy_ns\": " << c.sched.total_busy_ns() << "}"
+        << (i + 1 < configs.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"phases\": [\n";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    out << "    {\"label\": \"" << phases[i].label << "\", "
+        << "\"count\": " << phases[i].count << ", "
+        << "\"total_seconds\": " << phases[i].total_seconds << "}"
+        << (i + 1 < phases.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Options options = bench::Options::parse(argc, argv);
+  // The full catalog at 101 members takes minutes; the bench's default is
+  // a representative slice, and --quick shrinks it to a CI smoke run.
+  // Explicit --members/--vars always win.
+  if (options.members == 101) options.members = options.quick ? 7 : 15;
+  if (options.var_limit == 0) options.var_limit = options.quick ? 4 : 8;
+  const int reps = options.quick ? 1 : 2;
+
+  const std::vector<std::string> variables = bench::select_variables(
+      bench::make_ensemble(options), options.var_limit);
+
+  std::vector<ConfigResult> configs;
+  configs.push_back(run_config("fifo_baseline", options.threads,
+                               /*serialize_nested=*/true, reps, options, variables));
+  configs.push_back(run_config("sched_serial", 1,
+                               /*serialize_nested=*/false, reps, options, variables));
+  configs.push_back(run_config("sched_full", options.threads,
+                               /*serialize_nested=*/false, reps, options, variables));
+  const ConfigResult& fifo = configs[0];
+  const ConfigResult& serial = configs[1];
+  const ConfigResult& full = configs[2];
+
+  const bool deterministic =
+      identical_results(serial.results, full.results, serial.name, full.name) &&
+      identical_results(serial.results, fifo.results, serial.name, fifo.name);
+
+  // Per-phase breakdown: one traced pass under the full scheduler.
+  std::vector<PhaseRow> phases;
+  std::size_t threads = 0;
+  {
+    const bool had_trace = trace::enabled();
+    trace::reset();
+    trace::set_enabled(true);
+    ScopedScheduler scoped(options.threads);
+    threads = scoped.scheduler().thread_count();
+    const climate::EnsembleGenerator ensemble = bench::make_ensemble(options);
+    const core::SuiteResults traced =
+        core::run_suite(ensemble, bench::suite_config(options), variables);
+    if (traced.variables.empty()) return 1;  // and keep `traced` observable
+    scoped.scheduler().publish_trace_counters();
+    for (const auto& [label, stats] : trace::aggregate_by_label()) {
+      phases.push_back({label, stats.count, stats.total_seconds()});
+    }
+    std::sort(phases.begin(), phases.end(), [](const PhaseRow& a, const PhaseRow& b) {
+      return a.total_seconds > b.total_seconds;
+    });
+    if (!had_trace) trace::set_enabled(false);
+  }
+
+  const double speedup_vs_fifo = fifo.seconds / full.seconds;
+  const double speedup_vs_serial = serial.seconds / full.seconds;
+
+  std::printf("%-14s %10s %10s %9s %9s %8s %12s\n", "config", "seconds", "spawned",
+              "stolen", "helped", "steal%", "busy (ms)");
+  for (const ConfigResult& c : configs) {
+    std::printf("%-14s %10.3f %10llu %9llu %9llu %7.1f%% %12.1f\n", c.name.c_str(),
+                c.seconds, static_cast<unsigned long long>(c.sched.spawned),
+                static_cast<unsigned long long>(c.sched.stolen),
+                static_cast<unsigned long long>(c.sched.helped),
+                c.sched.steal_ratio() * 100.0,
+                static_cast<double>(c.sched.total_busy_ns()) * 1e-6);
+  }
+  std::printf("threads=%zu (hw=%u)  members=%zu vars=%zu reps=%d%s\n", threads,
+              std::thread::hardware_concurrency(), options.members, variables.size(),
+              reps, options.quick ? " quick" : "");
+  std::printf("speedup vs fifo_baseline: %.2fx   vs 1 thread: %.2fx\n",
+              speedup_vs_fifo, speedup_vs_serial);
+  std::printf("deterministic across configs: %s\n", deterministic ? "yes" : "NO");
+  if (!phases.empty()) {
+    std::printf("top phases (traced pass):\n");
+    const std::size_t shown = std::min<std::size_t>(phases.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::printf("  %-24s %8.3f s  x%llu\n", phases[i].label.c_str(),
+                  phases[i].total_seconds,
+                  static_cast<unsigned long long>(phases[i].count));
+    }
+  }
+
+  const std::string out_path =
+      options.out_path.empty() ? "BENCH_suite.json" : options.out_path;
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  write_json(out, configs, phases, options, threads, variables.size(), reps,
+             deterministic, speedup_vs_fifo, speedup_vs_serial);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  bench::write_profile(options);
+  return deterministic ? 0 : 1;
+}

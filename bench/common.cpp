@@ -9,6 +9,7 @@
 #include "compress/variants.h"
 #include "core/profile_report.h"
 #include "util/error.h"
+#include "util/scheduler.h"
 #include "util/stopwatch.h"
 #include "util/trace.h"
 
@@ -19,13 +20,17 @@ namespace {
 [[noreturn]] void usage_and_exit(const char* prog) {
   std::printf(
       "usage: %s [--scale=reduced|paper] [--members=N] [--vars=N] [--no-bias] [--seed=N]\n"
-      "          [--profile=out.json]\n"
+      "          [--threads=N] [--quick] [--out=PATH] [--profile=out.json]\n"
       "  --scale=reduced  3,456 columns x 8 levels (default for ensemble benches)\n"
       "  --scale=paper    48,672 columns x 30 levels (the paper's ne30-scale grid)\n"
       "  --members=N      perturbation ensemble size (paper: 101)\n"
       "  --vars=N         limit the variable census (0 = all 170)\n"
       "  --no-bias        skip the all-member bias regression (fast preview)\n"
       "  --seed=N         seed for the random test-member choice\n"
+      "  --threads=N      scheduler worker count (default: CESM_THREADS env,\n"
+      "                   then hardware concurrency)\n"
+      "  --quick          CI smoke mode (shrinks the bench's workload)\n"
+      "  --out=PATH       override the bench's JSON output path\n"
       "  --profile=PATH   enable per-stage tracing; write the JSON span tree\n"
       "                   to PATH and a readable tree to stderr\n",
       prog);
@@ -53,6 +58,14 @@ Options Options::parse(int argc, char** argv, bool default_paper_scale) {
       o.run_bias = false;
     } else if (arg.rfind("--seed=", 0) == 0) {
       o.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      o.threads = static_cast<std::size_t>(std::strtoull(arg.c_str() + 10, nullptr, 10));
+      if (o.threads == 0) usage_and_exit(argv[0]);
+    } else if (arg == "--quick") {
+      o.quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      o.out_path = arg.substr(6);
+      if (o.out_path.empty()) usage_and_exit(argv[0]);
     } else if (arg.rfind("--profile=", 0) == 0) {
       o.profile_path = arg.substr(10);
       if (o.profile_path.empty()) usage_and_exit(argv[0]);
@@ -62,6 +75,11 @@ Options Options::parse(int argc, char** argv, bool default_paper_scale) {
     }
   }
   o.grid = o.paper_scale ? climate::GridSpec::paper() : climate::GridSpec::reduced();
+  if (o.threads != 0) {
+    // Before the lazily-built global scheduler exists; CESM_THREADS (and
+    // hardware concurrency) yield to an explicit flag.
+    Scheduler::set_default_threads(o.threads);
+  }
   if (!o.profile_path.empty()) {
     // Fail fast on an unwritable path: a bench run can take minutes and
     // the profile is the whole point of passing the flag.
@@ -78,6 +96,9 @@ Options Options::parse(int argc, char** argv, bool default_paper_scale) {
 
 void write_profile(const Options& options) {
   if (options.profile_path.empty()) return;
+  // Mirror the scheduler's work-distribution counters into the trace
+  // report so the profile shows where the parallelism landed.
+  Scheduler::global().publish_trace_counters();
   std::fputs(core::profile_text().c_str(), stderr);
   try {
     core::write_profile_json(options.profile_path);

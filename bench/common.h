@@ -7,6 +7,10 @@
 //   --vars=N                limit the variable census (0 = all 170)
 //   --no-bias               skip the all-member bias sweep (fast preview)
 //   --seed=N                test-member selection seed
+//   --threads=N             worker count for the global scheduler (default:
+//                           CESM_THREADS env, then hardware concurrency)
+//   --quick                 CI smoke mode (each bench shrinks its workload)
+//   --out=PATH              override the bench's JSON output path
 //   --profile=out.json      enable cesm::trace, write the JSON span tree
 //                           to out.json and a text tree to stderr
 
@@ -26,6 +30,9 @@ struct Options {
   std::size_t var_limit = 0;  ///< 0 = whole catalog
   bool run_bias = true;
   std::uint64_t seed = 0x73575eedull;
+  std::size_t threads = 0;   ///< 0 = CESM_THREADS env, then hardware concurrency
+  bool quick = false;        ///< CI smoke mode
+  std::string out_path;      ///< empty = the bench's default output file
   std::string profile_path;  ///< empty = tracing stays disabled
 
   /// Parse argv; prints usage and exits on --help or bad arguments.
@@ -45,9 +52,10 @@ std::vector<std::string> select_variables(const climate::EnsembleGenerator& ens,
 /// Suite configuration matching the options.
 core::SuiteConfig suite_config(const Options& options);
 
-/// When --profile was given: write the JSON profile to the requested
-/// path and print the span tree to stderr. No-op otherwise. Call at the
-/// end of a bench's main().
+/// When --profile was given: publish the scheduler's work-distribution
+/// counters (sched.*), write the JSON profile to the requested path, and
+/// print the span tree to stderr. No-op otherwise. Call at the end of a
+/// bench's main().
 void write_profile(const Options& options);
 
 /// The paper's variant display order.

@@ -1,6 +1,6 @@
 #include "climate/ensemble.h"
 
-#include "util/thread_pool.h"
+#include "util/scheduler.h"
 #include "util/trace.h"
 
 namespace cesm::climate {

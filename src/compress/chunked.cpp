@@ -2,13 +2,16 @@
 
 #include <algorithm>
 
-#include "util/thread_pool.h"
+#include "util/scheduler.h"
 #include "util/trace.h"
 
 namespace cesm::comp {
 
 namespace {
-constexpr std::uint32_t kChunkMagic = 0x314b4843;  // "CHK1"
+// "CHK2": version 2 appends a per-chunk element-count array to the header
+// so the decoder can presize one output buffer and hand each chunk its
+// slice without trusting (or recomputing) the encoder's chunking policy.
+constexpr std::uint32_t kChunkMagic = 0x324b4843;
 }
 
 ChunkedCodec::ChunkedCodec(CodecPtr inner, std::size_t target_chunk_elems)
@@ -62,22 +65,42 @@ Bytes ChunkedCodec::encode(std::span<const float> data, const Shape& shape) cons
   wire::write_header(w, kChunkMagic, shape);
   w.u32(static_cast<std::uint32_t>(chunks));
   for (const Bytes& s : streams) w.u64(s.size());
+  for (std::size_t c = 0; c < chunks; ++c) w.u64(offsets[c + 1] - offsets[c]);
   for (const Bytes& s : streams) w.raw(s);
   trace::counter_add("chunked.chunks", chunks);
   return out;
 }
 
 std::vector<float> ChunkedCodec::decode(std::span<const std::uint8_t> stream) const {
+  ByteReader r(stream);
+  const Shape shape = wire::read_header(r, kChunkMagic);
+  std::vector<float> out(shape.count());
+  decode_chunks(stream, out);
+  return out;
+}
+
+void ChunkedCodec::decode_into(std::span<const std::uint8_t> stream,
+                               std::span<float> out) const {
+  decode_chunks(stream, out);
+}
+
+void ChunkedCodec::decode_chunks(std::span<const std::uint8_t> stream,
+                                 std::span<float> out) const {
   trace::Span span("chunked.decode");
   ByteReader r(stream);
   const Shape shape = wire::read_header(r, kChunkMagic);
+  if (out.size() != shape.count()) {
+    throw FormatError("chunked: output buffer does not match stream element count");
+  }
   const std::uint32_t chunks = r.u32();
   if (chunks == 0 || chunks > (1u << 24)) throw FormatError("chunked: bad chunk count");
   // Every claim the header makes must be validated against the actual
-  // stream before it is allowed to size an allocation: each chunk owes
-  // an 8-byte size entry, chunks decode to at least one element each,
-  // and the chunk sizes must tile the payload region exactly.
-  if (chunks > r.remaining() / 8) {
+  // stream before it is allowed to size an allocation or slice the output:
+  // each chunk owes an 8-byte size entry and an 8-byte element count, the
+  // element counts must tile shape.count() exactly (each chunk at least
+  // one element), and the chunk sizes must tile the payload region
+  // exactly.
+  if (chunks > r.remaining() / 16) {
     throw FormatError("chunked: chunk count exceeds stream length");
   }
   if (chunks > shape.count()) throw FormatError("chunked: more chunks than elements");
@@ -92,6 +115,22 @@ std::vector<float> ChunkedCodec::decode(std::span<const std::uint8_t> stream) co
       throw FormatError("chunked: chunk sizes exceed stream length");
     }
   }
+
+  // Per-chunk element counts -> exclusive prefix sum = each chunk's slice
+  // offset in `out`. Counts are bounded by shape.count() (<= the decode
+  // element cap), so the running sum cannot overflow.
+  std::vector<std::size_t> elem_off(chunks + 1, 0);
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    const std::uint64_t elems = r.u64();
+    if (elems == 0) throw FormatError("chunked: empty chunk");
+    if (elems > shape.count() - elem_off[c]) {
+      throw FormatError("chunked: chunk elements exceed stream element count");
+    }
+    elem_off[c + 1] = elem_off[c] + static_cast<std::size_t>(elems);
+  }
+  if (elem_off[chunks] != shape.count()) {
+    throw FormatError("chunked: chunk elements disagree with stream element count");
+  }
   if (payload_total != r.remaining()) {
     throw FormatError("chunked: chunk sizes disagree with stream length");
   }
@@ -99,14 +138,14 @@ std::vector<float> ChunkedCodec::decode(std::span<const std::uint8_t> stream) co
   std::vector<std::span<const std::uint8_t>> payloads(chunks);
   for (std::uint32_t c = 0; c < chunks; ++c) payloads[c] = r.raw(sizes[c]);
 
-  std::vector<std::vector<float>> parts(chunks);
-  parallel_for(0, chunks, [&](std::size_t c) { parts[c] = inner_->decode(payloads[c]); });
-
-  std::vector<float> out;
-  out.reserve(shape.count());
-  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
-  if (out.size() != shape.count()) throw FormatError("chunked: element count mismatch");
-  return out;
+  // Each chunk decodes straight into its disjoint slice; the inner
+  // decode_into validates that the chunk really holds the element count
+  // the header promised.
+  parallel_for(0, chunks, [&](std::size_t c) {
+    inner_->decode_into(payloads[c],
+                        out.subspan(elem_off[c], elem_off[c + 1] - elem_off[c]));
+  });
+  trace::counter_add("chunked.chunks", chunks);
 }
 
 }  // namespace cesm::comp

@@ -4,8 +4,11 @@
 // The paper's workflow compresses terabytes of history data in a post-
 // processing step; single-stream codecs leave cores idle. ChunkedCodec
 // splits a field into independent chunks along its slowest dimension,
-// encodes them in parallel on the global thread pool, and concatenates
-// the self-describing chunk streams. Decoding is likewise parallel.
+// encodes them in parallel on the global scheduler, and concatenates the
+// self-describing chunk streams behind a header that records each chunk's
+// byte size AND element count. Decoding reads that tiling, presizes one
+// output buffer, and decodes every chunk in parallel directly into its
+// slice — no per-chunk temporaries, no concatenation pass.
 //
 // Chunking is semantically visible only at chunk boundaries (predictors
 // and windows reset), costing a small amount of ratio in exchange for
@@ -31,11 +34,17 @@ class ChunkedCodec final : public Codec {
 
   [[nodiscard]] Bytes encode(std::span<const float> data, const Shape& shape) const override;
   [[nodiscard]] std::vector<float> decode(std::span<const std::uint8_t> stream) const override;
+  void decode_into(std::span<const std::uint8_t> stream,
+                   std::span<float> out) const override;
 
   /// The chunk boundaries used for a given shape (element offsets).
   [[nodiscard]] std::vector<std::size_t> chunk_offsets(const Shape& shape) const;
 
  private:
+  /// Parse + validate the stream and decode every chunk into its slice of
+  /// `out` (whose size must equal the stream's element count).
+  void decode_chunks(std::span<const std::uint8_t> stream, std::span<float> out) const;
+
   CodecPtr inner_;
   std::size_t target_chunk_elems_;
 };

@@ -1,5 +1,7 @@
 #include "compress/codec.h"
 
+#include <algorithm>
+
 #include "util/trace.h"
 
 namespace cesm::comp {
@@ -39,6 +41,15 @@ class TracedCodec final : public Codec {
     trace::counter_add("codec.bytes_in", stream.size());
     trace::counter_add("codec.elements_out", out.size());
     return out;
+  }
+
+  void decode_into(std::span<const std::uint8_t> stream,
+                   std::span<float> out) const override {
+    trace::Span span(decode_label_);
+    inner_->decode_into(stream, out);
+    trace::counter_add("codec.decode_calls", 1);
+    trace::counter_add("codec.bytes_in", stream.size());
+    trace::counter_add("codec.elements_out", out.size());
   }
 
   [[nodiscard]] Bytes encode64(std::span<const double> data,
@@ -81,6 +92,15 @@ Bytes Codec::encode64(std::span<const double>, const Shape&) const {
 
 std::vector<double> Codec::decode64(std::span<const std::uint8_t>) const {
   throw InvalidArgument(name() + " does not support 64-bit data");
+}
+
+void Codec::decode_into(std::span<const std::uint8_t> stream,
+                        std::span<float> out) const {
+  const std::vector<float> tmp = decode(stream);
+  if (tmp.size() != out.size()) {
+    throw FormatError(name() + ": decoded element count does not match output buffer");
+  }
+  std::copy(tmp.begin(), tmp.end(), out.begin());
 }
 
 RoundTrip round_trip(const Codec& codec, std::span<const float> data, const Shape& shape) {

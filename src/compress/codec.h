@@ -85,6 +85,15 @@ class Codec {
   [[nodiscard]] virtual std::vector<float> decode(
       std::span<const std::uint8_t> stream) const = 0;
 
+  /// Decode directly into `out`, which must hold exactly the stream's
+  /// element count (FormatError otherwise). The base implementation
+  /// decodes into a temporary and copies; codecs that can write their
+  /// output in place override it to skip the copy — ChunkedCodec decodes
+  /// every chunk straight into its slice of `out`, saving one full pass
+  /// over each decoded field.
+  virtual void decode_into(std::span<const std::uint8_t> stream,
+                           std::span<float> out) const;
+
   /// Double-precision path; default throws unless capabilities().handles_64bit.
   [[nodiscard]] virtual Bytes encode64(std::span<const double> data,
                                        const Shape& shape) const;

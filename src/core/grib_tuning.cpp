@@ -1,7 +1,10 @@
 #include "core/grib_tuning.h"
 
+#include <algorithm>
+
 #include "compress/grib2/grib2.h"
 #include "util/error.h"
+#include "util/scheduler.h"
 #include "util/trace.h"
 
 namespace cesm::core {
@@ -30,12 +33,27 @@ GribTuning rmsz_guided_decimal_scale(const EnsembleStats& stats,
     ++tuning.attempts;
     trace::counter_add("grib.tune_attempts", 1);
     bool all_pass = true;
-    for (std::size_t m : test_members) {
-      const MemberEvaluation eval = verifier.evaluate_member(codec, m);
-      if (!(eval.rho_pass && eval.rmsz_pass && eval.enmax_pass)) {
-        all_pass = false;
-        break;
+    if (Scheduler::global().thread_count() <= 1) {
+      // Serial: keep the early break — a failed member skips the rest.
+      for (std::size_t m : test_members) {
+        const MemberEvaluation eval = verifier.evaluate_member(codec, m);
+        if (!(eval.rho_pass && eval.rmsz_pass && eval.enmax_pass)) {
+          all_pass = false;
+          break;
+        }
       }
+    } else {
+      // Parallel: evaluate every member (each is an independent
+      // compress + score) and AND the flags. The early break only skips
+      // work, never changes the verdict, so both paths agree exactly.
+      std::vector<std::uint8_t> pass(test_members.size(), 0);
+      parallel_for(0, test_members.size(), [&](std::size_t i) {
+        const MemberEvaluation eval =
+            verifier.evaluate_member(codec, test_members[i]);
+        pass[i] = (eval.rho_pass && eval.rmsz_pass && eval.enmax_pass) ? 1 : 0;
+      });
+      all_pass = std::all_of(pass.begin(), pass.end(),
+                             [](std::uint8_t p) { return p != 0; });
     }
     if (all_pass) {
       tuning.decimal_scale = d;

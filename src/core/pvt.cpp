@@ -5,7 +5,7 @@
 
 #include "util/error.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
+#include "util/scheduler.h"
 #include "util/trace.h"
 
 namespace cesm::core {
@@ -75,15 +75,20 @@ VariableVerdict PvtVerifier::verify(const comp::Codec& codec,
   verdict.codec = codec.name();
 
   verdict.rho_pass = verdict.rmsz_pass = verdict.enmax_pass = true;
-  verdict.members.reserve(test_members.size());
+  // Evaluate test members in parallel into per-member slots (each
+  // evaluation compresses + scores one field independently), then fold the
+  // pass flags and CR mean serially in member order — same results as the
+  // old serial loop, bit for bit, at any thread count.
+  verdict.members.resize(test_members.size());
+  parallel_for(0, test_members.size(), [&](std::size_t i) {
+    verdict.members[i] = evaluate_member(codec, test_members[i]);
+  });
   double cr_sum = 0.0;
-  for (std::size_t m : test_members) {
-    MemberEvaluation eval = evaluate_member(codec, m);
+  for (const MemberEvaluation& eval : verdict.members) {
     verdict.rho_pass = verdict.rho_pass && eval.rho_pass;
     verdict.rmsz_pass = verdict.rmsz_pass && eval.rmsz_pass;
     verdict.enmax_pass = verdict.enmax_pass && eval.enmax_pass;
     cr_sum += eval.cr;
-    verdict.members.push_back(std::move(eval));
   }
   verdict.mean_cr = cr_sum / static_cast<double>(test_members.size());
 

@@ -6,6 +6,7 @@
 
 #include "stats/kernels.h"
 #include "util/error.h"
+#include "util/scheduler.h"
 #include "util/trace.h"
 
 namespace cesm::core {
@@ -60,55 +61,89 @@ void EnsembleStats::build() {
   valid_points_ = stats::kernels::count_valid(mask_, n);
   CESM_REQUIRE(valid_points_ > 0);
 
-  // Sufficient statistics and leave-one-out extremes, one fused streaming
-  // pass per member (stats/kernels.h hoists the mask branch per block).
-  for (std::size_t m = 0; m < m_count; ++m) {
-    const std::vector<float>& x = members_[m].data;
-    stats::kernels::accumulate_sum_sq(x, mask_, sum_, sum_sq_);
-    stats::kernels::update_extremes(x, mask_, static_cast<std::uint32_t>(m), max1_,
-                                    max2_, argmax_, min1_, min2_, argmin_);
-  }
+  // Sufficient statistics and leave-one-out extremes. The member loop must
+  // run in member order (update_extremes resolves argmax ties by first
+  // arrival, and the sum/sum_sq float adds are order-sensitive), so the
+  // parallel axis is POINTS: each task owns a disjoint point slice and
+  // walks the members in order within it. Per point the arithmetic and its
+  // order are exactly the serial loop's, so results are bit-identical at
+  // every thread count. The slice width is a fixed multiple of the kernel
+  // block (never derived from the worker count) to keep the per-block
+  // mask hoisting aligned and the decomposition reproducible.
+  constexpr std::size_t kPointGrain = 16 * stats::kernels::kBlock;
+  const std::size_t point_chunks = (n + kPointGrain - 1) / kPointGrain;
+  const std::span<const std::uint8_t> mask(mask_);
+  parallel_for(0, point_chunks, [&](std::size_t c) {
+    const std::size_t lo = c * kPointGrain;
+    const std::size_t len = std::min(kPointGrain, n - lo);
+    const std::span<const std::uint8_t> mask_slice =
+        mask.empty() ? mask : mask.subspan(lo, len);
+    for (std::size_t m = 0; m < m_count; ++m) {
+      const std::span<const float> x(members_[m].data);
+      stats::kernels::accumulate_sum_sq(x.subspan(lo, len), mask_slice,
+                                        std::span<double>(sum_).subspan(lo, len),
+                                        std::span<double>(sum_sq_).subspan(lo, len));
+      stats::kernels::update_extremes(
+          x.subspan(lo, len), mask_slice, static_cast<std::uint32_t>(m),
+          std::span<float>(max1_).subspan(lo, len),
+          std::span<float>(max2_).subspan(lo, len),
+          std::span<std::uint32_t>(argmax_).subspan(lo, len),
+          std::span<float>(min1_).subspan(lo, len),
+          std::span<float>(min2_).subspan(lo, len),
+          std::span<std::uint32_t>(argmin_).subspan(lo, len));
+    }
+  });
 
   // Per-member range and global mean over valid points: one fused
-  // min/max/mean kernel pass per member.
+  // min/max/mean kernel pass per member, members in parallel (each writes
+  // its own slot).
   ranges_.resize(m_count);
   global_means_.resize(m_count);
-  for (std::size_t m = 0; m < m_count; ++m) {
+  parallel_for(0, m_count, [&](std::size_t m) {
     const stats::kernels::MomentAccum a =
         stats::kernels::moments(std::span<const float>(members_[m].data), mask_);
     ranges_[m] = a.max - a.min;
     global_means_[m] = a.mean;
-  }
+  });
 
-  // RMSZ distribution (original members).
+  // RMSZ distribution (original members), one independent slot per member.
   rmsz_dist_.resize(m_count);
-  for (std::size_t m = 0; m < m_count; ++m) {
+  parallel_for(0, m_count, [&](std::size_t m) {
     rmsz_dist_[m] = rmsz_of(m, members_[m].data);
-  }
+  });
 
   // E_nmax distribution (eq. 10): member m's largest pointwise distance to
   // any other member, normalized by member m's own range. Mask hoisted per
-  // block; the leave-one-out select is branch-free.
+  // block; the leave-one-out select is branch-free. Members run in
+  // parallel and each member's point scan is a nested parallel_reduce —
+  // max is order-independent over finite values, and the chunk grain is a
+  // kBlock multiple so the dense fast path stays aligned.
   enmax_dist_.resize(m_count);
-  for (std::size_t m = 0; m < m_count; ++m) {
+  parallel_for(0, m_count, [&](std::size_t m) {
     const std::vector<float>& x = members_[m].data;
-    double worst = 0.0;
-    const std::span<const std::uint8_t> mask(mask_);
-    for (std::size_t b = 0; b < n; b += stats::kernels::kBlock) {
-      const std::size_t len = std::min(stats::kernels::kBlock, n - b);
-      const bool dense =
-          mask.empty() || stats::kernels::all_valid(mask.subspan(b, len));
-      for (std::size_t i = b; i < b + len; ++i) {
-        if (!dense && !mask_[i]) continue;
-        const float hi = (argmax_[i] == m) ? max2_[i] : max1_[i];
-        const float lo = (argmin_[i] == m) ? min2_[i] : min1_[i];
-        const double d = std::max(static_cast<double>(hi) - static_cast<double>(x[i]),
-                                  static_cast<double>(x[i]) - static_cast<double>(lo));
-        worst = std::max(worst, d);
+    const auto chunk_worst = [&](std::size_t lo, std::size_t hi, double acc) {
+      for (std::size_t b = lo; b < hi; b += stats::kernels::kBlock) {
+        const std::size_t len = std::min(stats::kernels::kBlock, hi - b);
+        const bool dense =
+            mask.empty() || stats::kernels::all_valid(mask.subspan(b, len));
+        for (std::size_t i = b; i < b + len; ++i) {
+          if (!dense && !mask_[i]) continue;
+          const float hi_v = (argmax_[i] == m) ? max2_[i] : max1_[i];
+          const float lo_v = (argmin_[i] == m) ? min2_[i] : min1_[i];
+          const double d =
+              std::max(static_cast<double>(hi_v) - static_cast<double>(x[i]),
+                       static_cast<double>(x[i]) - static_cast<double>(lo_v));
+          acc = std::max(acc, d);
+        }
       }
-    }
+      return acc;
+    };
+    const double worst =
+        parallel_reduce(0, n, 0.0, chunk_worst,
+                        [](double a, double b) { return std::max(a, b); },
+                        kPointGrain);
     enmax_dist_[m] = ranges_[m] > 0.0 ? worst / ranges_[m] : worst;
-  }
+  });
 }
 
 double EnsembleStats::rmsz_of(std::size_t m, std::span<const float> data) const {

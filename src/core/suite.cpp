@@ -5,7 +5,7 @@
 #include "compress/variants.h"
 #include "util/error.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
+#include "util/scheduler.h"
 #include "util/trace.h"
 
 namespace cesm::core {

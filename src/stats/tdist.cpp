@@ -9,6 +9,20 @@ namespace cesm::stats {
 
 namespace {
 
+// glibc's lgamma writes the global `signgam` — a data race once workers
+// evaluate t-statistics concurrently. The reentrant variant computes the
+// identical value and returns the sign through an out-parameter. Declared
+// here directly because strict-ANSI feature macros hide it in <math.h>.
+#if defined(__GLIBC__)
+extern "C" double lgamma_r(double, int*) noexcept;
+double log_gamma(double x) {
+  int sign = 0;  // always +1 here: every argument is positive
+  return lgamma_r(x, &sign);
+}
+#else
+double log_gamma(double x) { return std::lgamma(x); }
+#endif
+
 // Lentz's continued-fraction evaluation of the incomplete beta function
 // (cf. Numerical Recipes betacf). Converges quickly for x < (a+1)/(a+b+2).
 double beta_cf(double a, double b, double x) {
@@ -53,7 +67,7 @@ double incomplete_beta(double a, double b, double x) {
   CESM_REQUIRE(x >= 0.0 && x <= 1.0);
   if (x == 0.0) return 0.0;
   if (x == 1.0) return 1.0;
-  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
                           a * std::log(x) + b * std::log1p(-x);
   const double front = std::exp(ln_front);
   if (x < (a + 1.0) / (a + b + 2.0)) {

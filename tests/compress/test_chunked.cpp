@@ -86,17 +86,20 @@ TEST(ChunkedCodec, CorruptStreamThrows) {
   EXPECT_THROW(codec.decode(stream), FormatError);
 }
 
-// Hand-written "CHK1" stream with an attacker-controlled header.
+// Hand-written "CHK2" stream with an attacker-controlled header: magic,
+// rank-1 shape, chunk count, byte-size array, element-count array, payload.
 Bytes crafted_stream(std::uint64_t dim, std::uint32_t chunks,
                      const std::vector<std::uint64_t>& sizes,
+                     const std::vector<std::uint64_t>& elems,
                      std::size_t payload_bytes) {
   Bytes out;
   ByteWriter w(out);
-  w.u32(0x314b4843);  // "CHK1"
+  w.u32(0x324b4843);  // "CHK2"
   w.u8(1);
   w.u64(dim);
   w.u32(chunks);
   for (std::uint64_t s : sizes) w.u64(s);
+  for (std::uint64_t e : elems) w.u64(e);
   for (std::size_t i = 0; i < payload_bytes; ++i) w.u8(0x5a);
   return out;
 }
@@ -105,29 +108,46 @@ TEST(ChunkedCodec, HugeChunkSizeThrowsInsteadOfAllocating) {
   // Regression: a corrupt u64 chunk size used to reach reserve()/raw()
   // unchecked and could demand a multi-GB allocation before failing.
   const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
-  const Bytes stream = crafted_stream(2048, 1, {1ull << 40}, 64);
+  const Bytes stream = crafted_stream(2048, 1, {1ull << 40}, {2048}, 64);
   EXPECT_THROW(codec.decode(stream), FormatError);
 }
 
 TEST(ChunkedCodec, ChunkCountBeyondStreamLengthThrows) {
-  // 2^24 - 1 claimed chunks owe ~128 MB of size entries the 64-byte
-  // stream cannot contain; must throw before sizing any allocation.
+  // 2^24 - 1 claimed chunks owe ~256 MB of size + element-count entries
+  // the 64-byte stream cannot contain; must throw before sizing any
+  // allocation.
   const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
-  const Bytes stream = crafted_stream(1 << 20, (1u << 24) - 1, {}, 64);
+  const Bytes stream = crafted_stream(1 << 20, (1u << 24) - 1, {}, {}, 64);
   EXPECT_THROW(codec.decode(stream), FormatError);
 }
 
 TEST(ChunkedCodec, MoreChunksThanElementsThrows) {
   const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
-  const Bytes stream = crafted_stream(4, 64, std::vector<std::uint64_t>(64, 8), 512);
+  const Bytes stream = crafted_stream(4, 64, std::vector<std::uint64_t>(64, 8),
+                                      std::vector<std::uint64_t>(64, 1), 512);
   EXPECT_THROW(codec.decode(stream), FormatError);
 }
 
 TEST(ChunkedCodec, ChunkSizesMustTilePayloadExactly) {
   const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
-  // Sizes sum to 32 but 64 payload bytes follow (and vice versa).
-  EXPECT_THROW(codec.decode(crafted_stream(2048, 2, {16, 16}, 64)), FormatError);
-  EXPECT_THROW(codec.decode(crafted_stream(2048, 2, {48, 48}, 64)), FormatError);
+  // Sizes sum to 32 but 64 payload bytes follow (and vice versa); the
+  // element counts themselves tile the shape correctly.
+  EXPECT_THROW(codec.decode(crafted_stream(2048, 2, {16, 16}, {1024, 1024}, 64)),
+               FormatError);
+  EXPECT_THROW(codec.decode(crafted_stream(2048, 2, {48, 48}, {1024, 1024}, 64)),
+               FormatError);
+}
+
+TEST(ChunkedCodec, ChunkElementsMustTileShapeExactly) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 4096);
+  // Element counts under-, over-, and zero-fill the declared shape; all
+  // must be rejected before any chunk is decoded into a slice.
+  EXPECT_THROW(codec.decode(crafted_stream(2048, 2, {32, 32}, {1024, 512}, 64)),
+               FormatError);
+  EXPECT_THROW(codec.decode(crafted_stream(2048, 2, {32, 32}, {4096, 4096}, 64)),
+               FormatError);
+  EXPECT_THROW(codec.decode(crafted_stream(2048, 2, {32, 32}, {0, 2048}, 64)),
+               FormatError);
 }
 
 TEST(ChunkedCodec, TamperedChunkSizeInValidStreamThrows) {
@@ -139,6 +159,43 @@ TEST(ChunkedCodec, TamperedChunkSizeInValidStreamThrows) {
   const std::size_t size_offset = 4 + 1 + 8 + 4;
   for (int i = 0; i < 8; ++i) stream[size_offset + i] = 0xff;
   EXPECT_THROW(codec.decode(stream), FormatError);
+}
+
+TEST(ChunkedCodec, TamperedElementCountInValidStreamThrows) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 1 << 12);
+  const auto data = field(20000);
+  const Shape shape = Shape::d1(data.size());
+  Bytes stream = codec.encode(data, shape);
+  const std::size_t chunks = codec.chunk_offsets(shape).size() - 1;
+  // First u64 element-count entry sits after magic+rank+dim+count and the
+  // byte-size array.
+  const std::size_t elem_offset = 4 + 1 + 8 + 4 + 8 * chunks;
+  for (int i = 0; i < 8; ++i) stream[elem_offset + i] = 0xff;
+  EXPECT_THROW(codec.decode(stream), FormatError);
+}
+
+TEST(ChunkedCodec, DecodeIntoFillsCallerBufferWithoutIntermediates) {
+  const ChunkedCodec codec(std::make_shared<FpzCodec>(32), 1 << 12);
+  const auto data = field(50000);
+  const Shape shape = Shape::d1(data.size());
+  const Bytes stream = codec.encode(data, shape);
+  std::vector<float> out(data.size());
+  codec.decode_into(stream, out);
+  EXPECT_EQ(out, data);
+  // A mis-sized destination is a format error, not a partial write.
+  std::vector<float> wrong(data.size() - 1);
+  EXPECT_THROW(codec.decode_into(stream, wrong), FormatError);
+}
+
+TEST(ChunkedCodec, DecodeTilingComesFromStreamNotDecoderConfig) {
+  // A decoder configured with a different chunk target must still decode
+  // correctly: the slice layout is read from the stream header, never
+  // recomputed from the decoder's own chunking policy.
+  const ChunkedCodec enc(std::make_shared<FpzCodec>(32), 1 << 12);
+  const ChunkedCodec dec(std::make_shared<FpzCodec>(32), 1 << 15);
+  const auto data = field(50000);
+  const Shape shape = Shape::d1(data.size());
+  EXPECT_EQ(dec.decode(enc.encode(data, shape)), data);
 }
 
 TEST(ChunkedCodec, NameAdvertisesWrapping) {
