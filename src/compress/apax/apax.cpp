@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "compress/bitio.h"
+#include "util/failpoint.h"
 
 namespace cesm::comp {
 
@@ -158,6 +159,7 @@ Bytes ApaxCodec::encode(std::span<const float> data, const Shape& shape) const {
 }
 
 std::vector<float> ApaxCodec::decode(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("apax.decode");
   ByteReader r(stream);
   const Shape shape = wire::read_header(r, kApaxMagic);
   const bool fixed_rate = r.u8() != 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
 #include "util/scheduler.h"
 #include "util/trace.h"
 
@@ -87,6 +88,7 @@ void ChunkedCodec::decode_into(std::span<const std::uint8_t> stream,
 void ChunkedCodec::decode_chunks(std::span<const std::uint8_t> stream,
                                  std::span<float> out) const {
   trace::Span span("chunked.decode");
+  CESM_FAILPOINT("chunked.decode");
   ByteReader r(stream);
   const Shape shape = wire::read_header(r, kChunkMagic);
   if (out.size() != shape.count()) {

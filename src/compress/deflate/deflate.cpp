@@ -8,6 +8,7 @@
 #include "compress/deflate/huffman.h"
 #include "compress/deflate/lz77.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 
 namespace cesm::comp {
 
@@ -242,6 +243,7 @@ Bytes DeflateCodec::encode(std::span<const float> data, const Shape& shape) cons
 }
 
 std::vector<float> DeflateCodec::decode(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("deflate.decode");
   return nc_decode<float>(stream);
 }
 
@@ -250,6 +252,7 @@ Bytes DeflateCodec::encode64(std::span<const double> data, const Shape& shape) c
 }
 
 std::vector<double> DeflateCodec::decode64(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("deflate.decode");
   return nc_decode<double>(stream);
 }
 

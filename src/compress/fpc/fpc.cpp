@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "compress/bitio.h"
+#include "util/failpoint.h"
 
 namespace cesm::comp {
 
@@ -124,6 +125,7 @@ Bytes FpcCodec::encode64(std::span<const double> data, const Shape& shape) const
 }
 
 std::vector<double> FpcCodec::decode64(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("fpc.decode");
   Shape shape;
   const std::vector<std::uint64_t> bits = fpc_decode64(stream, shape);
   std::vector<double> data(bits.size());
@@ -144,6 +146,7 @@ Bytes FpcCodec::encode(std::span<const float> data, const Shape& shape) const {
 }
 
 std::vector<float> FpcCodec::decode(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("fpc.decode");
   Shape shape;
   const std::vector<std::uint64_t> bits = fpc_decode64(stream, shape);
   std::vector<float> data(bits.size());

@@ -7,6 +7,7 @@
 #include "compress/fpz/predictor.h"
 #include "compress/rangecoder.h"
 #include "compress/residual.h"
+#include "util/failpoint.h"
 
 namespace cesm::comp {
 
@@ -122,6 +123,7 @@ Bytes FpzCodec::encode(std::span<const float> data, const Shape& shape) const {
 }
 
 std::vector<float> FpzCodec::decode(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("fpz.decode");
   return fpz_decode_impl<std::uint32_t, float, float_to_ordered, ordered_to_float>(stream);
 }
 
@@ -131,6 +133,7 @@ Bytes FpzCodec::encode64(std::span<const double> data, const Shape& shape) const
 }
 
 std::vector<double> FpzCodec::decode64(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("fpz.decode");
   return fpz_decode_impl<std::uint64_t, double, double_to_ordered, ordered_to_double>(stream);
 }
 

@@ -9,6 +9,7 @@
 #include "compress/grib2/wavelet.h"
 #include "compress/rangecoder.h"
 #include "compress/residual.h"
+#include "util/failpoint.h"
 
 namespace cesm::comp {
 
@@ -157,6 +158,7 @@ Bytes Grib2Codec::encode(std::span<const float> data, const Shape& shape) const 
 }
 
 std::vector<float> Grib2Codec::decode(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("grib2.decode");
   ByteReader r(stream);
   const Shape shape = wire::read_header(r, kGribMagic);
   const double lo = r.f64();

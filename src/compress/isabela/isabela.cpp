@@ -11,6 +11,7 @@
 #include "compress/rangecoder.h"
 #include "compress/residual.h"
 #include "compress/fpz/predictor.h"  // zigzag helpers
+#include "util/failpoint.h"
 
 namespace cesm::comp {
 
@@ -173,6 +174,7 @@ Bytes IsabelaCodec::encode(std::span<const float> data, const Shape& shape) cons
 }
 
 std::vector<float> IsabelaCodec::decode(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("isabela.decode");
   return isa_decode_impl<float>(stream);
 }
 
@@ -182,6 +184,7 @@ Bytes IsabelaCodec::encode64(std::span<const double> data, const Shape& shape) c
 }
 
 std::vector<double> IsabelaCodec::decode64(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("isabela.decode");
   return isa_decode_impl<double>(stream);
 }
 

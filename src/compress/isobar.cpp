@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "compress/deflate/deflate.h"
+#include "util/failpoint.h"
 
 namespace cesm::comp {
 
@@ -128,6 +129,7 @@ Bytes IsobarCodec::encode(std::span<const float> data, const Shape& shape) const
 }
 
 std::vector<float> IsobarCodec::decode(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("isobar.decode");
   return isobar_decode<float>(stream);
 }
 
@@ -136,6 +138,7 @@ Bytes IsobarCodec::encode64(std::span<const double> data, const Shape& shape) co
 }
 
 std::vector<double> IsobarCodec::decode64(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("isobar.decode");
   return isobar_decode<double>(stream);
 }
 

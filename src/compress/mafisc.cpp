@@ -6,6 +6,7 @@
 
 #include "compress/deflate/deflate.h"
 #include "compress/fpz/predictor.h"  // ordered-int maps
+#include "util/failpoint.h"
 
 namespace cesm::comp {
 
@@ -189,6 +190,7 @@ Bytes MafiscCodec::encode(std::span<const float> data, const Shape& shape) const
 }
 
 std::vector<float> MafiscCodec::decode(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("mafisc.decode");
   return mafisc_decode<std::uint32_t, float, float_to_ordered, ordered_to_float>(stream);
 }
 
@@ -198,6 +200,7 @@ Bytes MafiscCodec::encode64(std::span<const double> data, const Shape& shape) co
 }
 
 std::vector<double> MafiscCodec::decode64(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("mafisc.decode");
   return mafisc_decode<std::uint64_t, double, double_to_ordered, ordered_to_double>(stream);
 }
 

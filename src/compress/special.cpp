@@ -4,6 +4,7 @@
 
 #include "compress/rangecoder.h"
 #include "compress/residual.h"
+#include "util/failpoint.h"
 
 namespace cesm::comp {
 
@@ -84,6 +85,7 @@ Bytes SpecialValueCodec::encode(std::span<const float> data, const Shape& shape)
 }
 
 std::vector<float> SpecialValueCodec::decode(std::span<const std::uint8_t> stream) const {
+  CESM_FAILPOINT("special.decode");
   ByteReader r(stream);
   if (r.u32() != kSpcMagic) throw FormatError("bad special-value wrapper magic");
   const float fill = r.f32();

@@ -10,9 +10,15 @@ namespace cesm::core {
 namespace {
 
 void append_metrics(std::ostringstream& out, const VariableVerdict& verdict) {
-  // Average the member evaluations (the suite tests several members).
+  // Average the member evaluations (the suite tests several members). A
+  // codec-error verdict whose fallback also failed has no evaluations at
+  // all; emit zeros rather than 0/0 NaNs.
   double cr = verdict.mean_cr, pearson = 0.0, nrmse = 0.0, enmax = 0.0, rmsz_diff = 0.0;
   const auto n = static_cast<double>(verdict.members.size());
+  if (verdict.members.empty()) {
+    out << cr << ",0,0,0,0";
+    return;
+  }
   for (const MemberEvaluation& e : verdict.members) {
     pearson += e.metrics.pearson;
     nrmse += e.metrics.nrmse;
@@ -29,9 +35,14 @@ std::string suite_results_csv(const SuiteResults& results) {
   std::ostringstream out;
   out << "variable,is_3d,variant,cr,pearson,nrmse,e_nmax,rmsz_diff,"
          "rho_pass,rmsz_pass,enmax_pass,bias_pass,all_pass,"
-         "bias_slope,bias_intercept,bias_slope_distance,grib_decimal_scale\n";
+         "bias_slope,bias_intercept,bias_slope_distance,grib_decimal_scale,"
+         "codec_error,fallback_codec\n";
   out.precision(10);
   for (const VariableResult& var : results.variables) {
+    // A variable whose processing failed outright recorded no verdicts;
+    // its verdict rows cannot be synthesized, so it is absent from the
+    // table (failed_variable_count() says how many are missing).
+    if (var.processing_failed) continue;
     for (std::size_t vi = 0; vi < results.variant_names.size(); ++vi) {
       const VariableVerdict& verdict = var.verdicts[vi];
       out << var.variable << ',' << (var.is_3d ? 1 : 0) << ','
@@ -41,7 +52,8 @@ std::string suite_results_csv(const SuiteResults& results) {
           << verdict.enmax_pass << ',' << verdict.bias_pass << ','
           << verdict.all_pass() << ',' << verdict.bias.fit.slope << ','
           << verdict.bias.fit.intercept << ',' << verdict.bias.slope_distance << ','
-          << var.grib_decimal_scale << '\n';
+          << var.grib_decimal_scale << ',' << verdict.codec_error << ','
+          << verdict.fallback_codec << '\n';
     }
   }
   return out.str();

@@ -64,9 +64,16 @@ struct VariableVerdict {
   bool rmsz_pass = false;
   bool enmax_pass = false;
   bool bias_pass = false;
+  /// The intended (lossy) codec failed outright — decode threw — and the
+  /// recorded member metrics, if any, come from `fallback_codec` instead
+  /// (§5 hybrid semantics: a variable the lossy method cannot serve is
+  /// stored lossless). A codec-error verdict never counts as a pass.
+  bool codec_error = false;
+  std::string error_message;   ///< what the failing codec threw
+  std::string fallback_codec;  ///< lossless stand-in name; empty if none ran
 
   [[nodiscard]] bool all_pass() const {
-    return rho_pass && rmsz_pass && enmax_pass && bias_pass;
+    return !codec_error && rho_pass && rmsz_pass && enmax_pass && bias_pass;
   }
 };
 

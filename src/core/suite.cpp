@@ -4,6 +4,7 @@
 #include "compress/fpz/fpz.h"
 #include "compress/variants.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/scheduler.h"
 #include "util/trace.h"
@@ -16,6 +17,7 @@ std::vector<MethodTally> SuiteResults::tally() const {
     MethodTally row;
     row.codec = variant_names[v];
     for (const VariableResult& var : variables) {
+      if (var.processing_failed) continue;
       const VariableVerdict& verdict = var.verdicts[v];
       row.rho += verdict.rho_pass ? 1 : 0;
       row.rmsz += verdict.rmsz_pass ? 1 : 0;
@@ -26,6 +28,12 @@ std::vector<MethodTally> SuiteResults::tally() const {
     rows.push_back(row);
   }
   return rows;
+}
+
+std::size_t SuiteResults::failed_variable_count() const {
+  std::size_t n = 0;
+  for (const VariableResult& v : variables) n += v.processing_failed ? 1 : 0;
+  return n;
 }
 
 std::size_t SuiteResults::variant_index(const std::string& name) const {
@@ -42,6 +50,66 @@ const VariableResult& SuiteResults::variable(const std::string& name) const {
   throw InvalidArgument("variable not in suite results: " + name);
 }
 
+namespace {
+
+/// The §5 hybrid stand-in for a lossy variant that failed outright: the
+/// fpzip family degrades to its own lossless mode (fpzip-32); every other
+/// family has no lossless mode and is stored as NetCDF-4 instead.
+comp::CodecPtr lossless_stand_in(const std::string& failed_codec,
+                                 std::optional<float> fill) {
+  comp::CodecPtr codec;
+  if (failed_codec.rfind("fpzip", 0) == 0) {
+    codec = comp::with_fill_handling(std::make_shared<comp::FpzCodec>(32), fill);
+  } else {
+    codec = std::make_shared<comp::DeflateCodec>();
+  }
+  return comp::traced(std::move(codec));
+}
+
+/// verify() one variant; a thrown cesm::Error becomes a codec-error
+/// verdict (never a pass), re-scored under the lossless stand-in when the
+/// fallback policy is on.
+VariableVerdict verify_with_fallback(const PvtVerifier& verifier, const comp::Codec& codec,
+                                     std::optional<float> fill,
+                                     std::span<const std::size_t> test_members,
+                                     const SuiteConfig& config) {
+  try {
+    CESM_FAILPOINT("suite.verify_variant");
+    return verifier.verify(codec, test_members, config.run_bias);
+  } catch (const InvalidArgument&) {
+    throw;  // caller bug, not a codec failure: keep the old contract
+  } catch (const Error& e) {
+    trace::counter_add("suite.codec_errors", 1);
+    VariableVerdict verdict;
+    verdict.variable = verifier.stats().member(0).name;
+    verdict.codec = codec.name();
+    verdict.codec_error = true;
+    verdict.error_message = e.what();
+    if (config.lossless_fallback) {
+      const comp::CodecPtr stand_in = lossless_stand_in(codec.name(), fill);
+      try {
+        VariableVerdict lossless =
+            verifier.verify(*stand_in, test_members, config.run_bias);
+        // Informational only: the variant's pass flags stay false — the
+        // data really delivered came from the stand-in, and what we are
+        // certifying is the lossy method.
+        verdict.members = std::move(lossless.members);
+        verdict.mean_cr = lossless.mean_cr;
+        verdict.bias = lossless.bias;
+        verdict.bias_evaluated = lossless.bias_evaluated;
+        verdict.fallback_codec = stand_in->name();
+        trace::counter_add("suite.lossless_fallbacks", 1);
+      } catch (const Error&) {
+        // The stand-in failed too (e.g. its decode is also poisoned):
+        // keep the bare codec-error verdict.
+      }
+    }
+    return verdict;
+  }
+}
+
+}  // namespace
+
 VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
                             const climate::VariableSpec& spec,
                             const SuiteConfig& config) {
@@ -54,6 +122,7 @@ VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
     throw InvalidArgument("SuiteConfig::test_member_count must be >= 1 (variable " +
                           spec.name + ")");
   }
+  CESM_FAILPOINT("suite.variable");
   VariableResult result;
   result.variable = spec.name;
   result.is_3d = spec.is_3d;
@@ -86,11 +155,45 @@ VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
   const std::vector<comp::CodecPtr> variants =
       comp::paper_variants(result.grib_decimal_scale, result.fill);
   for (const comp::CodecPtr& codec : variants) {
-    result.verdicts.push_back(
-        verifier.verify(*codec, result.test_members, config.run_bias));
+    result.verdicts.push_back(verify_with_fallback(verifier, *codec, result.fill,
+                                                   result.test_members, config));
   }
   return result;
 }
+
+namespace {
+
+/// run_variable with the suite's containment policy: retry after a
+/// whole-variable failure (one-shot injected faults clear themselves), and
+/// when retries are exhausted return a processing_failed marker instead of
+/// tearing down the other 100+ variables of the sweep.
+VariableResult run_variable_guarded(const climate::EnsembleGenerator& ensemble,
+                                    const climate::VariableSpec& spec,
+                                    const SuiteConfig& config) {
+  std::size_t failures = 0;
+  for (;;) {
+    try {
+      return run_variable(ensemble, spec, config);
+    } catch (const InvalidArgument&) {
+      throw;  // caller bug: retrying cannot help and hiding it would lie
+    } catch (const Error& e) {
+      if (failures++ < config.variable_retry_limit) {
+        trace::counter_add("suite.variable_retries", 1);
+        continue;
+      }
+      if (!config.continue_on_variable_error) throw;
+      trace::counter_add("suite.variable_failures", 1);
+      VariableResult failed;
+      failed.variable = spec.name;
+      failed.is_3d = spec.is_3d;
+      failed.processing_failed = true;
+      failed.error_message = e.what();
+      return failed;
+    }
+  }
+}
+
+}  // namespace
 
 SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
                        const SuiteConfig& config,
@@ -107,27 +210,40 @@ SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
 
   results.variables.resize(specs.size());
   parallel_for(0, specs.size(), [&](std::size_t i) {
-    results.variables[i] = run_variable(ensemble, *specs[i], config);
+    results.variables[i] = run_variable_guarded(ensemble, *specs[i], config);
   });
+  if (const std::size_t failed = results.failed_variable_count(); failed > 0) {
+    trace::counter_add("suite.variables_failed_total", failed);
+  }
 
   // Derive the variant-name row from the verdicts actually recorded, not
   // from a separately-built paper_variants() list: tally() pairs
   // variant_names[v] with verdicts[v], so any name/order divergence
   // between the two constructions would silently misattribute verdicts.
-  // Every variable must agree on the same variant row.
-  if (!results.variables.empty()) {
-    for (const VariableVerdict& verdict : results.variables.front().verdicts) {
+  // Every processed variable must agree on the same variant row;
+  // processing_failed variables recorded no verdicts and are skipped.
+  const VariableResult* first_ok = nullptr;
+  for (const VariableResult& var : results.variables) {
+    if (!var.processing_failed) {
+      first_ok = &var;
+      break;
+    }
+  }
+  if (first_ok != nullptr) {
+    for (const VariableVerdict& verdict : first_ok->verdicts) {
       results.variant_names.push_back(verdict.codec);
     }
     for (const VariableResult& var : results.variables) {
+      if (var.processing_failed) continue;
       CESM_REQUIRE(var.verdicts.size() == results.variant_names.size());
       for (std::size_t v = 0; v < var.verdicts.size(); ++v) {
         CESM_REQUIRE(var.verdicts[v].codec == results.variant_names[v]);
       }
     }
   } else {
-    // No variables swept: fall back to the canonical list (decimal scale
-    // is a dummy; the table label is just "GRIB2" regardless).
+    // No variables swept (or none survived): fall back to the canonical
+    // list (decimal scale is a dummy; the table label is just "GRIB2"
+    // regardless).
     for (const comp::CodecPtr& codec : comp::paper_variants(4)) {
       results.variant_names.push_back(codec->name());
     }

@@ -30,6 +30,18 @@ struct SuiteConfig {
   /// go. A small budget mirrors the paper: even with RMSZ-guided tuning,
   /// GRIB2 cannot satisfy the tests on large-range variables (§5.3).
   int grib_max_extra_digits = 2;
+
+  // --- robustness policy (exercised by cesm::fail injection) ---
+  /// When a lossy variant's verify throws, record a codec-error verdict
+  /// and re-verify with the family's lossless stand-in (fpzip -> fpzip-32,
+  /// everything else -> NetCDF-4), mirroring the §5 hybrid fallback.
+  bool lossless_fallback = true;
+  /// Re-run a variable this many times after a whole-variable failure
+  /// before giving up on it (one-shot faults clear on retry).
+  std::size_t variable_retry_limit = 1;
+  /// A variable that still fails after retries is marked
+  /// processing_failed instead of aborting the whole suite.
+  bool continue_on_variable_error = true;
 };
 
 /// Everything measured for one variable.
@@ -44,6 +56,10 @@ struct VariableResult {
   double netcdf4_cr = 1.0;                ///< lossless deflate CR (probe member)
   double fpzip32_cr = 1.0;                ///< fpzip lossless CR (probe member)
   std::vector<std::size_t> test_members;
+  /// The variable could not be processed at all (even after retries);
+  /// `verdicts` is empty and downstream aggregation skips it.
+  bool processing_failed = false;
+  std::string error_message;
 };
 
 /// Table 6 row.
@@ -60,8 +76,12 @@ struct SuiteResults {
   std::vector<std::string> variant_names;
   std::vector<VariableResult> variables;
 
-  /// Per-method pass counts over all variables (Table 6).
+  /// Per-method pass counts over all variables (Table 6). Variables with
+  /// processing_failed set are excluded.
   [[nodiscard]] std::vector<MethodTally> tally() const;
+
+  /// Variables whose processing failed outright (see VariableResult).
+  [[nodiscard]] std::size_t failed_variable_count() const;
 
   /// Index of a variant by its table name; throws if absent.
   [[nodiscard]] std::size_t variant_index(const std::string& name) const;

@@ -6,6 +6,7 @@
 #include "compress/deflate/deflate.h"
 #include "compress/variants.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/trace.h"
 
 namespace cesm::ncio {
@@ -143,6 +144,7 @@ Variable* Dataset::find_variable(const std::string& name) {
 
 Bytes Dataset::serialize() const {
   trace::Span span("ncio.write");
+  CESM_FAILPOINT("ncio.write");
   Bytes out;
   ByteWriter w(out);
   w.u32(kFileMagic);
@@ -176,6 +178,7 @@ Bytes Dataset::serialize() const {
 
 Dataset Dataset::deserialize(std::span<const std::uint8_t> bytes) {
   trace::Span span("ncio.read");
+  CESM_FAILPOINT("ncio.read");
   trace::counter_add("ncio.bytes_read", bytes.size());
   ByteReader r(bytes);
   if (r.u32() != kFileMagic) throw FormatError("not a CNC1 dataset");
@@ -266,6 +269,7 @@ Dataset Dataset::deserialize(std::span<const std::uint8_t> bytes) {
 }
 
 void Dataset::write_file(const std::string& path) const {
+  CESM_FAILPOINT("ncio.write_file");
   const Bytes bytes = serialize();
   std::ofstream f(path, std::ios::binary | std::ios::trunc);
   if (!f) throw IoError("cannot open for writing: " + path);
@@ -275,6 +279,7 @@ void Dataset::write_file(const std::string& path) const {
 }
 
 Dataset Dataset::read_file(const std::string& path) {
+  CESM_FAILPOINT("ncio.read_file");
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   if (!f) throw IoError("cannot open for reading: " + path);
   const std::streamsize size = f.tellg();

@@ -8,6 +8,7 @@
 #include <string>
 #include <thread>
 
+#include "util/failpoint.h"
 #include "util/trace.h"
 
 namespace cesm {
@@ -238,6 +239,9 @@ struct Scheduler::Impl {
     const std::uint64_t t0 = now_ns();
     TaskGroup* group = task->group;
     try {
+      // Inside the capture block: an injected fault takes the exact path a
+      // real task-body exception takes (captured, rethrown at wait()).
+      CESM_FAILPOINT("sched.task");
       task->invoke(task);
     } catch (...) {
       group->capture(std::current_exception());

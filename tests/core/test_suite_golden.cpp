@@ -1,0 +1,116 @@
+// Golden-file regression for table6_suite_results.csv: a quick suite run
+// compared cell-by-cell against tests/golden/suite_quick.csv, so metric
+// drift (a changed verdict, a shifted CR, a retuned decimal scale) is
+// caught by ctest instead of by eyeballing the published table.
+//
+// Regenerate after an *intended* metric change with:
+//   CESM_UPDATE_GOLDEN=1 ./cesmcomp_tests --gtest_filter='SuiteGolden.*'
+// and commit the diff.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "climate/ensemble.h"
+#include "core/export.h"
+#include "core/suite.h"
+
+namespace cesm::core {
+namespace {
+
+#ifndef CESMCOMP_SOURCE_DIR
+#error "CESMCOMP_SOURCE_DIR must be defined by the test build"
+#endif
+
+std::string golden_path() {
+  return std::string(CESMCOMP_SOURCE_DIR) + "/tests/golden/suite_quick.csv";
+}
+
+/// The quick, fully deterministic suite slice the golden pins down.
+std::string quick_suite_csv() {
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{12, 18, 3};
+  spec.members = 9;
+  spec.latent.k = 48;
+  spec.latent.spinup_steps = 200;
+  spec.latent.average_steps = 400;
+  const climate::EnsembleGenerator ensemble(spec);
+
+  SuiteConfig cfg;
+  cfg.test_member_count = 2;
+  cfg.grib_max_extra_digits = 3;
+  const SuiteResults results = run_suite(ensemble, cfg, {"U", "FSDSC", "CCN3"});
+  return suite_results_csv(results);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : text) {
+    if (c == sep) {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+bool parse_number(const std::string& cell, double& out) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(cell.c_str(), &end);
+  return end == cell.c_str() + cell.size();
+}
+
+/// Tolerance-aware CSV comparison: numeric cells must agree to 1e-5
+/// relative (1e-9 absolute floor, absorbing cross-platform libm jitter);
+/// everything else — headers, names, pass/fail booleans, integer scales —
+/// must match exactly.
+void expect_csv_near(const std::string& golden, const std::string& actual) {
+  const auto golden_lines = split(golden, '\n');
+  const auto actual_lines = split(actual, '\n');
+  ASSERT_EQ(actual_lines.size(), golden_lines.size()) << "row count drifted";
+  for (std::size_t row = 0; row < golden_lines.size(); ++row) {
+    const auto want = split(golden_lines[row], ',');
+    const auto got = split(actual_lines[row], ',');
+    ASSERT_EQ(got.size(), want.size()) << "column count drifted at row " << row;
+    for (std::size_t col = 0; col < want.size(); ++col) {
+      double w = 0.0, g = 0.0;
+      if (parse_number(want[col], w) && parse_number(got[col], g)) {
+        // Degenerate metrics (e.g. pearson of a zero-variance field) are
+        // NaN on both sides; that's a match, not drift.
+        if (std::isnan(w) && std::isnan(g)) continue;
+        const double tol = 1e-9 + 1e-5 * std::max(std::fabs(w), std::fabs(g));
+        EXPECT_NEAR(g, w, tol) << "row " << row << " col " << col << " ("
+                               << golden_lines[0] << ")";
+      } else {
+        EXPECT_EQ(got[col], want[col]) << "row " << row << " col " << col;
+      }
+    }
+  }
+}
+
+TEST(SuiteGolden, QuickSuiteMatchesCheckedInCsv) {
+  const std::string actual = quick_suite_csv();
+  if (std::getenv("CESM_UPDATE_GOLDEN") != nullptr) {
+    write_text_file(golden_path(), actual);
+    GTEST_SKIP() << "golden regenerated at " << golden_path() << " — commit the diff";
+  }
+  std::ifstream f(golden_path());
+  ASSERT_TRUE(f) << "missing golden " << golden_path()
+                 << " (generate with CESM_UPDATE_GOLDEN=1)";
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  expect_csv_near(buf.str(), actual);
+}
+
+}  // namespace
+}  // namespace cesm::core

@@ -1,0 +1,309 @@
+// Every failpoint site compiled into the library, fired through its real
+// production path — plus the suite-robustness acceptance scenarios: a
+// poisoned decode must yield a codec-error verdict with lossless
+// fallback, never a dead 170-variable sweep.
+//
+// The per-site coverage is a meta-test: the parameterized suite below is
+// instantiated from fail::all_sites() itself, so adding a CESM_FAILPOINT
+// to the library without adding a scenario here fails the new site's test
+// with "no scenario fires failpoint site".
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "climate/ensemble.h"
+#include "compress/apax/apax.h"
+#include "compress/chunked.h"
+#include "compress/deflate/deflate.h"
+#include "compress/fpc/fpc.h"
+#include "compress/fpz/fpz.h"
+#include "compress/grib2/grib2.h"
+#include "compress/isabela/isabela.h"
+#include "compress/isobar.h"
+#include "compress/mafisc.h"
+#include "compress/special.h"
+#include "core/export.h"
+#include "core/suite.h"
+#include "ncio/dataset.h"
+#include "support/generators.h"
+#include "util/failpoint.h"
+#include "util/scheduler.h"
+
+namespace cesm {
+namespace {
+
+climate::EnsembleSpec tiny_spec() {
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{12, 18, 3};
+  spec.members = 9;
+  spec.latent.k = 48;
+  spec.latent.spinup_steps = 200;
+  spec.latent.average_steps = 400;
+  return spec;
+}
+
+core::SuiteConfig fast_config() {
+  core::SuiteConfig cfg;
+  cfg.test_member_count = 2;
+  cfg.grib_max_extra_digits = 3;
+  cfg.run_bias = false;  // the robustness machinery is what's under test
+  return cfg;
+}
+
+const climate::EnsembleGenerator& shared_ensemble() {
+  static const climate::EnsembleGenerator ens(tiny_spec());
+  return ens;
+}
+
+/// Round-trip a smooth field through `codec`; decode is where the armed
+/// site lives, so the InjectedFault surfaces here.
+void decode_roundtrip(const comp::Codec& codec) {
+  const auto data = testgen::smooth_field(4096, 0xFA17ull);
+  const Bytes stream = codec.encode(data, comp::Shape::d2(4, 1024));
+  (void)codec.decode(stream);
+}
+
+ncio::Dataset small_dataset() {
+  ncio::Dataset ds;
+  const auto ncol = ds.add_dimension("ncol", 256);
+  ncio::Variable v;
+  v.name = "T";
+  v.dim_ids = {ncol};
+  v.f32 = testgen::smooth_field(256, 0xD5ull);
+  ds.add_variable(std::move(v));
+  return ds;
+}
+
+/// site name -> a call into the library that reaches that CESM_FAILPOINT
+/// through its production path. Scenarios may let the InjectedFault
+/// escape (callers assert a clean cesm::Error) or exercise a layer that
+/// absorbs it into a recorded verdict; either way the site must fire.
+const std::map<std::string, std::function<void()>>& site_scenarios() {
+  static const auto* scenarios = new std::map<std::string, std::function<void()>>{
+      {"apax.decode",
+       [] { decode_roundtrip(comp::ApaxCodec(comp::ApaxCodec::fixed_rate(2))); }},
+      {"chunked.decode",
+       [] {
+         decode_roundtrip(
+             comp::ChunkedCodec(std::make_shared<comp::DeflateCodec>(), 1024));
+       }},
+      {"deflate.decode", [] { decode_roundtrip(comp::DeflateCodec()); }},
+      {"fpc.decode", [] { decode_roundtrip(comp::FpcCodec()); }},
+      {"fpz.decode", [] { decode_roundtrip(comp::FpzCodec(24)); }},
+      {"grib2.decode", [] { decode_roundtrip(comp::Grib2Codec(3)); }},
+      {"isabela.decode", [] { decode_roundtrip(comp::IsabelaCodec(0.5)); }},
+      {"isobar.decode", [] { decode_roundtrip(comp::IsobarCodec()); }},
+      {"mafisc.decode", [] { decode_roundtrip(comp::MafiscCodec()); }},
+      {"special.decode",
+       [] {
+         decode_roundtrip(
+             comp::SpecialValueCodec(std::make_shared<comp::DeflateCodec>(), 1.0e20f));
+       }},
+      {"ncio.write", [] { (void)small_dataset().serialize(); }},
+      {"ncio.read",
+       [] {
+         const Bytes bytes = small_dataset().serialize();
+         (void)ncio::Dataset::deserialize(bytes);
+       }},
+      {"ncio.write_file",
+       [] { small_dataset().write_file("/tmp/cesm_failpoint_site_test.cnc"); }},
+      {"ncio.read_file",
+       [] {
+         const std::string path = "/tmp/cesm_failpoint_site_test.cnc";
+         small_dataset().write_file(path);
+         (void)ncio::Dataset::read_file(path);
+         std::remove(path.c_str());
+       }},
+      {"sched.task",
+       [] {
+         // Task bodies only run through the scheduler when it has
+         // workers; the 1-CPU serial fast path never spawns tasks.
+         ScopedScheduler two(2);
+         std::atomic<std::size_t> sum{0};
+         parallel_for(0, 2048, [&](std::size_t i) {
+           sum.fetch_add(i, std::memory_order_relaxed);
+         });
+       }},
+      {"suite.variable",
+       [] {
+         const auto& ens = shared_ensemble();
+         (void)core::run_variable(ens, ens.variable("U"), fast_config());
+       }},
+      {"suite.verify_variant",
+       [] {
+         // Absorbed by the fallback policy: run_variable completes and
+         // records a codec-error verdict instead of throwing.
+         const auto& ens = shared_ensemble();
+         (void)core::run_variable(ens, ens.variable("U"), fast_config());
+       }},
+  };
+  return *scenarios;
+}
+
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class FailpointSite : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { fail::reset(); }
+  void TearDown() override { fail::reset(); }
+};
+
+// The meta-test: one instance per *registered* site. A site with no
+// scenario fails its instance; a scenario whose path no longer reaches
+// the site fails the fire-count assertion.
+TEST_P(FailpointSite, IsFiredThroughItsProductionPath) {
+  const std::string& site = GetParam();
+  const auto& scenarios = site_scenarios();
+  const auto it = scenarios.find(site);
+  ASSERT_NE(it, scenarios.end())
+      << "no scenario fires failpoint site '" << site
+      << "' — add one to site_scenarios() in " << __FILE__;
+
+  // Unarmed dry run: the scenario must complete cleanly on its own.
+  ASSERT_NO_THROW(it->second()) << site << " scenario fails without injection";
+
+  fail::ScopedFailpoint fp(site, fail::Trigger::once());
+  try {
+    it->second();
+  } catch (const Error&) {
+    // A clean library error (usually the InjectedFault itself) is the
+    // expected surface; anything else (crash, leak, foreign exception)
+    // fails the test / the sanitizer presets.
+  }
+  EXPECT_GE(fail::fire_count(site), 1u)
+      << "scenario for '" << site << "' no longer reaches its CESM_FAILPOINT";
+}
+
+// Stale-scenario guard: every scenario key must name a registered site.
+TEST(FailpointRegistry, ScenariosMatchRegisteredSites) {
+  const auto sites = fail::all_sites();
+  for (const auto& [name, fn] : site_scenarios()) {
+    EXPECT_TRUE(fail::is_registered(name))
+        << "scenario '" << name << "' does not match any registered failpoint";
+  }
+  EXPECT_EQ(site_scenarios().size(), sites.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredSites, FailpointSite,
+                         ::testing::ValuesIn(fail::all_sites()),
+                         [](const auto& info) { return sanitize(info.param); });
+
+// ---------------------------------------------------------------------------
+// Acceptance: run_suite survives injected faults (ISSUE 4 criteria).
+// ---------------------------------------------------------------------------
+
+class SuiteRobustness : public ::testing::Test {
+ protected:
+  void SetUp() override { fail::reset(); }
+  void TearDown() override { fail::reset(); }
+};
+
+TEST_F(SuiteRobustness, LossyDecodeFailureGetsCodecErrorVerdictWithLosslessFallback) {
+  fail::ScopedFailpoint fp("fpz.decode", fail::Trigger::once());
+  const core::SuiteResults results =
+      core::run_suite(shared_ensemble(), fast_config(), {"U", "FSDSC"});
+
+  // The whole sweep completed: both variables, all nine verdicts each.
+  ASSERT_EQ(results.variables.size(), 2u);
+  EXPECT_EQ(results.failed_variable_count(), 0u);
+  ASSERT_EQ(results.variant_names.size(), 9u);
+  EXPECT_EQ(fail::fire_count("fpz.decode"), 1u);
+
+  // Exactly one verdict took the hit; it is a codec-error with the §5
+  // fpzip-family fallback (fpzip-32), and it never counts as a pass.
+  std::size_t codec_errors = 0;
+  for (const core::VariableResult& var : results.variables) {
+    ASSERT_EQ(var.verdicts.size(), 9u);
+    for (const core::VariableVerdict& v : var.verdicts) {
+      if (!v.codec_error) continue;
+      ++codec_errors;
+      EXPECT_EQ(v.codec, "fpzip-24");
+      EXPECT_EQ(v.fallback_codec, "fpzip-32");
+      EXPECT_FALSE(v.all_pass());
+      EXPECT_NE(v.error_message.find("fpz.decode"), std::string::npos);
+      // The fallback actually ran: member metrics were re-scored
+      // (losslessly, so the correlation is exact).
+      ASSERT_EQ(v.members.size(), 2u);
+      for (const core::MemberEvaluation& m : v.members) {
+        EXPECT_DOUBLE_EQ(m.metrics.pearson, 1.0);
+      }
+    }
+  }
+  EXPECT_EQ(codec_errors, 1u);
+
+  // The table layer reports the event instead of choking on it.
+  const std::string csv = core::suite_results_csv(results);
+  EXPECT_NE(csv.find(",1,fpzip-32\n"), std::string::npos);
+  EXPECT_EQ(results.tally().size(), 9u);
+}
+
+TEST_F(SuiteRobustness, TransientVariableFailureIsRetriedToSuccess) {
+  fail::ScopedFailpoint fp("suite.variable", fail::Trigger::once());
+  const core::SuiteResults results =
+      core::run_suite(shared_ensemble(), fast_config(), {"U", "FSDSC"});
+  EXPECT_EQ(fail::fire_count("suite.variable"), 1u);
+  EXPECT_EQ(results.failed_variable_count(), 0u);
+  for (const core::VariableResult& var : results.variables) {
+    EXPECT_EQ(var.verdicts.size(), 9u);
+    EXPECT_FALSE(var.processing_failed);
+  }
+}
+
+TEST_F(SuiteRobustness, ExhaustedRetriesQuarantineTheVariableNotTheSuite) {
+  fail::ScopedFailpoint fp("suite.variable", fail::Trigger::always());
+  const core::SuiteResults results =
+      core::run_suite(shared_ensemble(), fast_config(), {"U", "FSDSC"});
+  EXPECT_EQ(results.failed_variable_count(), 2u);
+  ASSERT_EQ(results.variables.size(), 2u);
+  for (const core::VariableResult& var : results.variables) {
+    EXPECT_TRUE(var.processing_failed);
+    EXPECT_FALSE(var.error_message.empty());
+    EXPECT_TRUE(var.verdicts.empty());
+  }
+  // Aggregation and export still work with every variable quarantined.
+  EXPECT_EQ(results.variant_names.size(), 9u);
+  for (const core::MethodTally& row : results.tally()) EXPECT_EQ(row.all, 0u);
+  const std::string csv = core::suite_results_csv(results);
+  EXPECT_EQ(csv.find("\nU,"), std::string::npos);
+}
+
+TEST_F(SuiteRobustness, ContinueOnErrorOffRestoresThrowingBehavior) {
+  fail::ScopedFailpoint fp("suite.variable", fail::Trigger::always());
+  core::SuiteConfig cfg = fast_config();
+  cfg.continue_on_variable_error = false;
+  EXPECT_THROW(core::run_suite(shared_ensemble(), cfg, {"U"}), fail::InjectedFault);
+}
+
+TEST_F(SuiteRobustness, FallbackDisabledStillRecordsCodecError) {
+  // APAX is not touched by characterization or GRIB tuning, so the first
+  // armed hit lands in the APAX-2 verify.
+  fail::ScopedFailpoint fp("apax.decode", fail::Trigger::nth(1));
+  core::SuiteConfig cfg = fast_config();
+  cfg.lossless_fallback = false;
+  const core::SuiteResults results = core::run_suite(shared_ensemble(), cfg, {"U"});
+  ASSERT_EQ(results.variables.size(), 1u);
+  std::size_t codec_errors = 0;
+  for (const core::VariableVerdict& v : results.variables[0].verdicts) {
+    if (v.codec_error) {
+      ++codec_errors;
+      EXPECT_EQ(v.codec, "APAX-2");
+      EXPECT_TRUE(v.fallback_codec.empty());
+      EXPECT_TRUE(v.members.empty());
+      EXPECT_FALSE(v.all_pass());
+    }
+  }
+  EXPECT_EQ(codec_errors, 1u);
+}
+
+}  // namespace
+}  // namespace cesm

@@ -1,0 +1,149 @@
+#pragma once
+// Seeded field generators for tests (cesm::testgen).
+//
+// Every generator is a pure function of its seed (util/rng.h engines), so
+// any failing assertion can be replayed exactly by re-running with the
+// seed the test printed. Wrap test bodies that use these in
+//
+//   SCOPED_TRACE(cesm::testgen::seed_banner(seed));
+//
+// so gtest reprints the seed alongside the failure.
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cesm::testgen {
+
+/// "seed=0x1234abcd" — attach via SCOPED_TRACE so failures are replayable.
+inline std::string seed_banner(std::uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seed=0x%llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+/// Smooth climate-like field: a few low-frequency sinusoidal modes with
+/// seeded phases/amplitudes plus a small seeded noise floor. Looks like a
+/// (flattened) geophysical field: large-scale structure, local texture.
+inline std::vector<float> smooth_field(std::size_t n, std::uint64_t seed,
+                                       double base = 100.0, double amplitude = 50.0) {
+  Pcg32 rng(seed);
+  NormalSampler noise(hash_combine(seed, 0x5f0e));
+  double phase[3], freq[3], amp[3];
+  for (int m = 0; m < 3; ++m) {
+    phase[m] = rng.uniform(0.0, 6.28318530717958647692);
+    freq[m] = rng.uniform(0.002, 0.05) * (m + 1);
+    amp[m] = amplitude / (1 << m);
+  }
+  std::vector<float> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = base;
+    for (int m = 0; m < 3; ++m) v += amp[m] * std::sin(freq[m] * static_cast<double>(i) + phase[m]);
+    v += noise.next() * amplitude * 1e-3;
+    data[i] = static_cast<float>(v);
+  }
+  return data;
+}
+
+/// White noise, uniform in [lo, hi) — the hardest regime for predictors.
+inline std::vector<float> noisy_field(std::size_t n, std::uint64_t seed,
+                                      double lo = -30.0, double hi = 70.0) {
+  Pcg32 rng(seed);
+  std::vector<float> data(n);
+  for (float& v : data) v = static_cast<float>(rng.uniform(lo, hi));
+  return data;
+}
+
+/// Log-normal positive field with a long tail (precipitation-like).
+inline std::vector<float> lognormal_field(std::size_t n, std::uint64_t seed,
+                                          double sigma = 2.0) {
+  NormalSampler normal(seed);
+  std::vector<float> data(n);
+  for (float& v : data) v = static_cast<float>(std::exp(normal.next() * sigma));
+  return data;
+}
+
+/// Every point the same value.
+inline std::vector<float> constant_field(std::size_t n, float value = 42.5f) {
+  return std::vector<float>(n, value);
+}
+
+/// Gaussian noise scaled to ~1e-9: tiny but normal magnitudes.
+inline std::vector<float> tiny_field(std::size_t n, std::uint64_t seed) {
+  NormalSampler normal(seed);
+  std::vector<float> data(n);
+  for (float& v : data) v = static_cast<float>(normal.next() * 1e-9);
+  return data;
+}
+
+/// Field built from subnormal floats (plus exact zeros): exercises the
+/// exponent-handling corners of every float transform.
+inline std::vector<float> denormal_field(std::size_t n, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<float> data(n);
+  for (float& v : data) {
+    // Mantissa-only bit patterns are subnormal by construction.
+    const std::uint32_t mantissa = rng.next_u32() & 0x007fffffu;
+    const std::uint32_t sign = (rng.next_u32() & 1u) << 31;
+    v = std::bit_cast<float>(sign | mantissa);
+  }
+  return data;
+}
+
+/// Overwrite a seeded fraction of points with NaN / +inf / -inf.
+/// `fraction` of points are salted, split evenly among the three.
+inline void salt_specials(std::vector<float>& data, std::uint64_t seed,
+                          double fraction = 0.01) {
+  Pcg32 rng(seed);
+  const auto count = static_cast<std::size_t>(static_cast<double>(data.size()) * fraction);
+  constexpr float kSpecials[3] = {std::numeric_limits<float>::quiet_NaN(),
+                                  std::numeric_limits<float>::infinity(),
+                                  -std::numeric_limits<float>::infinity()};
+  for (std::size_t k = 0; k < count && !data.empty(); ++k) {
+    const std::size_t i = rng.bounded(static_cast<std::uint32_t>(data.size()));
+    data[i] = kSpecials[k % 3];
+  }
+}
+
+/// Run-structured validity mask (like land/ocean coastlines): alternating
+/// valid/masked runs with seeded lengths. Returns one byte per point,
+/// 1 = valid, 0 = masked. At least one point of each kind when n >= 2.
+inline std::vector<std::uint8_t> fill_mask(std::size_t n, std::uint64_t seed,
+                                           std::size_t mean_run = 37) {
+  Pcg32 rng(seed);
+  std::vector<std::uint8_t> mask(n, 1);
+  bool valid = true;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t run =
+        1 + rng.bounded(static_cast<std::uint32_t>(std::max<std::size_t>(2 * mean_run, 2)));
+    const std::size_t end = std::min(n, i + run);
+    if (!valid) std::fill(mask.begin() + static_cast<std::ptrdiff_t>(i),
+                          mask.begin() + static_cast<std::ptrdiff_t>(end), std::uint8_t{0});
+    valid = !valid;
+    i = end;
+  }
+  if (n >= 2) {
+    mask[0] = 1;      // guarantee both populations exist regardless of seed
+    mask[n / 2] = 0;
+  }
+  return mask;
+}
+
+/// Stamp `fill` into every masked point of `data`.
+inline void apply_fill(std::vector<float>& data, const std::vector<std::uint8_t>& mask,
+                       float fill) {
+  for (std::size_t i = 0; i < data.size() && i < mask.size(); ++i) {
+    if (mask[i] == 0) data[i] = fill;
+  }
+}
+
+}  // namespace cesm::testgen
