@@ -29,7 +29,10 @@
 #include <vector>
 
 #include "common.h"
+#include "core/ensemble_cache.h"
+#include "core/export.h"
 #include "core/suite.h"
+#include "util/cache.h"
 #include "util/scheduler.h"
 #include "util/stopwatch.h"
 #include "util/trace.h"
@@ -121,10 +124,81 @@ struct PhaseRow {
   double total_seconds = 0.0;
 };
 
+/// The memoization phase: the same suite slice timed with the cache off,
+/// cold (first run under a fresh cache, which also warms the optional
+/// CESM_CACHE_DIR disk tier) and warm (second run against the tiers the
+/// cold run filled). All three must be bit-identical.
+struct CacheBench {
+  double off_seconds = 0.0;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  util::CacheStats mem;  ///< memory-tier counters over cold + warm
+  bool parity = false;
+  bool disk_tier = false;
+
+  [[nodiscard]] double warm_speedup() const {
+    return warm_seconds > 0.0 ? off_seconds / warm_seconds : 0.0;
+  }
+  [[nodiscard]] double hit_rate() const {
+    const double total = static_cast<double>(mem.hits + mem.misses);
+    return total > 0.0 ? static_cast<double>(mem.hits) / total : 0.0;
+  }
+};
+
+CacheBench run_cache_phase(const bench::Options& options,
+                           const std::vector<std::string>& variables,
+                           const std::string& csv_path) {
+  CacheBench bench;
+  ScopedScheduler scoped(options.threads);
+  const climate::EnsembleGenerator ensemble = bench::make_ensemble(options);
+  core::EnsembleCache& cache = core::EnsembleCache::global();
+
+  util::CacheConfig off = util::CacheConfig::from_env();
+  off.enabled = false;
+  // The cache bench measures the cache: honour CESM_CACHE_MB/_DIR from
+  // the environment but run the cold/warm legs enabled regardless of
+  // CESM_CACHE (the off leg is the disabled measurement).
+  util::CacheConfig on = util::CacheConfig::from_env();
+  on.enabled = true;
+
+  cache.configure(off);
+  Stopwatch sw_off;
+  const core::SuiteResults r_off =
+      core::run_suite(ensemble, bench::suite_config(options), variables);
+  bench.off_seconds = sw_off.seconds();
+
+  cache.configure(on);
+  bench.disk_tier = cache.has_disk_tier();
+  Stopwatch sw_cold;
+  const core::SuiteResults r_cold =
+      core::run_suite(ensemble, bench::suite_config(options), variables);
+  bench.cold_seconds = sw_cold.seconds();
+
+  Stopwatch sw_warm;
+  const core::SuiteResults r_warm =
+      core::run_suite(ensemble, bench::suite_config(options), variables);
+  bench.warm_seconds = sw_warm.seconds();
+  bench.mem = cache.memory_stats();
+
+  bench.parity = identical_results(r_off, r_cold, "cache_off", "cache_cold") &&
+                 identical_results(r_cold, r_warm, "cache_cold", "cache_warm");
+
+  // The warm run's full results table, for cross-process parity gates: two
+  // bench_suite processes sharing one CESM_CACHE_DIR must emit identical
+  // CSVs whether their entries were computed or read back from disk.
+  core::write_text_file(csv_path, core::suite_results_csv(r_warm));
+
+  // Leave the cache in its environment-default state for write_profile
+  // and any embedding harness.
+  cache.configure(util::CacheConfig::from_env());
+  return bench;
+}
+
 void write_json(std::ofstream& out, const std::vector<ConfigResult>& configs,
-                const std::vector<PhaseRow>& phases, const bench::Options& options,
-                std::size_t threads, std::size_t n_vars, int reps, bool deterministic,
-                double speedup_vs_fifo, double speedup_vs_serial) {
+                const std::vector<PhaseRow>& phases, const CacheBench& cache,
+                const bench::Options& options, std::size_t threads, std::size_t n_vars,
+                int reps, bool deterministic, double speedup_vs_fifo,
+                double speedup_vs_serial) {
   out << "{\n"
       << "  \"bench\": \"suite\",\n"
       << "  \"quick\": " << (options.quick ? "true" : "false") << ",\n"
@@ -151,6 +225,19 @@ void write_json(std::ofstream& out, const std::vector<ConfigResult>& configs,
         << (i + 1 < configs.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"cache\": {\n"
+      << "    \"off_seconds\": " << cache.off_seconds << ",\n"
+      << "    \"cold_seconds\": " << cache.cold_seconds << ",\n"
+      << "    \"warm_seconds\": " << cache.warm_seconds << ",\n"
+      << "    \"warm_speedup_vs_off\": " << cache.warm_speedup() << ",\n"
+      << "    \"mem_hits\": " << cache.mem.hits << ",\n"
+      << "    \"mem_misses\": " << cache.mem.misses << ",\n"
+      << "    \"mem_evictions\": " << cache.mem.evictions << ",\n"
+      << "    \"mem_resident_bytes\": " << cache.mem.resident_bytes << ",\n"
+      << "    \"hit_rate\": " << cache.hit_rate() << ",\n"
+      << "    \"disk_tier\": " << (cache.disk_tier ? "true" : "false") << ",\n"
+      << "    \"parity\": " << (cache.parity ? "true" : "false") << "\n"
+      << "  },\n"
       << "  \"phases\": [\n";
   for (std::size_t i = 0; i < phases.size(); ++i) {
     out << "    {\"label\": \"" << phases[i].label << "\", "
@@ -174,6 +261,16 @@ int main(int argc, char** argv) {
 
   const std::vector<std::string> variables = bench::select_variables(
       bench::make_ensemble(options), options.var_limit);
+
+  // The scheduler configurations measure end-to-end *recomputation*;
+  // with memoization live, every rep after the first would skip exactly
+  // the synthesis/stats work those timings exist to cover. The cache gets
+  // its own phase below.
+  {
+    util::CacheConfig off = util::CacheConfig::from_env();
+    off.enabled = false;
+    core::EnsembleCache::global().configure(off);
+  }
 
   std::vector<ConfigResult> configs;
   configs.push_back(run_config("fifo_baseline", options.threads,
@@ -216,6 +313,15 @@ int main(int argc, char** argv) {
   const double speedup_vs_fifo = fifo.seconds / full.seconds;
   const double speedup_vs_serial = serial.seconds / full.seconds;
 
+  const std::string out_path =
+      options.out_path.empty() ? "BENCH_suite.json" : options.out_path;
+  std::string csv_path = out_path;
+  if (csv_path.size() > 5 && csv_path.rfind(".json") == csv_path.size() - 5) {
+    csv_path.resize(csv_path.size() - 5);
+  }
+  csv_path += ".csv";
+  const CacheBench cache_bench = run_cache_phase(options, variables, csv_path);
+
   std::printf("%-14s %10s %10s %9s %9s %8s %12s\n", "config", "seconds", "spawned",
               "stolen", "helped", "steal%", "busy (ms)");
   for (const ConfigResult& c : configs) {
@@ -232,6 +338,16 @@ int main(int argc, char** argv) {
   std::printf("speedup vs fifo_baseline: %.2fx   vs 1 thread: %.2fx\n",
               speedup_vs_fifo, speedup_vs_serial);
   std::printf("deterministic across configs: %s\n", deterministic ? "yes" : "NO");
+  std::printf("cache phase: off %.3fs  cold %.3fs  warm %.3fs  (warm %.2fx vs off, "
+              "hit rate %.0f%%, %llu hits/%llu misses%s)\n",
+              cache_bench.off_seconds, cache_bench.cold_seconds,
+              cache_bench.warm_seconds, cache_bench.warm_speedup(),
+              cache_bench.hit_rate() * 100.0,
+              static_cast<unsigned long long>(cache_bench.mem.hits),
+              static_cast<unsigned long long>(cache_bench.mem.misses),
+              cache_bench.disk_tier ? ", disk tier on" : "");
+  std::printf("cache parity (off == cold == warm, bitwise): %s\n",
+              cache_bench.parity ? "yes" : "NO");
   if (!phases.empty()) {
     std::printf("top phases (traced pass):\n");
     const std::size_t shown = std::min<std::size_t>(phases.size(), 8);
@@ -242,17 +358,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string out_path =
-      options.out_path.empty() ? "BENCH_suite.json" : options.out_path;
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
     return 1;
   }
-  write_json(out, configs, phases, options, threads, variables.size(), reps,
-             deterministic, speedup_vs_fifo, speedup_vs_serial);
-  std::printf("wrote %s\n", out_path.c_str());
+  write_json(out, configs, phases, cache_bench, options, threads, variables.size(),
+             reps, deterministic, speedup_vs_fifo, speedup_vs_serial);
+  std::printf("wrote %s and %s\n", out_path.c_str(), csv_path.c_str());
 
   bench::write_profile(options);
-  return deterministic ? 0 : 1;
+  return deterministic && cache_bench.parity ? 0 : 1;
 }

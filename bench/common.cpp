@@ -7,6 +7,7 @@
 #include <string>
 
 #include "compress/variants.h"
+#include "core/ensemble_cache.h"
 #include "core/profile_report.h"
 #include "util/error.h"
 #include "util/scheduler.h"
@@ -164,9 +165,11 @@ std::vector<VariantOutcome> evaluate_variants(const climate::EnsembleGenerator& 
   const std::optional<float> fill =
       spec.has_fill ? std::optional<float>(climate::kFillValue) : std::nullopt;
 
-  // RMSZ-guided GRIB2 decimal scale on the (cheap) tuning ensemble.
-  const core::EnsembleStats tuning_stats(
-      tuning_ens.ensemble_fields(tuning_ens.variable(variable)));
+  // RMSZ-guided GRIB2 decimal scale on the (cheap) tuning ensemble;
+  // memoized, so every variant evaluation shares one tuning synthesis.
+  const auto tuning_stats_ptr = core::EnsembleCache::global().stats(
+      tuning_ens, tuning_ens.variable(variable));
+  const core::EnsembleStats& tuning_stats = *tuning_stats_ptr;
   const std::vector<std::size_t> probes =
       core::PvtVerifier::pick_members(3, tuning_stats.member_count(), spec.stream);
   const core::GribTuning tuning =

@@ -12,6 +12,7 @@
 #include "common.h"
 #include "compress/variants.h"
 #include "core/energy.h"
+#include "core/ensemble_cache.h"
 #include "core/gradients.h"
 #include "core/report.h"
 #include "core/ssim.h"
@@ -33,7 +34,8 @@ int main(int argc, char** argv) {
     const climate::VariableSpec& spec = ens.variable(name);
     const std::optional<float> fill =
         spec.has_fill ? std::optional<float>(climate::kFillValue) : std::nullopt;
-    const core::EnsembleStats stats(ens.ensemble_fields(spec));
+    const auto stats_ptr = core::EnsembleCache::global().stats(ens, spec);
+    const core::EnsembleStats& stats = *stats_ptr;
     const core::PvtVerifier verifier(stats);
     const climate::Field field = stats.member(1);
 

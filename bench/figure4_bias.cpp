@@ -7,6 +7,7 @@
 
 #include "common.h"
 #include "compress/variants.h"
+#include "core/ensemble_cache.h"
 #include "core/grib_tuning.h"
 #include "core/report.h"
 
@@ -24,7 +25,8 @@ int main(int argc, char** argv) {
     const climate::VariableSpec& spec = ens.variable(name);
     const std::optional<float> fill =
         spec.has_fill ? std::optional<float>(climate::kFillValue) : std::nullopt;
-    const core::EnsembleStats stats(ens.ensemble_fields(spec));
+    const auto stats_ptr = core::EnsembleCache::global().stats(ens, spec);
+    const core::EnsembleStats& stats = *stats_ptr;
     const core::PvtVerifier verifier(stats);
 
     const std::vector<std::size_t> probes = core::PvtVerifier::pick_members(

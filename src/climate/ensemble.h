@@ -36,6 +36,7 @@ class EnsembleGenerator {
   explicit EnsembleGenerator(const EnsembleSpec& spec);
 
   [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] const EnsembleSpec& spec() const { return spec_; }
   [[nodiscard]] const std::vector<VariableSpec>& catalog() const { return catalog_; }
   [[nodiscard]] std::size_t members() const { return spec_.members; }
 

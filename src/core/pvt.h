@@ -101,6 +101,13 @@ class PvtVerifier {
   /// y-axis data and the bias test input.
   [[nodiscard]] std::vector<double> reconstructed_rmsz(const comp::Codec& codec) const;
 
+  /// Fixed bias-sweep batch width: the sweep round-trips at most this many
+  /// members at a time into one resident arena buffer, bounding recon
+  /// memory at kBiasBatch fields instead of the whole ensemble. Never
+  /// derived from the worker count, so the decomposition (and the
+  /// results) are identical at any thread count.
+  static constexpr std::size_t kBiasBatch = 16;
+
   /// The paper's "choose three members at random".
   static std::vector<std::size_t> pick_members(std::size_t count, std::size_t member_count,
                                                std::uint64_t seed);
@@ -110,9 +117,14 @@ class PvtVerifier {
 
  private:
   /// Fill `scores` (one slot per member) with the reconstructed-ensemble
-  /// RMSZ; the allocation-free core of reconstructed_rmsz().
-  void reconstructed_rmsz_into(const comp::Codec& codec,
-                               std::span<double> scores) const;
+  /// RMSZ; the allocation-free core of reconstructed_rmsz(). Members
+  /// already scored by `known` evaluations (the verify() test members)
+  /// are seeded from eval.rmsz_reconstructed instead of being compressed
+  /// again — codecs are deterministic, so the reused score is bit-exact.
+  /// The rest round-trip in kBiasBatch batches through an arena-backed
+  /// decode_into buffer.
+  void reconstructed_rmsz_into(const comp::Codec& codec, std::span<double> scores,
+                               std::span<const MemberEvaluation> known) const;
 
   const EnsembleStats& stats_;
   PvtThresholds thresholds_;

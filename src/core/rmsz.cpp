@@ -144,6 +144,14 @@ void EnsembleStats::build() {
                         kPointGrain);
     enmax_dist_[m] = ranges_[m] > 0.0 ? worst / ranges_[m] : worst;
   });
+
+  finalize_rmsz_range();
+}
+
+void EnsembleStats::finalize_rmsz_range() {
+  const auto [lo, hi] = std::minmax_element(rmsz_dist_.begin(), rmsz_dist_.end());
+  rmsz_min_ = *lo;
+  rmsz_max_ = *hi;
 }
 
 double EnsembleStats::rmsz_of(std::size_t m, std::span<const float> data) const {
@@ -167,6 +175,156 @@ double EnsembleStats::rmsz_of(std::size_t m, std::span<const float> data) const 
 double EnsembleStats::enmax_range() const {
   const auto [lo, hi] = std::minmax_element(enmax_dist_.begin(), enmax_dist_.end());
   return *hi - *lo;
+}
+
+namespace {
+
+// Layout version of the EnsembleStats snapshot itself (independent of the
+// disk-cache container version): bump on any change to the field set or
+// their order below, so stale snapshots deserialize as FormatError and the
+// cache regenerates them instead of misreading bytes.
+constexpr std::uint32_t kStatsFormatVersion = 1;
+
+template <typename T>
+void write_array(ByteWriter& w, const std::vector<T>& v) {
+  w.u64(v.size());
+  if constexpr (sizeof(T) == 1) {
+    w.raw(reinterpret_cast<const std::uint8_t*>(v.data()), v.size());
+  } else if constexpr (std::is_same_v<T, float>) {
+    w.f32_array(v);
+  } else if constexpr (std::is_same_v<T, double>) {
+    w.f64_array(v);
+  } else {
+    w.u32_array(v);
+  }
+}
+
+template <typename T>
+std::vector<T> read_array(ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  // An adversarially large count would throw in need() anyway, but check
+  // against the remaining bytes first so we never attempt the allocation.
+  if (n > r.remaining() / sizeof(T)) throw FormatError("array length overruns stream");
+  std::vector<T> v(static_cast<std::size_t>(n));
+  if constexpr (sizeof(T) == 1) {
+    const auto src = r.raw(v.size());
+    std::copy(src.begin(), src.end(), v.begin());
+  } else if constexpr (std::is_same_v<T, float>) {
+    r.f32_array(v);
+  } else if constexpr (std::is_same_v<T, double>) {
+    r.f64_array(v);
+  } else {
+    r.u32_array(v);
+  }
+  return v;
+}
+
+}  // namespace
+
+void EnsembleStats::serialize(ByteWriter& w) const {
+  w.u32(kStatsFormatVersion);
+
+  // Members: name/shape/fill are identical across members by construction,
+  // so store them once.
+  const climate::Field& proto = members_[0];
+  w.str(proto.name);
+  w.u64(proto.shape.dims.size());
+  for (std::size_t d : proto.shape.dims) w.u64(d);
+  w.u8(proto.fill.has_value() ? 1 : 0);
+  if (proto.fill) w.f32(*proto.fill);
+
+  w.u64(members_.size());
+  for (const climate::Field& f : members_) write_array(w, f.data);
+
+  write_array(w, mask_);
+  w.u64(valid_points_);
+  write_array(w, sum_);
+  write_array(w, sum_sq_);
+  write_array(w, max1_);
+  write_array(w, max2_);
+  write_array(w, min1_);
+  write_array(w, min2_);
+  write_array(w, argmax_);
+  write_array(w, argmin_);
+  write_array(w, rmsz_dist_);
+  write_array(w, enmax_dist_);
+  write_array(w, ranges_);
+  write_array(w, global_means_);
+}
+
+EnsembleStats EnsembleStats::deserialize(ByteReader& r) {
+  if (r.u32() != kStatsFormatVersion) {
+    throw FormatError("EnsembleStats snapshot version mismatch");
+  }
+
+  EnsembleStats s;
+  const std::string name = r.str();
+  comp::Shape shape;
+  const std::uint64_t rank = r.u64();
+  if (rank > 8) throw FormatError("EnsembleStats snapshot rank implausible");
+  for (std::uint64_t i = 0; i < rank; ++i) {
+    shape.dims.push_back(static_cast<std::size_t>(r.u64()));
+  }
+  std::optional<float> fill;
+  if (r.u8() != 0) fill = r.f32();
+
+  const std::uint64_t m_count = r.u64();
+  if (m_count < 3 || m_count > (1u << 20)) {
+    throw FormatError("EnsembleStats snapshot member count implausible");
+  }
+  const std::size_t n = shape.count();
+  s.members_.reserve(static_cast<std::size_t>(m_count));
+  for (std::uint64_t m = 0; m < m_count; ++m) {
+    climate::Field f{name, shape, read_array<float>(r), fill};
+    if (f.data.size() != n) throw FormatError("EnsembleStats member size mismatch");
+    s.members_.push_back(std::move(f));
+  }
+
+  s.mask_ = read_array<std::uint8_t>(r);
+  if (!s.mask_.empty() && s.mask_.size() != n) {
+    throw FormatError("EnsembleStats mask size mismatch");
+  }
+  s.valid_points_ = static_cast<std::size_t>(r.u64());
+  s.sum_ = read_array<double>(r);
+  s.sum_sq_ = read_array<double>(r);
+  s.max1_ = read_array<float>(r);
+  s.max2_ = read_array<float>(r);
+  s.min1_ = read_array<float>(r);
+  s.min2_ = read_array<float>(r);
+  s.argmax_ = read_array<std::uint32_t>(r);
+  s.argmin_ = read_array<std::uint32_t>(r);
+  for (std::size_t len : {s.sum_.size(), s.sum_sq_.size(), s.max1_.size(),
+                          s.max2_.size(), s.min1_.size(), s.min2_.size(),
+                          s.argmax_.size(), s.argmin_.size()}) {
+    if (len != n) throw FormatError("EnsembleStats point-array size mismatch");
+  }
+  s.rmsz_dist_ = read_array<double>(r);
+  s.enmax_dist_ = read_array<double>(r);
+  s.ranges_ = read_array<double>(r);
+  s.global_means_ = read_array<double>(r);
+  for (std::size_t len : {s.rmsz_dist_.size(), s.enmax_dist_.size(),
+                          s.ranges_.size(), s.global_means_.size()}) {
+    if (len != m_count) throw FormatError("EnsembleStats member-array size mismatch");
+  }
+  if (s.valid_points_ == 0 || s.valid_points_ > n) {
+    throw FormatError("EnsembleStats valid point count implausible");
+  }
+
+  s.finalize_rmsz_range();
+  return s;
+}
+
+std::size_t EnsembleStats::memory_bytes() const {
+  const std::size_t n = members_.empty() ? 0 : members_[0].size();
+  std::size_t bytes = members_.size() * n * sizeof(float);  // member data
+  bytes += mask_.size();
+  bytes += (sum_.size() + sum_sq_.size()) * sizeof(double);
+  bytes += (max1_.size() + max2_.size() + min1_.size() + min2_.size()) * sizeof(float);
+  bytes += (argmax_.size() + argmin_.size()) * sizeof(std::uint32_t);
+  bytes += (rmsz_dist_.size() + enmax_dist_.size() + ranges_.size() +
+            global_means_.size()) *
+           sizeof(double);
+  return bytes;
 }
 
 }  // namespace cesm::core

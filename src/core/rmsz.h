@@ -13,9 +13,11 @@
 // statistics (sum and sum of squares), so evaluating any member is O(N)
 // rather than O(N·M).
 
+#include <utility>
 #include <vector>
 
 #include "climate/field.h"
+#include "util/bytes.h"
 
 namespace cesm::core {
 
@@ -44,6 +46,14 @@ class EnsembleStats {
   /// All member RMSZ scores (the Figure 2 histogram).
   [[nodiscard]] const std::vector<double>& rmsz_distribution() const { return rmsz_dist_; }
 
+  /// {min, max} of the RMSZ distribution, precomputed once at build time.
+  /// The eq. (8) acceptance window needs this per member per variant;
+  /// scanning the distribution there again would be an O(members) rescan
+  /// repeated members x variants times.
+  [[nodiscard]] std::pair<double, double> rmsz_range() const {
+    return {rmsz_min_, rmsz_max_};
+  }
+
   /// E_nmax^{m_X} (eq. 10) for member m.
   [[nodiscard]] double enmax(std::size_t m) const { return enmax_dist_[m]; }
 
@@ -67,8 +77,27 @@ class EnsembleStats {
   /// Field::valid_mask() per evaluation.
   [[nodiscard]] std::span<const std::uint8_t> mask() const { return mask_; }
 
+  /// Exact-bit snapshot of the members and every derived product, for the
+  /// content-addressed ensemble cache (core/ensemble_cache.h). A
+  /// deserialized instance is indistinguishable from a freshly built one:
+  /// all floating-point state round-trips via bit casts, so cached and
+  /// uncached runs produce bit-identical results.
+  void serialize(ByteWriter& w) const;
+  /// Inverse of serialize(); throws FormatError on a malformed stream.
+  /// (The disk cache additionally checksums entries, so this mostly
+  /// guards against version skew and in-memory corruption.)
+  [[nodiscard]] static EnsembleStats deserialize(ByteReader& r);
+
+  /// Resident footprint (members + derived arrays) for cache accounting.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
+  EnsembleStats() = default;  ///< deserialize() fills every member itself
+
   void build();
+  /// Derive the cached rmsz_range() extremes from rmsz_dist_ (shared by
+  /// build() and deserialize()).
+  void finalize_rmsz_range();
 
   std::vector<climate::Field> members_;
   std::vector<std::uint8_t> mask_;      // shared validity mask (may be empty)
@@ -85,6 +114,8 @@ class EnsembleStats {
   std::vector<double> enmax_dist_;
   std::vector<double> ranges_;
   std::vector<double> global_means_;
+  double rmsz_min_ = 0.0;
+  double rmsz_max_ = 0.0;
 };
 
 }  // namespace cesm::core

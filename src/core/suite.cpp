@@ -3,6 +3,7 @@
 #include "compress/deflate/deflate.h"
 #include "compress/fpz/fpz.h"
 #include "compress/variants.h"
+#include "core/ensemble_cache.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -128,7 +129,12 @@ VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
   result.is_3d = spec.is_3d;
   if (spec.has_fill) result.fill = climate::kFillValue;
 
-  const EnsembleStats stats(ensemble.ensemble_fields(spec));
+  // Memoized ensemble products: repetitions, variants and sibling bench
+  // tools all share one synthesis + stats build per (ensemble, variable)
+  // key. With the cache disabled this is a plain build.
+  const std::shared_ptr<const EnsembleStats> stats_ptr =
+      EnsembleCache::global().stats(ensemble, spec);
+  const EnsembleStats& stats = *stats_ptr;
   const PvtVerifier verifier(stats, config.thresholds);
 
   result.test_members = PvtVerifier::pick_members(

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "util/error.h"
@@ -54,9 +55,33 @@ class ByteWriter {
 
   void raw(std::span<const std::uint8_t> data) { raw(data.data(), data.size()); }
 
+  // Bulk little-endian array writes (cache serialization of multi-MB
+  // field/statistic arrays): one memcpy on little-endian hosts, the
+  // per-element path elsewhere, so streams stay byte-identical across
+  // architectures.
+  void f32_array(std::span<const float> v) { scalar_array(v); }
+  void f64_array(std::span<const double> v) { scalar_array(v); }
+  void u32_array(std::span<const std::uint32_t> v) { scalar_array(v); }
+
   [[nodiscard]] std::size_t size() const { return out_.size(); }
 
  private:
+  template <typename T>
+  void scalar_array(std::span<const T> v) {
+    static_assert(std::is_arithmetic_v<T>);
+    if constexpr (std::endian::native == std::endian::little) {
+      raw(reinterpret_cast<const std::uint8_t*>(v.data()), v.size() * sizeof(T));
+    } else {
+      for (const T& x : v) {
+        if constexpr (sizeof(T) == 4) {
+          u32(std::bit_cast<std::uint32_t>(x));
+        } else {
+          u64(std::bit_cast<std::uint64_t>(x));
+        }
+      }
+    }
+  }
+
   Bytes& out_;
 };
 
@@ -113,11 +138,33 @@ class ByteReader {
     return s;
   }
 
+  // Bulk little-endian array reads mirroring ByteWriter's *_array.
+  void f32_array(std::span<float> out) { scalar_array(out); }
+  void f64_array(std::span<double> out) { scalar_array(out); }
+  void u32_array(std::span<std::uint32_t> out) { scalar_array(out); }
+
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] std::size_t position() const { return pos_; }
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
 
  private:
+  template <typename T>
+  void scalar_array(std::span<T> out) {
+    static_assert(std::is_arithmetic_v<T>);
+    if constexpr (std::endian::native == std::endian::little) {
+      const auto src = raw(out.size() * sizeof(T));
+      std::memcpy(out.data(), src.data(), src.size());
+    } else {
+      for (T& x : out) {
+        if constexpr (sizeof(T) == 4) {
+          x = std::bit_cast<T>(u32());
+        } else {
+          x = std::bit_cast<T>(u64());
+        }
+      }
+    }
+  }
+
   void need(std::size_t n) const {
     if (data_.size() - pos_ < n) throw FormatError("truncated stream");
   }

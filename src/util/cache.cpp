@@ -1,0 +1,158 @@
+#include "util/cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/error.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace cesm::util {
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t KeyHasher::digest() const {
+  // One SplitMix64 round diffuses the FNV state so near-identical inputs
+  // (e.g. keys differing only in a trailing bool) land far apart.
+  return SplitMix64(h_).next();
+}
+
+DiskCache::DiskCache(std::filesystem::path dir, std::string prefix)
+    : dir_(std::move(dir)), prefix_(std::move(prefix)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec || !std::filesystem::is_directory(dir_)) {
+    throw IoError("cannot create cache directory " + dir_.string() +
+                  (ec ? ": " + ec.message() : ""));
+  }
+}
+
+std::filesystem::path DiskCache::entry_path(std::uint64_t key) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s-%016llx.cesmc", prefix_.c_str(),
+                static_cast<unsigned long long>(key));
+  return dir_ / name;
+}
+
+std::optional<Bytes> DiskCache::read(std::uint64_t key) const {
+  const std::filesystem::path path = entry_path(key);
+  Bytes raw;
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      trace::counter_add("cache.disk_miss", 1);
+      return std::nullopt;
+    }
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    f.seekg(0, std::ios::beg);
+    if (size < 0) {
+      trace::counter_add("cache.disk_miss", 1);
+      return std::nullopt;
+    }
+    raw.resize(static_cast<std::size_t>(size));
+    if (!raw.empty() &&
+        !f.read(reinterpret_cast<char*>(raw.data()),
+                static_cast<std::streamsize>(raw.size()))) {
+      raw.clear();  // short read: fall through to the corrupt path below
+    }
+  }
+
+  // Validation (and the injectable fault) share one recovery path: any
+  // Error here means the entry cannot be trusted — count it, delete it,
+  // and report a miss so the caller regenerates the value.
+  try {
+    CESM_FAILPOINT("cache.disk_read");
+    ByteReader r(raw);
+    if (r.u32() != kMagic) throw FormatError("cache entry magic mismatch");
+    if (r.u32() != kFormatVersion) throw FormatError("cache entry version mismatch");
+    if (r.u64() != key) throw FormatError("cache entry key mismatch");
+    const std::uint64_t payload_size = r.u64();
+    const std::uint64_t checksum = r.u64();
+    if (payload_size != r.remaining()) {
+      throw FormatError("cache entry payload size mismatch");
+    }
+    const std::span<const std::uint8_t> payload =
+        r.raw(static_cast<std::size_t>(payload_size));
+    if (fnv1a64(payload) != checksum) {
+      throw FormatError("cache entry checksum mismatch");
+    }
+    trace::counter_add("cache.disk_hit", 1);
+    return Bytes(payload.begin(), payload.end());
+  } catch (const Error&) {
+    trace::counter_add("cache.disk_corrupt", 1);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // best effort; rewrite replaces it anyway
+    return std::nullopt;
+  }
+}
+
+void DiskCache::write(std::uint64_t key, std::span<const std::uint8_t> payload) const {
+  Bytes file;
+  ByteWriter w(file);
+  w.u32(kMagic);
+  w.u32(kFormatVersion);
+  w.u64(key);
+  w.u64(payload.size());
+  w.u64(fnv1a64(payload));
+  w.raw(payload);
+
+  const std::filesystem::path path = entry_path(key);
+  // Unique temp name per writer so concurrent processes warming the same
+  // directory never interleave into one file; rename() then publishes the
+  // complete entry atomically (same directory => same filesystem).
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." +
+      std::to_string(static_cast<unsigned long long>(
+          hash_combine(reinterpret_cast<std::uintptr_t>(&file), key)));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f ||
+        !f.write(reinterpret_cast<const char*>(file.data()),
+                 static_cast<std::streamsize>(file.size()))) {
+      trace::counter_add("cache.disk_write_fail", 1);
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    trace::counter_add("cache.disk_write_fail", 1);
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  trace::counter_add("cache.disk_write", 1);
+}
+
+CacheConfig CacheConfig::from_env() {
+  CacheConfig cfg;
+  if (const char* v = std::getenv("CESM_CACHE");
+      v != nullptr && (std::string_view(v) == "off" || std::string_view(v) == "0")) {
+    cfg.enabled = false;
+  }
+  if (const char* v = std::getenv("CESM_CACHE_MB"); v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    const unsigned long long mb = std::strtoull(v, &end, 10);
+    if (end != v && *end == '\0') {
+      cfg.max_bytes = static_cast<std::size_t>(mb) << 20;
+    } else {
+      std::fprintf(stderr, "CESM_CACHE_MB ignored: not a number: %s\n", v);
+    }
+  }
+  if (const char* v = std::getenv("CESM_CACHE_DIR"); v != nullptr && *v != '\0') {
+    cfg.disk_dir = v;
+  }
+  return cfg;
+}
+
+}  // namespace cesm::util

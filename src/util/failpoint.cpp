@@ -21,6 +21,7 @@ namespace {
 /// meta-test fail when a site has no test firing it. Keep sorted.
 constexpr const char* kRegisteredSites[] = {
     "apax.decode",        //
+    "cache.disk_read",    //
     "chunked.decode",     //
     "deflate.decode",     //
     "fpc.decode",         //

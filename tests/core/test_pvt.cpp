@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
 #include "compress/deflate/deflate.h"
 #include "compress/fpz/fpz.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/trace.h"
 
@@ -161,6 +163,70 @@ TEST_F(PvtTest, SteadyStateVerifyLoopIsAllocationFree) {
   const auto it = counters.find("arena.grow");
   EXPECT_TRUE(it == counters.end() || it->second == 0)
       << "steady-state verify grew the arena " << it->second << " time(s)";
+}
+
+TEST_F(PvtTest, BiasSweepReusesTestMemberScoresWithoutRecompressing) {
+  // Each verify(run_bias=true) must round-trip every member exactly once:
+  // the bias sweep reuses the test members' reconstructed RMSZ from
+  // evaluate_member instead of compressing them a second time. Counted
+  // two independent ways — the pvt.member_roundtrips trace counter and
+  // the fpz.decode failpoint hit count (armed with prob:0.0 so it counts
+  // without ever firing).
+  const comp::FpzCodec codec(24);
+  (void)verifier_.verify(codec, members_, /*run_bias=*/true);  // warm arena
+
+  fail::reset();
+  fail::ScopedFailpoint count_decodes("fpz.decode",
+                                      fail::Trigger::with_probability(0.0));
+  trace::set_enabled(true);
+  trace::reset();
+  (void)verifier_.verify(codec, members_, /*run_bias=*/true);
+  const auto counters = trace::counters();
+  trace::set_enabled(false);
+  const std::uint64_t decodes = fail::hit_count("fpz.decode");
+  fail::reset();
+
+  const std::uint64_t member_count = stats_.member_count();  // 21
+  const auto roundtrips = counters.find("pvt.member_roundtrips");
+  ASSERT_NE(roundtrips, counters.end());
+  EXPECT_EQ(roundtrips->second, member_count)
+      << "expected one round trip per member; the old pipeline did "
+      << member_count + members_.size() << " (test members compressed twice)";
+  EXPECT_EQ(decodes, member_count);
+  const auto reused = counters.find("pvt.bias_reused");
+  ASSERT_NE(reused, counters.end());
+  EXPECT_EQ(reused->second, members_.size());
+}
+
+TEST_F(PvtTest, BiasSweepWithReuseMatchesFullSweepBitForBit) {
+  // The reused scores must be indistinguishable from recomputed ones:
+  // verify()'s bias verdict equals the one derived from the standalone
+  // full sweep (which round-trips every member itself).
+  const comp::FpzCodec codec(16);
+  const VariableVerdict v = verifier_.verify(codec, members_, /*run_bias=*/true);
+  ASSERT_TRUE(v.bias_evaluated);
+
+  const std::vector<double> full = verifier_.reconstructed_rmsz(codec);
+  const BiasResult expected =
+      bias_test(stats_.rmsz_distribution(), full,
+                verifier_.thresholds().bias_confidence);
+  EXPECT_EQ(v.bias.pass, expected.pass);
+  EXPECT_EQ(v.bias.fit.slope, expected.fit.slope);          // bitwise: same
+  EXPECT_EQ(v.bias.fit.intercept, expected.fit.intercept);  // inputs, same
+  EXPECT_EQ(v.bias.slope_distance, expected.slope_distance);  // arithmetic
+  // And the test members' sweep scores equal their evaluate_member scores.
+  for (const MemberEvaluation& e : v.members) {
+    EXPECT_EQ(full[e.member], e.rmsz_reconstructed) << "member " << e.member;
+  }
+}
+
+TEST_F(PvtTest, RmszRangeAccessorMatchesDistributionScan) {
+  const auto& dist = stats_.rmsz_distribution();
+  const auto [lo, hi] = std::minmax_element(dist.begin(), dist.end());
+  const auto [min, max] = stats_.rmsz_range();
+  EXPECT_EQ(min, *lo);
+  EXPECT_EQ(max, *hi);
+  EXPECT_LE(min, max);
 }
 
 TEST(PickMembers, DeterministicSortedUnique) {

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <string>
@@ -27,6 +28,7 @@
 #include "compress/isobar.h"
 #include "compress/mafisc.h"
 #include "compress/special.h"
+#include "core/ensemble_cache.h"
 #include "core/export.h"
 #include "core/suite.h"
 #include "ncio/dataset.h"
@@ -87,6 +89,25 @@ const std::map<std::string, std::function<void()>>& site_scenarios() {
   static const auto* scenarios = new std::map<std::string, std::function<void()>>{
       {"apax.decode",
        [] { decode_roundtrip(comp::ApaxCodec(comp::ApaxCodec::fixed_rate(2))); }},
+      {"cache.disk_read",
+       [] {
+         // A disk-tier cache read with entry validation. The injected
+         // fault is absorbed by the corrupt-entry recovery path (count,
+         // delete, regenerate), so the scenario completes either way —
+         // the site must still fire.
+         const std::filesystem::path dir =
+             std::filesystem::path(::testing::TempDir()) / "cesm_failpoint_cache";
+         util::CacheConfig cfg;
+         cfg.disk_dir = dir.string();
+         core::EnsembleCache& cache = core::EnsembleCache::global();
+         const auto& ens = shared_ensemble();
+         cache.configure(cfg);
+         (void)cache.stats(ens, ens.variable("U"));  // build + persist
+         cache.configure(cfg);                       // drop the memory tier
+         (void)cache.stats(ens, ens.variable("U"));  // forces the disk read
+         cache.configure(util::CacheConfig::from_env());
+         std::filesystem::remove_all(dir);
+       }},
       {"chunked.decode",
        [] {
          decode_roundtrip(

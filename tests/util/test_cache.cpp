@@ -1,0 +1,291 @@
+#include "util/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "util/error.h"
+
+namespace cesm::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// KeyHasher
+// ---------------------------------------------------------------------------
+
+TEST(KeyHasher, DeterministicAcrossInstances) {
+  const auto digest = [] {
+    KeyHasher h;
+    h.u64(7).f64(3.25).str("CCN3").boolean(true).i64(-9);
+    return h.digest();
+  };
+  EXPECT_EQ(digest(), digest());
+}
+
+TEST(KeyHasher, FieldOrderMatters) {
+  KeyHasher a, b;
+  a.u64(1).u64(2);
+  b.u64(2).u64(1);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(KeyHasher, StringsAreLengthPrefixed) {
+  // Without length prefixes ("ab","c") and ("a","bc") would concatenate to
+  // the same byte stream and collide.
+  KeyHasher a, b;
+  a.str("ab").str("c");
+  b.str("a").str("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(KeyHasher, SingleBitInputChangeFlipsDigest) {
+  KeyHasher a, b;
+  a.u64(0x10);
+  b.u64(0x11);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(KeyHasher, NegativeZeroAndPositiveZeroDiffer) {
+  // The hash is content-addressed on exact bits, matching the cache's
+  // exact-bit reproducibility contract.
+  KeyHasher a, b;
+  a.f64(0.0);
+  b.f64(-0.0);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+// ---------------------------------------------------------------------------
+// LruCache
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const int> boxed(int v) { return std::make_shared<const int>(v); }
+
+TEST(LruCache, MissThenHit) {
+  LruCache<int> cache(1024);
+  EXPECT_EQ(cache.get(1), nullptr);
+  cache.put(1, boxed(42), 8);
+  const auto hit = cache.get(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 42);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.resident_bytes, 8u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsedWithinBudget) {
+  LruCache<int> cache(100);
+  cache.put(1, boxed(1), 40);
+  cache.put(2, boxed(2), 40);
+  (void)cache.get(1);           // refresh key 1: key 2 is now the LRU victim
+  cache.put(3, boxed(3), 40);   // over budget -> evict key 2
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_LE(s.resident_bytes, 100u);
+}
+
+TEST(LruCache, ResidentBytesNeverExceedBudgetExceptForSingleOversizedEntry) {
+  LruCache<int> cache(100);
+  for (int i = 0; i < 16; ++i) cache.put(static_cast<std::uint64_t>(i), boxed(i), 30);
+  EXPECT_LE(cache.stats().resident_bytes, 100u);
+
+  // One entry larger than the whole budget is admitted alone (the newest
+  // entry is never evicted) instead of thrashing the cache into refusal.
+  cache.put(99, boxed(99), 500);
+  const CacheStats s = cache.stats();
+  EXPECT_NE(cache.get(99), nullptr);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.resident_bytes, 500u);
+}
+
+TEST(LruCache, FirstInsertWins) {
+  LruCache<int> cache(1024);
+  cache.put(7, boxed(1), 8);
+  cache.put(7, boxed(2), 8);  // losing duplicate build: dropped
+  const auto hit = cache.get(7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().resident_bytes, 8u);
+}
+
+TEST(LruCache, ValueOutlivesEviction) {
+  LruCache<int> cache(10);
+  cache.put(1, boxed(11), 10);
+  const auto held = cache.get(1);
+  cache.put(2, boxed(22), 10);  // evicts key 1
+  EXPECT_EQ(cache.get(1), nullptr);
+  ASSERT_NE(held, nullptr);     // shared_ptr keeps the evicted value alive
+  EXPECT_EQ(*held, 11);
+}
+
+TEST(LruCache, ClearDropsEntriesButKeepsCumulativeCounters) {
+  LruCache<int> cache(1024);
+  cache.put(1, boxed(1), 16);
+  (void)cache.get(1);
+  cache.clear();
+  EXPECT_EQ(cache.get(1), nullptr);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.inserted_bytes, 16u);
+}
+
+// ---------------------------------------------------------------------------
+// DiskCache
+// ---------------------------------------------------------------------------
+
+class DiskCacheTest : public ::testing::Test {
+ protected:
+  // Each gtest case runs as its own ctest process (possibly in parallel
+  // with its siblings), so the scratch directory must be per-test.
+  DiskCacheTest()
+      : dir_(std::filesystem::path(::testing::TempDir()) /
+             (std::string("cesm_disk_cache_test_") +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name())) {
+    std::filesystem::remove_all(dir_);
+  }
+  ~DiskCacheTest() override { std::filesystem::remove_all(dir_); }
+
+  static Bytes payload() { return Bytes{1, 2, 3, 4, 5, 250, 251, 252}; }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(DiskCacheTest, RoundTrip) {
+  const DiskCache cache(dir_, "t");
+  const std::uint64_t key = 0xabcdef0123456789ull;
+  EXPECT_EQ(cache.read(key), std::nullopt);
+  cache.write(key, payload());
+  const auto got = cache.read(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload());
+}
+
+TEST_F(DiskCacheTest, DistinctKeysGetDistinctFiles) {
+  const DiskCache cache(dir_, "t");
+  cache.write(1, Bytes{1});
+  cache.write(2, Bytes{2});
+  EXPECT_NE(cache.entry_path(1), cache.entry_path(2));
+  EXPECT_EQ(*cache.read(1), Bytes{1});
+  EXPECT_EQ(*cache.read(2), Bytes{2});
+}
+
+TEST_F(DiskCacheTest, TruncatedEntryReadsAsMissAndIsDeleted) {
+  const DiskCache cache(dir_, "t");
+  cache.write(3, payload());
+  const std::filesystem::path path = cache.entry_path(3);
+  // Chop the file mid-payload, as a crash or disk-full rot would.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 3);
+  EXPECT_EQ(cache.read(3), std::nullopt);
+  EXPECT_FALSE(std::filesystem::exists(path)) << "corrupt entry must be deleted";
+  // The regenerated value replaces it cleanly.
+  cache.write(3, payload());
+  EXPECT_EQ(*cache.read(3), payload());
+}
+
+void flip_byte_at(const std::filesystem::path& path, std::size_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x5a);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+}
+
+TEST_F(DiskCacheTest, PayloadBitRotFailsChecksumAndReadsAsMiss) {
+  const DiskCache cache(dir_, "t");
+  cache.write(4, payload());
+  const std::filesystem::path path = cache.entry_path(4);
+  const std::size_t header = 4 + 4 + 8 + 8 + 8;  // magic,version,key,size,checksum
+  flip_byte_at(path, header + 2);
+  EXPECT_EQ(cache.read(4), std::nullopt);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(DiskCacheTest, HeaderVersionMismatchReadsAsMiss) {
+  const DiskCache cache(dir_, "t");
+  cache.write(5, payload());
+  flip_byte_at(cache.entry_path(5), 4);  // first byte of the format version
+  EXPECT_EQ(cache.read(5), std::nullopt);
+}
+
+TEST_F(DiskCacheTest, KeyEchoMismatchReadsAsMiss) {
+  // A file renamed (or hash-colliding) onto another key's path carries the
+  // wrong key echo and must not be trusted.
+  const DiskCache cache(dir_, "t");
+  cache.write(6, payload());
+  std::filesystem::rename(cache.entry_path(6), cache.entry_path(7));
+  EXPECT_EQ(cache.read(7), std::nullopt);
+}
+
+TEST_F(DiskCacheTest, EmptyFileReadsAsMiss) {
+  const DiskCache cache(dir_, "t");
+  { std::ofstream f(cache.entry_path(8), std::ios::binary); }
+  EXPECT_EQ(cache.read(8), std::nullopt);
+}
+
+TEST_F(DiskCacheTest, OverwriteReplacesEntry) {
+  const DiskCache cache(dir_, "t");
+  cache.write(9, Bytes{1, 1, 1});
+  cache.write(9, Bytes{2, 2});
+  EXPECT_EQ(*cache.read(9), (Bytes{2, 2}));
+}
+
+TEST_F(DiskCacheTest, UnusableDirectoryThrowsIoError) {
+  // A path whose parent is a regular file can never become a directory.
+  const std::filesystem::path file = dir_;
+  std::filesystem::create_directories(file.parent_path());
+  { std::ofstream f(file, std::ios::binary); }
+  EXPECT_THROW(DiskCache(file / "sub", "t"), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// CacheConfig::from_env
+// ---------------------------------------------------------------------------
+
+class CacheConfigEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("CESM_CACHE");
+    ::unsetenv("CESM_CACHE_MB");
+    ::unsetenv("CESM_CACHE_DIR");
+  }
+};
+
+TEST_F(CacheConfigEnvTest, Defaults) {
+  const CacheConfig cfg = CacheConfig::from_env();
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_EQ(cfg.max_bytes, 256ull << 20);
+  EXPECT_TRUE(cfg.disk_dir.empty());
+}
+
+TEST_F(CacheConfigEnvTest, DisableAndSize) {
+  ::setenv("CESM_CACHE", "off", 1);
+  ::setenv("CESM_CACHE_MB", "64", 1);
+  ::setenv("CESM_CACHE_DIR", "/tmp/cesm-cache-env-test", 1);
+  const CacheConfig cfg = CacheConfig::from_env();
+  EXPECT_FALSE(cfg.enabled);
+  EXPECT_EQ(cfg.max_bytes, 64ull << 20);
+  EXPECT_EQ(cfg.disk_dir, "/tmp/cesm-cache-env-test");
+}
+
+TEST_F(CacheConfigEnvTest, GarbageSizeIgnored) {
+  ::setenv("CESM_CACHE_MB", "lots", 1);
+  EXPECT_EQ(CacheConfig::from_env().max_bytes, 256ull << 20);
+}
+
+}  // namespace
+}  // namespace cesm::util
