@@ -1,65 +1,204 @@
-// google-benchmark microbenchmarks of every codec's encode/decode
-// throughput on CAM-like data (the per-element cost behind Table 5).
-
-#include <benchmark/benchmark.h>
+// Codec throughput benchmark: encode/decode MB/s for each codec family
+// with the scalar reference kernels and with the vectorized kernels
+// (simd.h), on CAM-like data (the per-element cost behind Table 5).
+//
+// Every measured pair is also a parity check: the scalar-mode and
+// simd-mode streams must be byte-identical and the decodes bit-identical,
+// or the run exits nonzero — a throughput number from a kernel that
+// changes the stream is worthless. Output: a table on stdout and
+// BENCH_codecs.json (override with --out=PATH); --quick shrinks the field
+// and repeat count for CI smoke runs.
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
 #include <vector>
 
+#include "compress/simd.h"
 #include "compress/variants.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace {
 
 using namespace cesm;
 
+/// Sink defeating dead-code elimination of the measured calls.
+volatile std::size_t g_sink = 0;
+
+struct CodecResult {
+  std::string name;
+  double scalar_encode_s = 0.0;
+  double simd_encode_s = 0.0;
+  double scalar_decode_s = 0.0;
+  double simd_decode_s = 0.0;
+  std::size_t bytes_in = 0;
+  std::size_t bytes_out = 0;
+  bool parity = true;
+
+  [[nodiscard]] double mbps(double seconds) const {
+    return static_cast<double>(bytes_in) / seconds * 1e-6;
+  }
+  [[nodiscard]] double encode_speedup() const { return scalar_encode_s / simd_encode_s; }
+  [[nodiscard]] double decode_speedup() const { return scalar_decode_s / simd_decode_s; }
+};
+
+/// Best-of-`reps` wall time of one repeated call (one warmup pass first).
+double best_of(int reps, const std::function<std::size_t()>& run) {
+  g_sink = g_sink + run();  // warmup: page in, prime caches
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    g_sink = g_sink + run();
+    best = std::min(best, sw.seconds());
+  }
+  return best;
+}
+
+/// CAM-like 2D field: smooth large-scale structure plus weather noise, the
+/// regime all four codec families were tuned for.
 std::vector<float> cam_like_field(std::size_t n) {
   Pcg32 rng(0xbe6c4);
   std::vector<float> data(n);
   for (std::size_t i = 0; i < n; ++i) {
-    data[i] = static_cast<float>(std::sin(i * 0.013) * 40.0 + 10.0 +
-                                 rng.uniform(-2.0, 2.0));
+    data[i] = static_cast<float>(std::sin(static_cast<double>(i) * 0.013) * 40.0 +
+                                 10.0 + rng.uniform(-2.0, 2.0));
   }
   return data;
 }
 
-void encode_benchmark(benchmark::State& state, const char* variant) {
-  const comp::CodecPtr codec = comp::make_variant(variant);
-  const auto data = cam_like_field(static_cast<std::size_t>(state.range(0)));
-  const comp::Shape shape = comp::Shape::d1(data.size());
-  std::size_t bytes = 0;
-  for (auto _ : state) {
-    Bytes stream = codec->encode(data, shape);
-    bytes = stream.size();
-    benchmark::DoNotOptimize(stream.data());
+void write_json(std::ofstream& out, const std::vector<CodecResult>& results,
+                std::size_t n, bool quick, bool parity, double suite_seconds) {
+  // Codec encode/decode is single-threaded; the worker fields exist so this
+  // file shares a schema with BENCH_suite.json and stays honest if a future
+  // harness ever threads the loop.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t threads = 1;
+  out << "{\n"
+      << "  \"bench\": \"codecs\",\n"
+      << "  \"elements\": " << n << ",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"hardware_concurrency\": " << hw << ",\n"
+      << "  \"effective_workers\": " << (hw == 0 ? threads : std::min<std::size_t>(threads, hw))
+      << ",\n"
+      << "  \"oversubscribed\": " << (hw != 0 && threads > hw ? "true" : "false") << ",\n"
+      << "  \"simd_supported\": " << (comp::simd::simd_supported() ? "true" : "false")
+      << ",\n"
+      << "  \"parity\": " << (parity ? "true" : "false") << ",\n"
+      << "  \"suite_seconds\": " << suite_seconds << ",\n"
+      << "  \"benches\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CodecResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", "
+        << "\"scalar_encode_mbps\": " << r.mbps(r.scalar_encode_s) << ", "
+        << "\"simd_encode_mbps\": " << r.mbps(r.simd_encode_s) << ", "
+        << "\"encode_speedup\": " << r.encode_speedup() << ", "
+        << "\"scalar_decode_mbps\": " << r.mbps(r.scalar_decode_s) << ", "
+        << "\"simd_decode_mbps\": " << r.mbps(r.simd_decode_s) << ", "
+        << "\"decode_speedup\": " << r.decode_speedup() << ", "
+        << "\"compression_ratio\": "
+        << static_cast<double>(r.bytes_out) / static_cast<double>(r.bytes_in) << ", "
+        << "\"parity\": " << (r.parity ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(data.size()));
-  state.counters["CR"] = comp::compression_ratio(bytes, data.size());
-}
-
-void decode_benchmark(benchmark::State& state, const char* variant) {
-  const comp::CodecPtr codec = comp::make_variant(variant);
-  const auto data = cam_like_field(static_cast<std::size_t>(state.range(0)));
-  const Bytes stream = codec->encode(data, comp::Shape::d1(data.size()));
-  for (auto _ : state) {
-    std::vector<float> out = codec->decode(stream);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(data.size()));
+  out << "  ]\n}\n";
 }
 
 }  // namespace
 
-#define CODEC_BENCH(name, variant)                                               \
-  BENCHMARK_CAPTURE(encode_benchmark, name##_encode, variant)->Arg(1 << 16);     \
-  BENCHMARK_CAPTURE(decode_benchmark, name##_decode, variant)->Arg(1 << 16)
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_codecs.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "usage: bench_codecs [--quick] [--out=BENCH_codecs.json]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
 
-CODEC_BENCH(apax2, "APAX-2");
-CODEC_BENCH(apax5, "APAX-5");
-CODEC_BENCH(fpzip24, "fpzip-24");
-CODEC_BENCH(fpzip16, "fpzip-16");
-CODEC_BENCH(isabela05, "ISA-0.5");
-CODEC_BENCH(grib2, "GRIB2:3");
-CODEC_BENCH(netcdf4, "NetCDF-4");
+  // Default: one 3D variable's worth of points (48602-point fv0.9x1.25
+  // horizontal grid x 30 levels, rounded to a 2D shape the GRIB2 wavelet
+  // can tile). Quick keeps CI runs to a fraction of a second per codec.
+  const std::size_t rows = quick ? 64 : 1459;
+  const std::size_t cols = quick ? 256 : 1000;
+  const std::size_t n = rows * cols;
+  const int reps = quick ? 3 : 5;
 
-BENCHMARK_MAIN();
+  const std::vector<float> data = cam_like_field(n);
+  const comp::Shape shape = comp::Shape::d2(rows, cols);
+
+  const char* variants[] = {"fpzip-24", "ISA-0.5", "APAX-2", "GRIB2:3"};
+
+  const Stopwatch suite_clock;
+  std::vector<CodecResult> results;
+  bool all_parity = true;
+  for (const char* variant : variants) {
+    const comp::CodecPtr codec = comp::make_variant(variant);
+    CodecResult r;
+    r.name = variant;
+    r.bytes_in = n * sizeof(float);
+
+    Bytes scalar_stream, simd_stream;
+    std::vector<float> scalar_out, simd_out;
+    {
+      comp::simd::ScopedMode scoped(comp::simd::Mode::kScalar);
+      scalar_stream = codec->encode(data, shape);
+      scalar_out = codec->decode(scalar_stream);
+      r.scalar_encode_s =
+          best_of(reps, [&] { return codec->encode(data, shape).size(); });
+      r.scalar_decode_s =
+          best_of(reps, [&] { return codec->decode(scalar_stream).size(); });
+    }
+    {
+      comp::simd::ScopedMode scoped(comp::simd::Mode::kSimd);
+      simd_stream = codec->encode(data, shape);
+      simd_out = codec->decode(scalar_stream);
+      r.simd_encode_s = best_of(reps, [&] { return codec->encode(data, shape).size(); });
+      r.simd_decode_s =
+          best_of(reps, [&] { return codec->decode(scalar_stream).size(); });
+    }
+    r.bytes_out = scalar_stream.size();
+    r.parity = scalar_stream == simd_stream && scalar_out.size() == simd_out.size() &&
+               std::memcmp(scalar_out.data(), simd_out.data(),
+                           scalar_out.size() * sizeof(float)) == 0;
+    all_parity = all_parity && r.parity;
+    results.push_back(r);
+  }
+  const double suite_seconds = suite_clock.seconds();
+
+  std::printf("%-10s %14s %14s %8s %14s %14s %8s %7s\n", "codec", "enc scalar",
+              "enc simd", "enc x", "dec scalar", "dec simd", "dec x", "parity");
+  for (const CodecResult& r : results) {
+    std::printf("%-10s %9.1f MB/s %9.1f MB/s %7.2fx %9.1f MB/s %9.1f MB/s %7.2fx %7s\n",
+                r.name.c_str(), r.mbps(r.scalar_encode_s), r.mbps(r.simd_encode_s),
+                r.encode_speedup(), r.mbps(r.scalar_decode_s), r.mbps(r.simd_decode_s),
+                r.decode_speedup(), r.parity ? "ok" : "FAIL");
+  }
+  std::printf("kernel modes: scalar vs %s (simd %ssupported)  n=%zu reps=%d%s\n",
+              comp::simd::mode_name(comp::simd::Mode::kSimd),
+              comp::simd::simd_supported() ? "" : "NOT ", n, reps,
+              quick ? " quick" : "");
+  if (!all_parity) {
+    std::fprintf(stderr, "PARITY FAILURE: simd stream or decode differs from scalar\n");
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  write_json(out, results, n, quick, all_parity, suite_seconds);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_parity ? 0 : 1;
+}

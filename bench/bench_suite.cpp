@@ -199,11 +199,22 @@ void write_json(std::ofstream& out, const std::vector<ConfigResult>& configs,
                 const bench::Options& options, std::size_t threads, std::size_t n_vars,
                 int reps, bool deterministic, double speedup_vs_fifo,
                 double speedup_vs_serial) {
+  // `threads` is the configured worker count; when it exceeds the core
+  // count the workers time-slice and any reported "parallel speedup" is
+  // bounded by the cores, not the worker count. Record both the effective
+  // parallelism and an explicit oversubscription flag so downstream tooling
+  // does not misread an oversubscribed run as a scaling regression.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t effective_workers =
+      hw == 0 ? threads : std::min<std::size_t>(threads, hw);
+  const bool oversubscribed = hw != 0 && threads > hw;
   out << "{\n"
       << "  \"bench\": \"suite\",\n"
       << "  \"quick\": " << (options.quick ? "true" : "false") << ",\n"
       << "  \"threads\": " << threads << ",\n"
-      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency() << ",\n"
+      << "  \"hardware_concurrency\": " << hw << ",\n"
+      << "  \"effective_workers\": " << effective_workers << ",\n"
+      << "  \"oversubscribed\": " << (oversubscribed ? "true" : "false") << ",\n"
       << "  \"members\": " << options.members << ",\n"
       << "  \"variables\": " << n_vars << ",\n"
       << "  \"reps\": " << reps << ",\n"
@@ -332,9 +343,14 @@ int main(int argc, char** argv) {
                 c.sched.steal_ratio() * 100.0,
                 static_cast<double>(c.sched.total_busy_ns()) * 1e-6);
   }
-  std::printf("threads=%zu (hw=%u)  members=%zu vars=%zu reps=%d%s\n", threads,
-              std::thread::hardware_concurrency(), options.members, variables.size(),
-              reps, options.quick ? " quick" : "");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("threads=%zu (hw=%u)  members=%zu vars=%zu reps=%d%s\n", threads, hw,
+              options.members, variables.size(), reps, options.quick ? " quick" : "");
+  if (hw != 0 && threads > hw) {
+    std::printf("note: %zu workers oversubscribe %u cores; parallel speedups are "
+                "bounded by the core count\n",
+                threads, hw);
+  }
   std::printf("speedup vs fifo_baseline: %.2fx   vs 1 thread: %.2fx\n",
               speedup_vs_fifo, speedup_vs_serial);
   std::printf("deterministic across configs: %s\n", deterministic ? "yes" : "NO");

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "compress/bitio.h"
+#include "compress/codec_kernels.h"
 #include "util/failpoint.h"
 
 namespace cesm::comp {
@@ -72,6 +73,11 @@ std::string ApaxCodec::name() const {
 
 Bytes ApaxCodec::encode(std::span<const float> data, const Shape& shape) const {
   CESM_REQUIRE(shape.count() == data.size());
+  // Mirror decode()'s header checks so encode can never emit a stream its
+  // own decoder rejects (the factories validate too; this guards against
+  // future constructors or member tweaks reaching the wire unchecked).
+  CESM_REQUIRE(block_ > 0 && block_ <= (1u << 20));
+  if (fixed_rate_) CESM_REQUIRE(ratio_ > 1.0 && ratio_ <= 32.0);
   Bytes out;
   ByteWriter w(out);
   wire::write_header(w, kApaxMagic, shape);
@@ -85,6 +91,7 @@ Bytes ApaxCodec::encode(std::span<const float> data, const Shape& shape) const {
   const double rate_bits = fixed_rate_ ? 32.0 / ratio_ : 0.0;
 
   std::vector<double> raw(block_), delta(block_);
+  std::vector<std::uint32_t> codes(block_);
   for (std::size_t lo = 0; lo < n; lo += block_) {
     const std::size_t len = std::min(block_, n - lo);
     raw.resize(len);
@@ -106,6 +113,14 @@ Bytes ApaxCodec::encode(std::span<const float> data, const Shape& shape) const {
     plan.seed = data[lo];
     const double maxabs = plan.derivative ? max_delta : max_raw;
     plan.scale = block_scale(maxabs);
+    // An infinite sample makes the block scale infinite, and decode()
+    // rejects non-finite scales ("apax bad block scale") — refuse here
+    // rather than emit a stream our own decoder cannot read. NaN samples
+    // do not reach the scale (fabs ordering drops them) and quantize to
+    // the zero code, so they stay encodable.
+    if (!std::isfinite(plan.scale)) {
+      throw InvalidArgument("apax cannot encode infinite data");
+    }
 
     const std::size_t bits_before = bw.bit_count();
     const unsigned header_bits = 1 + 1 + 32 + 6 + (plan.derivative ? 32 : 0);
@@ -133,13 +148,13 @@ Bytes ApaxCodec::encode(std::span<const float> data, const Shape& shape) const {
       const double scale = static_cast<double>(plan.scale);
       const std::span<const double> src(plan.derivative ? delta : raw);
       const std::size_t first = plan.derivative ? 1 : 0;
+      // Attenuate the whole block branch-free, then pack: the bit widths
+      // only change once (after the first `extra` samples).
+      kernels::apax_quantize(src.data(), first, len, scale, plan.bits, extra,
+                             codes.data());
       for (std::size_t i = first; i < len; ++i) {
         const unsigned b = plan.bits + ((i - first) < extra ? 1 : 0);
-        const double q = static_cast<double>((1u << (b - 1)) - 1);
-        const auto limit = static_cast<std::int32_t>(q);
-        auto m = static_cast<std::int32_t>(std::llround(src[i] / scale * q));
-        m = std::clamp(m, -limit, limit);
-        bw.put(static_cast<std::uint32_t>(m + limit), b);
+        bw.put(codes[i - first], b);
       }
     }
 

@@ -1,0 +1,83 @@
+// Runtime dispatch between the scalar reference kernels and the vectorized
+// ones. Codecs call the unqualified kernels::* entry points; the mode is a
+// cached atomic read (simd.h), so dispatch cost is negligible next to the
+// kernels themselves.
+
+#include "compress/codec_kernels.h"
+
+#include "compress/simd.h"
+
+namespace cesm::comp::kernels {
+
+namespace {
+
+inline bool use_vec() { return simd::active_mode() == simd::Mode::kSimd; }
+
+}  // namespace
+
+void ordered_from_f32(const float* src, std::uint32_t* dst, std::size_t n,
+                      unsigned shift) {
+  (use_vec() ? vec::ordered_from_f32 : scalar::ordered_from_f32)(src, dst, n, shift);
+}
+
+void ordered_from_f64(const double* src, std::uint64_t* dst, std::size_t n,
+                      unsigned shift) {
+  (use_vec() ? vec::ordered_from_f64 : scalar::ordered_from_f64)(src, dst, n, shift);
+}
+
+void f32_from_ordered(const std::uint32_t* q, float* dst, std::size_t n, unsigned shift,
+                      std::uint32_t half) {
+  (use_vec() ? vec::f32_from_ordered : scalar::f32_from_ordered)(q, dst, n, shift, half);
+}
+
+void f64_from_ordered(const std::uint64_t* q, double* dst, std::size_t n, unsigned shift,
+                      std::uint64_t half) {
+  (use_vec() ? vec::f64_from_ordered : scalar::f64_from_ordered)(q, dst, n, shift, half);
+}
+
+void lorenzo_residuals_u32(const std::uint32_t* q, std::uint32_t* zz, Dims d) {
+  (use_vec() ? vec::lorenzo_residuals_u32 : scalar::lorenzo_residuals_u32)(q, zz, d);
+}
+
+void lorenzo_residuals_u64(const std::uint64_t* q, std::uint64_t* zz, Dims d) {
+  (use_vec() ? vec::lorenzo_residuals_u64 : scalar::lorenzo_residuals_u64)(q, zz, d);
+}
+
+void lorenzo_reconstruct_u32(std::uint32_t* q, const std::uint32_t* zz, Dims d) {
+  (use_vec() ? vec::lorenzo_reconstruct_u32 : scalar::lorenzo_reconstruct_u32)(q, zz, d);
+}
+
+void lorenzo_reconstruct_u64(std::uint64_t* q, const std::uint64_t* zz, Dims d) {
+  (use_vec() ? vec::lorenzo_reconstruct_u64 : scalar::lorenzo_reconstruct_u64)(q, zz, d);
+}
+
+void sort_perm_f32(const float* data, std::uint32_t* perm, std::size_t len) {
+  (use_vec() ? vec::sort_perm_f32 : scalar::sort_perm_f32)(data, perm, len);
+}
+
+void sort_perm_f64(const double* data, std::uint32_t* perm, std::size_t len) {
+  (use_vec() ? vec::sort_perm_f64 : scalar::sort_perm_f64)(data, perm, len);
+}
+
+void apax_quantize(const double* src, std::size_t first, std::size_t len, double scale,
+                   unsigned bits, std::size_t extra, std::uint32_t* codes) {
+  (use_vec() ? vec::apax_quantize : scalar::apax_quantize)(src, first, len, scale, bits,
+                                                           extra, codes);
+}
+
+void grib2_quantize(const float* data, const std::uint8_t* valid, std::int64_t* q,
+                    std::size_t n, double lo, double step) {
+  (use_vec() ? vec::grib2_quantize : scalar::grib2_quantize)(data, valid, q, n, lo, step);
+}
+
+void dwt53_rows(std::int64_t* data, std::size_t cols, std::size_t r_lim,
+                std::size_t c_lim, bool inverse) {
+  (use_vec() ? vec::dwt53_rows : scalar::dwt53_rows)(data, cols, r_lim, c_lim, inverse);
+}
+
+void dwt53_cols(std::int64_t* data, std::size_t cols, std::size_t r_lim,
+                std::size_t c_lim, bool inverse) {
+  (use_vec() ? vec::dwt53_cols : scalar::dwt53_cols)(data, cols, r_lim, c_lim, inverse);
+}
+
+}  // namespace cesm::comp::kernels

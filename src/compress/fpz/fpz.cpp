@@ -4,6 +4,7 @@
 #include <bit>
 #include <vector>
 
+#include "compress/codec_kernels.h"
 #include "compress/fpz/predictor.h"
 #include "compress/rangecoder.h"
 #include "compress/residual.h"
@@ -40,7 +41,41 @@ Dims3 to_dims3(const Shape& shape) {
   return d;
 }
 
-template <typename U, typename T, U (*ToOrdered)(T), T (*FromOrdered)(U)>
+// Kernel shims keyed on element width (codec_kernels.h is not templated).
+inline void ordered_from(const float* s, std::uint32_t* d, std::size_t n, unsigned sh) {
+  kernels::ordered_from_f32(s, d, n, sh);
+}
+inline void ordered_from(const double* s, std::uint64_t* d, std::size_t n, unsigned sh) {
+  kernels::ordered_from_f64(s, d, n, sh);
+}
+inline void from_ordered(const std::uint32_t* q, float* d, std::size_t n, unsigned sh,
+                         std::uint32_t half) {
+  kernels::f32_from_ordered(q, d, n, sh, half);
+}
+inline void from_ordered(const std::uint64_t* q, double* d, std::size_t n, unsigned sh,
+                         std::uint64_t half) {
+  kernels::f64_from_ordered(q, d, n, sh, half);
+}
+inline void lorenzo_residuals(const std::uint32_t* q, std::uint32_t* zz,
+                              kernels::Dims d) {
+  kernels::lorenzo_residuals_u32(q, zz, d);
+}
+inline void lorenzo_residuals(const std::uint64_t* q, std::uint64_t* zz,
+                              kernels::Dims d) {
+  kernels::lorenzo_residuals_u64(q, zz, d);
+}
+inline void lorenzo_reconstruct(std::uint32_t* q, const std::uint32_t* zz,
+                                kernels::Dims d) {
+  kernels::lorenzo_reconstruct_u32(q, zz, d);
+}
+inline void lorenzo_reconstruct(std::uint64_t* q, const std::uint64_t* zz,
+                                kernels::Dims d) {
+  kernels::lorenzo_reconstruct_u64(q, zz, d);
+}
+
+kernels::Dims to_kernel_dims(const Dims3& d) { return {d.planes, d.rows, d.cols}; }
+
+template <typename U, typename T>
 Bytes fpz_encode_impl(std::span<const T> data, const Shape& shape, unsigned prec) {
   CESM_REQUIRE(shape.count() == data.size());
   constexpr unsigned kTotalBits = sizeof(U) * 8;
@@ -53,25 +88,25 @@ Bytes fpz_encode_impl(std::span<const T> data, const Shape& shape, unsigned prec
   w.u8(static_cast<std::uint8_t>(prec));
   w.u8(sizeof(T));
 
-  std::vector<U> q(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    q[i] = ToOrdered(data[i]) >> shift;
-  }
-
   const Dims3 d = to_dims3(shape);
-  LorenzoPredictor<U> pred(std::span<const U>(q), d.rows, d.cols, d.planes);
+  std::vector<U> q(data.size());
+  ordered_from(data.data(), q.data(), data.size(), shift);
+
+  // Residual formation is a batch kernel; the entropy coder then runs over
+  // a flat zig-zag buffer with no per-element index arithmetic.
+  std::vector<U> zz(data.size());
+  if (!q.empty()) lorenzo_residuals(q.data(), zz.data(), to_kernel_dims(d));
 
   RangeEncoder enc(out);
   ResidualCoder coder;
-  for (std::size_t i = 0; i < q.size(); ++i) {
-    const U residual = static_cast<U>(q[i] - pred.predict(i));
-    coder.encode(enc, zigzag_encode(residual));
+  for (std::size_t i = 0; i < zz.size(); ++i) {
+    coder.encode(enc, zz[i]);
   }
   enc.finish();
   return out;
 }
 
-template <typename U, typename T, U (*ToOrdered)(T), T (*FromOrdered)(U)>
+template <typename U, typename T>
 std::vector<T> fpz_decode_impl(std::span<const std::uint8_t> stream) {
   ByteReader r(stream);
   const Shape shape = wire::read_header(r, kFpzMagic);
@@ -83,10 +118,11 @@ std::vector<T> fpz_decode_impl(std::span<const std::uint8_t> stream) {
   const unsigned shift = kTotalBits - prec;
 
   const std::size_t n = shape.count();
-  std::vector<U> q(n);
   const Dims3 d = to_dims3(shape);
-  LorenzoPredictor<U> pred(std::span<const U>(q), d.rows, d.cols, d.planes);
 
+  // Decode every residual symbol first (the adaptive models never consult
+  // reconstructed values), then invert the Lorenzo transform as one batch.
+  std::vector<U> zz(n);
   RangeDecoder dec(stream.subspan(r.position()));
   ResidualCoder coder;
   for (std::size_t i = 0; i < n; ++i) {
@@ -94,15 +130,16 @@ std::vector<T> fpz_decode_impl(std::span<const std::uint8_t> stream) {
     if constexpr (kTotalBits < 64) {
       if ((z >> kTotalBits) != 0) throw FormatError("fpz residual out of range");
     }
-    q[i] = static_cast<U>(pred.predict(i) + zigzag_decode(static_cast<U>(z)));
+    zz[i] = static_cast<U>(z);
   }
+
+  std::vector<U> q(n);
+  if (n > 0) lorenzo_reconstruct(q.data(), zz.data(), to_kernel_dims(d));
 
   std::vector<T> data(n);
   const U half = shift > 0 ? (U{1} << (shift - 1)) : U{0};
-  for (std::size_t i = 0; i < n; ++i) {
-    // Re-centre within the truncated bin to halve the worst-case error.
-    data[i] = FromOrdered(static_cast<U>((q[i] << shift) | half));
-  }
+  // Re-centre within the truncated bin to halve the worst-case error.
+  from_ordered(q.data(), data.data(), n, shift, half);
   return data;
 }
 
@@ -118,23 +155,21 @@ std::string FpzCodec::name() const {
 
 Bytes FpzCodec::encode(std::span<const float> data, const Shape& shape) const {
   CESM_REQUIRE(precision_bits_ <= 32);
-  return fpz_encode_impl<std::uint32_t, float, float_to_ordered, ordered_to_float>(
-      data, shape, precision_bits_);
+  return fpz_encode_impl<std::uint32_t>(data, shape, precision_bits_);
 }
 
 std::vector<float> FpzCodec::decode(std::span<const std::uint8_t> stream) const {
   CESM_FAILPOINT("fpz.decode");
-  return fpz_decode_impl<std::uint32_t, float, float_to_ordered, ordered_to_float>(stream);
+  return fpz_decode_impl<std::uint32_t, float>(stream);
 }
 
 Bytes FpzCodec::encode64(std::span<const double> data, const Shape& shape) const {
-  return fpz_encode_impl<std::uint64_t, double, double_to_ordered, ordered_to_double>(
-      data, shape, precision_bits_);
+  return fpz_encode_impl<std::uint64_t>(data, shape, precision_bits_);
 }
 
 std::vector<double> FpzCodec::decode64(std::span<const std::uint8_t> stream) const {
   CESM_FAILPOINT("fpz.decode");
-  return fpz_decode_impl<std::uint64_t, double, double_to_ordered, ordered_to_double>(stream);
+  return fpz_decode_impl<std::uint64_t, double>(stream);
 }
 
 }  // namespace cesm::comp

@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "compress/codec_kernels.h"
 #include "compress/fpz/predictor.h"  // zigzag helpers
 #include "compress/grib2/wavelet.h"
 #include "compress/rangecoder.h"
@@ -100,11 +101,17 @@ Bytes Grib2Codec::encode(std::span<const float> data, const Shape& shape) const 
     }
   }
 
-  // Reference value and quantization step.
+  // Reference value and quantization step. Non-finite points have no
+  // quantized representation: an infinity would spin the binary-scale
+  // search forever and a NaN would silently encode as garbage, so both are
+  // rejected up front (the decoder could never reproduce them anyway).
   double lo = std::numeric_limits<double>::infinity();
   double hi = -std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < n; ++i) {
     if (!valid[i]) continue;
+    if (!std::isfinite(data[i])) {
+      throw InvalidArgument("grib2 cannot encode non-finite data");
+    }
     lo = std::min(lo, static_cast<double>(data[i]));
     hi = std::max(hi, static_cast<double>(data[i]));
   }
@@ -117,15 +124,17 @@ Bytes Grib2Codec::encode(std::span<const float> data, const Shape& shape) const 
   int binary_scale = 0;  // E: coarsen when the integer range would blow up
   while (std::ldexp((hi - lo) * dec_scale, -binary_scale) >
          static_cast<double>(kMaxQuantized)) {
-    ++binary_scale;
+    // decode() rejects binary scales above 62; refuse to emit one. (A float
+    // range times 10^30 tops out near 10^68 ~ 2^226, far past 62 doublings.)
+    if (++binary_scale > 62) {
+      throw InvalidArgument("grib2 data range too wide for decimal scale");
+    }
   }
   const double step = std::ldexp(1.0, binary_scale) / dec_scale;
 
-  std::vector<std::int64_t> q(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!valid[i]) continue;
-    q[i] = std::llround((static_cast<double>(data[i]) - lo) / step);
-  }
+  std::vector<std::int64_t> q(n);
+  kernels::grib2_quantize(data.data(), any_missing ? valid.data() : nullptr, q.data(), n,
+                          lo, step);
 
   const Dims2 dims = to_dims2(shape);
   const unsigned levels = dwt53_forward_2d(q, dims.rows, dims.cols, 5);

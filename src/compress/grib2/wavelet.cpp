@@ -1,7 +1,9 @@
 #include "compress/grib2/wavelet.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "compress/codec_kernels.h"
 #include "util/error.h"
 
 namespace cesm::comp {
@@ -87,51 +89,9 @@ void dwt53_inverse_1d(std::span<const std::int64_t> in, std::span<std::int64_t> 
   }
 }
 
-namespace {
-
-void forward_rows(std::span<std::int64_t> data, std::size_t rows, std::size_t cols,
-                  std::size_t r_lim, std::size_t c_lim) {
-  std::vector<std::int64_t> buf(c_lim), tmp(c_lim);
-  for (std::size_t r = 0; r < r_lim; ++r) {
-    for (std::size_t c = 0; c < c_lim; ++c) buf[c] = data[r * cols + c];
-    dwt53_forward_1d(buf, tmp);
-    for (std::size_t c = 0; c < c_lim; ++c) data[r * cols + c] = tmp[c];
-  }
-  (void)rows;
-}
-
-void forward_cols(std::span<std::int64_t> data, std::size_t rows, std::size_t cols,
-                  std::size_t r_lim, std::size_t c_lim) {
-  std::vector<std::int64_t> buf(r_lim), tmp(r_lim);
-  for (std::size_t c = 0; c < c_lim; ++c) {
-    for (std::size_t r = 0; r < r_lim; ++r) buf[r] = data[r * cols + c];
-    dwt53_forward_1d(buf, tmp);
-    for (std::size_t r = 0; r < r_lim; ++r) data[r * cols + c] = tmp[r];
-  }
-  (void)rows;
-}
-
-void inverse_rows(std::span<std::int64_t> data, std::size_t cols, std::size_t r_lim,
-                  std::size_t c_lim) {
-  std::vector<std::int64_t> buf(c_lim), tmp(c_lim);
-  for (std::size_t r = 0; r < r_lim; ++r) {
-    for (std::size_t c = 0; c < c_lim; ++c) buf[c] = data[r * cols + c];
-    dwt53_inverse_1d(buf, tmp);
-    for (std::size_t c = 0; c < c_lim; ++c) data[r * cols + c] = tmp[c];
-  }
-}
-
-void inverse_cols(std::span<std::int64_t> data, std::size_t cols, std::size_t r_lim,
-                  std::size_t c_lim) {
-  std::vector<std::int64_t> buf(r_lim), tmp(r_lim);
-  for (std::size_t c = 0; c < c_lim; ++c) {
-    for (std::size_t r = 0; r < r_lim; ++r) buf[r] = data[r * cols + c];
-    dwt53_inverse_1d(buf, tmp);
-    for (std::size_t r = 0; r < r_lim; ++r) data[r * cols + c] = tmp[r];
-  }
-}
-
-}  // namespace
+// The row/column sweeps are codec kernels (codec_kernels.h): the scalar
+// reference keeps the historical gather-per-column loops, the vectorized
+// path lifts whole rows at a time.
 
 unsigned dwt53_forward_2d(std::span<std::int64_t> data, std::size_t rows, std::size_t cols,
                           unsigned levels) {
@@ -140,8 +100,8 @@ unsigned dwt53_forward_2d(std::span<std::int64_t> data, std::size_t rows, std::s
   unsigned applied = 0;
   for (unsigned l = 0; l < levels; ++l) {
     if (r_lim < 8 && c_lim < 8) break;
-    if (c_lim >= 8) forward_rows(data, rows, cols, r_lim, c_lim);
-    if (r_lim >= 8) forward_cols(data, rows, cols, r_lim, c_lim);
+    if (c_lim >= 8) kernels::dwt53_rows(data.data(), cols, r_lim, c_lim, false);
+    if (r_lim >= 8) kernels::dwt53_cols(data.data(), cols, r_lim, c_lim, false);
     if (c_lim >= 8) c_lim = (c_lim + 1) / 2;
     if (r_lim >= 8) r_lim = (r_lim + 1) / 2;
     ++applied;
@@ -162,8 +122,8 @@ void dwt53_inverse_2d(std::span<std::int64_t> data, std::size_t rows, std::size_
   }
   for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
     auto [rl, cl] = *it;
-    if (rl >= 8) inverse_cols(data, cols, rl, cl);
-    if (cl >= 8) inverse_rows(data, cols, rl, cl);
+    if (rl >= 8) kernels::dwt53_cols(data.data(), cols, rl, cl, true);
+    if (cl >= 8) kernels::dwt53_rows(data.data(), cols, rl, cl, true);
   }
 }
 

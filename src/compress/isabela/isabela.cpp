@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <numeric>
 #include <vector>
 
 #include "compress/bitio.h"
+#include "compress/codec_kernels.h"
 #include "compress/isabela/bspline.h"
 #include "compress/rangecoder.h"
 #include "compress/residual.h"
@@ -29,10 +29,23 @@ inline double correction_step(double estimate, double eps_frac, double floor_abs
   return eps_frac * std::max(std::fabs(estimate), floor_abs);
 }
 
+inline void sort_window(const float* data, std::uint32_t* perm, std::size_t len) {
+  kernels::sort_perm_f32(data, perm, len);
+}
+inline void sort_window(const double* data, std::uint32_t* perm, std::size_t len) {
+  kernels::sort_perm_f64(data, perm, len);
+}
+
 template <typename T>
 Bytes isa_encode_impl(std::span<const T> data, const Shape& shape, double eps_frac,
                       std::size_t window, std::size_t coefficients) {
   CESM_REQUIRE(shape.count() == data.size());
+  // Mirror the decoder's header checks: parameters that decode() would
+  // reject (or that the u32/u16 header fields would truncate into a
+  // rejectable value) must never produce a stream.
+  CESM_REQUIRE(eps_frac > 0.0 && eps_frac < 1.0);
+  CESM_REQUIRE(window > 0 && window <= (1u << 20));
+  CESM_REQUIRE(coefficients >= 4 && coefficients <= 0xffff);
   Bytes out;
   ByteWriter w(out);
   wire::write_header(w, kIsaMagic, shape);
@@ -51,10 +64,7 @@ Bytes isa_encode_impl(std::span<const T> data, const Shape& shape, double eps_fr
     const std::size_t len = std::min(window, n - lo);
 
     std::vector<std::uint32_t> perm(len);
-    std::iota(perm.begin(), perm.end(), 0u);
-    std::stable_sort(perm.begin(), perm.end(), [&](std::uint32_t a, std::uint32_t b) {
-      return data[lo + a] < data[lo + b];
-    });
+    sort_window(data.data() + lo, perm.data(), len);
 
     std::vector<float> sorted(len);
     for (std::size_t i = 0; i < len; ++i) {
@@ -159,7 +169,9 @@ IsabelaCodec::IsabelaCodec(double rel_error_percent, std::size_t window,
     : rel_error_percent_(rel_error_percent), window_(window), coefficients_(coefficients) {
   CESM_REQUIRE(rel_error_percent > 0.0 && rel_error_percent < 100.0);
   CESM_REQUIRE(window >= 16 && window <= (1u << 20));
-  CESM_REQUIRE(coefficients >= 4 && coefficients <= window);
+  // The stream header stores the coefficient count as u16; anything wider
+  // would truncate into a value decode() rejects.
+  CESM_REQUIRE(coefficients >= 4 && coefficients <= window && coefficients <= 0xffff);
 }
 
 std::string IsabelaCodec::name() const {

@@ -1,0 +1,87 @@
+#include "compress/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cesm::comp::simd {
+
+namespace {
+
+bool string_equal_ci(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    const char ca = (*a >= 'A' && *a <= 'Z') ? static_cast<char>(*a - 'A' + 'a') : *a;
+    if (ca != *b) return false;
+  }
+  return *a == '\0' && *b == '\0';
+}
+
+Mode detect_mode() {
+  const bool supported = simd_supported();
+  const char* env = std::getenv("CESM_SIMD");
+  if (env == nullptr || *env == '\0' || string_equal_ci(env, "auto")) {
+    return supported ? Mode::kSimd : Mode::kScalar;
+  }
+  if (string_equal_ci(env, "off") || string_equal_ci(env, "scalar") ||
+      string_equal_ci(env, "0")) {
+    return Mode::kScalar;
+  }
+  if (string_equal_ci(env, "on") || string_equal_ci(env, "avx2") ||
+      string_equal_ci(env, "simd") || string_equal_ci(env, "1")) {
+    if (!supported) {
+      std::fprintf(stderr,
+                   "cesmcomp: CESM_SIMD=%s requested but this CPU lacks the "
+                   "required ISA; using the scalar reference kernels\n",
+                   env);
+      return Mode::kScalar;
+    }
+    return Mode::kSimd;
+  }
+  std::fprintf(stderr,
+               "cesmcomp: unrecognized CESM_SIMD value '%s' "
+               "(expected off|scalar|on|avx2|auto); using auto-detection\n",
+               env);
+  return supported ? Mode::kSimd : Mode::kScalar;
+}
+
+// -1 = not yet resolved; otherwise holds a Mode. Codecs query the mode on
+// every encode/decode, so keep the hot read a single relaxed atomic load.
+std::atomic<int> g_mode{-1};
+
+}  // namespace
+
+bool simd_supported() {
+#if defined(CESM_KERNELS_AVX2)
+  // The vectorized kernel TU was built with -mavx2: gate on the host CPU.
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported;
+#else
+  // The vectorized TU was compiled without extra ISA flags; it is plain
+  // portable C++ and always runnable (just not necessarily vector code).
+  return true;
+#endif
+}
+
+Mode active_mode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    const Mode detected = detect_mode();
+    m = static_cast<int>(detected);
+    int expected = -1;
+    // First resolver wins; a concurrent set_mode() is preserved.
+    g_mode.compare_exchange_strong(expected, m, std::memory_order_relaxed);
+    m = g_mode.load(std::memory_order_relaxed);
+  }
+  return static_cast<Mode>(m);
+}
+
+void set_mode(Mode mode) {
+  g_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+const char* mode_name(Mode mode) {
+  return mode == Mode::kScalar ? "scalar" : "simd";
+}
+
+}  // namespace cesm::comp::simd

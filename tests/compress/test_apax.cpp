@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "compress/apax/profiler.h"
@@ -118,6 +119,34 @@ TEST(ApaxCodec, RejectsBadParameters) {
   EXPECT_THROW(ApaxCodec::fixed_rate(64.0), InvalidArgument);
   EXPECT_THROW(ApaxCodec::fixed_quality(1), InvalidArgument);
   EXPECT_THROW(ApaxCodec::fixed_quality(31), InvalidArgument);
+}
+
+TEST(ApaxCodec, NaNSamplesQuantizeDeterministically) {
+  // Block-FP has no representation for NaN; the quantizer maps it to the
+  // zero code, so encode must neither crash nor emit UB-dependent bytes
+  // (the seed's llround(NaN) narrowing was implementation-defined), and
+  // the stream must decode to finite values.
+  auto data = wavy_field(4096, 29);
+  data[3] = std::numeric_limits<float>::quiet_NaN();
+  const ApaxCodec codec = ApaxCodec::fixed_rate(2);
+  const Bytes a = codec.encode(data, Shape::d1(data.size()));
+  const Bytes b = codec.encode(data, Shape::d1(data.size()));
+  EXPECT_EQ(a, b);
+  const auto out = codec.decode(a);
+  ASSERT_EQ(out.size(), data.size());
+  for (float v : out) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(ApaxCodec, RejectsInfiniteData) {
+  // An infinity forces the block scale to inf, and decode() rejects
+  // non-finite scales — encode must refuse instead of emitting a stream
+  // its own decoder throws on.
+  auto data = wavy_field(4096, 30);
+  data[1700] = std::numeric_limits<float>::infinity();
+  const ApaxCodec codec = ApaxCodec::fixed_rate(2);
+  EXPECT_THROW(codec.encode(data, Shape::d1(data.size())), InvalidArgument);
+  data[1700] = -std::numeric_limits<float>::infinity();
+  EXPECT_THROW(codec.encode(data, Shape::d1(data.size())), InvalidArgument);
 }
 
 TEST(ApaxCodec, ThrowsOnCorruptStream) {

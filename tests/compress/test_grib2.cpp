@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/rng.h"
@@ -158,6 +159,44 @@ TEST(Grib2Codec, ThrowsOnCorruptStream) {
 TEST(Grib2Codec, RejectsInsaneDecimalScale) {
   EXPECT_THROW(Grib2Codec(99), InvalidArgument);
   EXPECT_THROW(Grib2Codec(-99), InvalidArgument);
+}
+
+TEST(Grib2Codec, RejectsNonFiniteData) {
+  // An infinity would spin the binary-scale search forever and a NaN would
+  // quantize to garbage the decoder cannot reproduce; encode must refuse
+  // rather than emit an undecodable or lying stream.
+  auto data = field_with_range(256, 0.0, 1.0, 36);
+  const Grib2Codec codec(3);
+  data[17] = std::numeric_limits<float>::infinity();
+  EXPECT_THROW(codec.encode(data, Shape::d1(data.size())), InvalidArgument);
+  data[17] = -std::numeric_limits<float>::infinity();
+  EXPECT_THROW(codec.encode(data, Shape::d1(data.size())), InvalidArgument);
+  data[17] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_THROW(codec.encode(data, Shape::d1(data.size())), InvalidArgument);
+}
+
+TEST(Grib2Codec, MissingSentinelExemptFromNonFiniteRejection) {
+  // Points equal to the declared missing value are masked out before the
+  // range scan, so a huge fill sentinel never trips the rejection even
+  // though it would blow up the quantization range if treated as data.
+  auto data = field_with_range(256, 0.0, 1.0, 38);
+  data[5] = data[99] = 9.96921e36f;
+  const Grib2Codec codec(3, 9.96921e36f);
+  const Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  const auto out = codec.decode(stream);
+  EXPECT_EQ(out[5], 9.96921e36f);
+  EXPECT_EQ(out[99], 9.96921e36f);
+}
+
+TEST(Grib2Codec, RejectsRangeTooWideForDecimalScale) {
+  // A ~6e38 span at D=8 needs ~2^155 quantization levels; the binary scale
+  // can absorb at most 62 of those bits, so the encoder must refuse rather
+  // than emit a stream whose levels alias.
+  std::vector<float> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = i % 2 == 0 ? -3.0e38f : 3.0e38f;
+  }
+  EXPECT_THROW(Grib2Codec(8).encode(data, Shape::d1(data.size())), InvalidArgument);
 }
 
 }  // namespace

@@ -155,6 +155,22 @@ TEST(IsabelaCodec, RejectsBadParameters) {
   EXPECT_THROW(IsabelaCodec(0.5, 4), InvalidArgument);  // window too small
 }
 
+TEST(IsabelaCodec, RejectsParametersItsOwnDecoderWouldReject) {
+  // decode() throws FormatError for coefficients < 4; encoding with such a
+  // count would produce a stream no decoder accepts, so construction must
+  // refuse it up front.
+  EXPECT_THROW(IsabelaCodec(0.5, 1024, 3), InvalidArgument);
+  EXPECT_THROW(IsabelaCodec(0.5, 1024, 0), InvalidArgument);
+  // The header stores the count as u16: 65536 would truncate to 0 on the
+  // wire and decode as "bad parameters" even though encode() succeeded.
+  EXPECT_THROW(IsabelaCodec(0.5, 1u << 20, 1u << 16), InvalidArgument);
+  // The widest storable count still round-trips.
+  const IsabelaCodec codec(0.5, 1u << 17, 0xffff);
+  const auto data = noisy_field(300, 77);
+  const Bytes stream = codec.encode(data, Shape::d1(data.size()));
+  EXPECT_EQ(codec.decode(stream).size(), data.size());
+}
+
 TEST(IsabelaCodec, NamesMatchPaperTables) {
   EXPECT_EQ(IsabelaCodec(0.1).name(), "ISA-0.1");
   EXPECT_EQ(IsabelaCodec(0.5).name(), "ISA-0.5");
