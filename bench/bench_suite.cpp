@@ -23,7 +23,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -34,6 +34,7 @@
 #include "core/suite.h"
 #include "util/cache.h"
 #include "util/scheduler.h"
+#include "util/signals.h"
 #include "util/stopwatch.h"
 #include "util/trace.h"
 
@@ -194,7 +195,7 @@ CacheBench run_cache_phase(const bench::Options& options,
   return bench;
 }
 
-void write_json(std::ofstream& out, const std::vector<ConfigResult>& configs,
+void write_json(std::ostream& out, const std::vector<ConfigResult>& configs,
                 const std::vector<PhaseRow>& phases, const CacheBench& cache,
                 const bench::Options& options, std::size_t threads, std::size_t n_vars,
                 int reps, bool deterministic, double speedup_vs_fifo,
@@ -263,6 +264,9 @@ void write_json(std::ofstream& out, const std::vector<ConfigResult>& configs,
 
 int main(int argc, char** argv) {
   bench::Options options = bench::Options::parse(argc, argv);
+  // SIGINT/SIGTERM drain: finish the current leg and write the outputs
+  // atomically instead of leaving a torn BENCH_suite.json behind.
+  util::install_signal_drain();
   // The full catalog at 101 members takes minutes; the bench's default is
   // a representative slice, and --quick shrinks it to a CI smoke run.
   // Explicit --members/--vars always win.
@@ -374,13 +378,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
-    return 1;
-  }
+  // Buffer + atomic write: a bench killed between legs must not leave a
+  // half-written JSON for the CI gate to parse.
+  std::ostringstream out;
   write_json(out, configs, phases, cache_bench, options, threads, variables.size(),
              reps, deterministic, speedup_vs_fifo, speedup_vs_serial);
+  core::write_text_file(out_path, out.str());
   std::printf("wrote %s and %s\n", out_path.c_str(), csv_path.c_str());
 
   bench::write_profile(options);

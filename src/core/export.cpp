@@ -1,5 +1,7 @@
 #include "core/export.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -31,12 +33,31 @@ void append_metrics(std::ostringstream& out, const VariableVerdict& verdict) {
 
 }  // namespace
 
+std::string csv_field(const std::string& value) {
+  // RFC 4180: a field containing the separator, a quote, or a line break
+  // must be quoted, with embedded quotes doubled. Everything else passes
+  // through verbatim, so numeric columns and plain names are unchanged.
+  // This matters for error_message: codec exceptions routinely contain
+  // commas ("format error: expected 4, got 2"), and a failpoint-armed run
+  // used to shear such a row into extra columns.
+  if (value.find_first_of(",\"\r\n") == std::string::npos) return value;
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted.push_back('"');
+  for (const char c : value) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
 std::string suite_results_csv(const SuiteResults& results) {
   std::ostringstream out;
   out << "variable,is_3d,variant,cr,pearson,nrmse,e_nmax,rmsz_diff,"
          "rho_pass,rmsz_pass,enmax_pass,bias_pass,all_pass,"
          "bias_slope,bias_intercept,bias_slope_distance,grib_decimal_scale,"
-         "codec_error,fallback_codec\n";
+         "codec_error,fallback_codec,error_message\n";
   out.precision(10);
   for (const VariableResult& var : results.variables) {
     // A variable whose processing failed outright recorded no verdicts;
@@ -45,15 +66,16 @@ std::string suite_results_csv(const SuiteResults& results) {
     if (var.processing_failed) continue;
     for (std::size_t vi = 0; vi < results.variant_names.size(); ++vi) {
       const VariableVerdict& verdict = var.verdicts[vi];
-      out << var.variable << ',' << (var.is_3d ? 1 : 0) << ','
-          << results.variant_names[vi] << ',';
+      out << csv_field(var.variable) << ',' << (var.is_3d ? 1 : 0) << ','
+          << csv_field(results.variant_names[vi]) << ',';
       append_metrics(out, verdict);
       out << ',' << verdict.rho_pass << ',' << verdict.rmsz_pass << ','
           << verdict.enmax_pass << ',' << verdict.bias_pass << ','
           << verdict.all_pass() << ',' << verdict.bias.fit.slope << ','
           << verdict.bias.fit.intercept << ',' << verdict.bias.slope_distance << ','
           << var.grib_decimal_scale << ',' << verdict.codec_error << ','
-          << verdict.fallback_codec << '\n';
+          << csv_field(verdict.fallback_codec) << ','
+          << csv_field(verdict.error_message) << '\n';
     }
   }
   return out.str();
@@ -65,19 +87,37 @@ std::string hybrid_selections_csv(std::span<const HybridSummary> hybrids) {
   out.precision(10);
   for (const HybridSummary& h : hybrids) {
     for (const HybridSelection& sel : h.selections) {
-      out << h.family << ',' << sel.variable << ',' << sel.variant << ',' << sel.cr << ','
-          << sel.pearson << ',' << sel.nrmse << ',' << sel.enmax << ','
-          << (sel.lossless_fallback ? 1 : 0) << '\n';
+      out << csv_field(h.family) << ',' << csv_field(sel.variable) << ','
+          << csv_field(sel.variant) << ',' << sel.cr << ',' << sel.pearson << ','
+          << sel.nrmse << ',' << sel.enmax << ',' << (sel.lossless_fallback ? 1 : 0)
+          << '\n';
     }
   }
   return out.str();
 }
 
 void write_text_file(const std::string& path, const std::string& contents) {
-  std::ofstream f(path, std::ios::trunc);
-  if (!f) throw IoError("cannot open for writing: " + path);
-  f << contents;
-  if (!f) throw IoError("write failed: " + path);
+  // Temp + rename (the DiskCache discipline): a crash, ENOSPC, or a
+  // drained Ctrl-C between open and close can no longer leave a
+  // half-written file under the final name.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) throw IoError("cannot open for writing: " + tmp);
+    f << contents;
+    f.flush();
+    if (!f) {
+      f.close();
+      std::remove(tmp.c_str());
+      throw IoError("write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw IoError("rename failed: " + path + ": " + ec.message());
+  }
 }
 
 }  // namespace cesm::core

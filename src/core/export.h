@@ -10,18 +10,28 @@
 
 namespace cesm::core {
 
+/// Escape one CSV field per RFC 4180: fields containing a comma, quote,
+/// CR or LF are quoted with embedded quotes doubled; all other values
+/// pass through unchanged. Applied to every free-text column (variant
+/// names, fallback codecs, and especially error messages, which contain
+/// commas whenever a codec exception mentions sizes or offsets).
+std::string csv_field(const std::string& value);
+
 /// One CSV row per (variable, variant): test outcomes, CR and error
 /// metrics. Columns:
 ///   variable,is_3d,variant,cr,pearson,nrmse,e_nmax,rmsz_diff,
 ///   rho_pass,rmsz_pass,enmax_pass,bias_pass,all_pass,
-///   bias_slope,bias_intercept,bias_slope_distance,grib_decimal_scale
+///   bias_slope,bias_intercept,bias_slope_distance,grib_decimal_scale,
+///   codec_error,fallback_codec,error_message
 std::string suite_results_csv(const SuiteResults& results);
 
 /// One CSV row per (family, variable) hybrid selection. Columns:
 ///   family,variable,variant,cr,pearson,nrmse,e_nmax,lossless_fallback
 std::string hybrid_selections_csv(std::span<const HybridSummary> hybrids);
 
-/// Write a string to a file (throws IoError).
+/// Write a string to a file atomically (temp + rename; throws IoError).
+/// Readers — and interrupted runs — see either the old file or the
+/// complete new one, never a torn intermediate.
 void write_text_file(const std::string& path, const std::string& contents);
 
 }  // namespace cesm::core

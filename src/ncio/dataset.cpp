@@ -1,7 +1,9 @@
 #include "ncio/dataset.h"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 #include "compress/deflate/deflate.h"
 #include "compress/variants.h"
@@ -271,11 +273,28 @@ Dataset Dataset::deserialize(std::span<const std::uint8_t> bytes) {
 void Dataset::write_file(const std::string& path) const {
   CESM_FAILPOINT("ncio.write_file");
   const Bytes bytes = serialize();
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw IoError("cannot open for writing: " + path);
-  f.write(reinterpret_cast<const char*>(bytes.data()),
-          static_cast<std::streamsize>(bytes.size()));
-  if (!f) throw IoError("write failed: " + path);
+  // Temp + rename: a writer killed mid-write (SIGTERM, crash, full disk)
+  // must never leave a torn dataset at the destination path.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw IoError("cannot open for writing: " + tmp);
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    if (!f) {
+      f.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw IoError("write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw IoError("cannot rename " + tmp + " to " + path);
+  }
 }
 
 Dataset Dataset::read_file(const std::string& path) {

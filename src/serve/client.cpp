@@ -1,0 +1,49 @@
+#include "serve/client.h"
+
+namespace cesm::serve {
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(util::connect_unix(path));
+}
+
+Client Client::connect_tcp(const std::string& host, std::uint16_t port) {
+  return Client(util::connect_tcp(host, port));
+}
+
+Bytes Client::round_trip(MessageType request_type, std::span<const std::uint8_t> payload,
+                         MessageType expected) {
+  util::write_frame(socket_, static_cast<std::uint8_t>(request_type), payload);
+  std::optional<util::Frame> frame = util::read_frame(socket_);
+  if (!frame.has_value()) {
+    throw IoError("cesmd closed the connection before responding");
+  }
+  if (static_cast<MessageType>(frame->type) == MessageType::kErrorResponse) {
+    throw RemoteError(parse_error(frame->payload));
+  }
+  if (static_cast<MessageType>(frame->type) != expected) {
+    throw FormatError("unexpected response type " + std::to_string(frame->type));
+  }
+  return std::move(frame->payload);
+}
+
+void Client::ping() {
+  round_trip(MessageType::kPing, {}, MessageType::kPong);
+}
+
+Bytes Client::verify_raw(const VerifyRequest& request) {
+  const Bytes payload = serialize_verify_request(request);
+  return round_trip(MessageType::kVerifyRequest, payload, MessageType::kVerifyResponse);
+}
+
+core::VariableResult Client::verify(const VerifyRequest& request) {
+  const Bytes payload = verify_raw(request);
+  return parse_variable_result(payload);
+}
+
+std::map<std::string, std::uint64_t> Client::stats() {
+  const Bytes payload = round_trip(MessageType::kStatsRequest, {},
+                                   MessageType::kStatsResponse);
+  return parse_counters(payload);
+}
+
+}  // namespace cesm::serve

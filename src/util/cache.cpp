@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 
+#include "util/env.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -140,13 +142,16 @@ CacheConfig CacheConfig::from_env() {
       v != nullptr && (std::string_view(v) == "off" || std::string_view(v) == "0")) {
     cfg.enabled = false;
   }
-  if (const char* v = std::getenv("CESM_CACHE_MB"); v != nullptr && *v != '\0') {
-    char* end = nullptr;
-    const unsigned long long mb = std::strtoull(v, &end, 10);
-    if (end != v && *end == '\0') {
-      cfg.max_bytes = static_cast<std::size_t>(mb) << 20;
+  if (const auto mb = env_u64("CESM_CACHE_MB")) {
+    // strtoull used to live here and accepted "-1" via unsigned wraparound,
+    // turning a typo into a ~16-exabyte budget. env_u64 rejects signs,
+    // garbage, and overflow with a stderr warning; the shift guard below
+    // catches values whose byte count would not fit in size_t.
+    if (*mb > (std::numeric_limits<std::size_t>::max() >> 20)) {
+      std::fprintf(stderr, "CESM_CACHE_MB ignored: %llu MiB overflows the byte budget\n",
+                   static_cast<unsigned long long>(*mb));
     } else {
-      std::fprintf(stderr, "CESM_CACHE_MB ignored: not a number: %s\n", v);
+      cfg.max_bytes = static_cast<std::size_t>(*mb) << 20;
     }
   }
   if (const char* v = std::getenv("CESM_CACHE_DIR"); v != nullptr && *v != '\0') {

@@ -1,0 +1,29 @@
+#pragma once
+// Strict environment-variable parsing (cesm::util).
+//
+// A long-lived multi-client process cannot afford the classic strtoull
+// foot-guns: "-1" wrapping around to a ~16-exabyte cache budget, "64abc"
+// silently reading as 64, or an out-of-range value truncating. Every
+// numeric CESM_* variable goes through env_u64(), whose policy matches
+// the CESM_FAILPOINTS malformed-spec contract: a malformed value is
+// reported on stderr and IGNORED (the caller keeps its default) — never
+// trusted, never fatal.
+
+#include <cstdint>
+#include <optional>
+
+namespace cesm::util {
+
+/// Parse `value` as a non-negative decimal integer for the environment
+/// variable `name`. Rejects — with a stderr warning naming the variable —
+/// empty strings, any sign ('-' wraparound is exactly the bug this
+/// exists to kill; '+' is rejected for symmetry), non-digit trailing
+/// garbage, and values that overflow 64 bits. Leading/trailing ASCII
+/// whitespace is tolerated. Returns nullopt on rejection.
+std::optional<std::uint64_t> parse_env_u64(const char* name, const char* value);
+
+/// getenv(name) + parse_env_u64. Unset or empty returns nullopt silently
+/// (absence is not an error); a present-but-malformed value warns.
+std::optional<std::uint64_t> env_u64(const char* name);
+
+}  // namespace cesm::util

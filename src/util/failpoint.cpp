@@ -35,6 +35,7 @@ constexpr const char* kRegisteredSites[] = {
     "ncio.write",         //
     "ncio.write_file",    //
     "sched.task",         //
+    "serve.request",      //
     "special.decode",     //
     "suite.variable",     //
     "suite.verify_variant",

@@ -1,0 +1,191 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace cesm::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::shutdown_both() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw IoError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // remove a stale socket file from a prior run
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(sock.fd(), backlog) != 0) throw_errno("listen(" + path + ")");
+  return sock;
+}
+
+Socket listen_tcp(std::uint16_t port, std::uint16_t* bound_port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind(tcp:" + std::to_string(port) + ")");
+  }
+  if (::listen(sock.fd(), backlog) != 0) throw_errno("listen(tcp)");
+
+  if (bound_port != nullptr) {
+    sockaddr_in actual = {};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      throw_errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return sock;
+}
+
+Socket accept_connection(const Socket& listener) {
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  return Socket(fd);  // invalid on error — caller decides retry vs stop
+}
+
+Socket connect_unix(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw IoError("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket(AF_UNIX)");
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect(" + path + ")");
+  }
+  return sock;
+}
+
+Socket connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("invalid IPv4 address: " + host);
+  }
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket(AF_INET)");
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return sock;
+}
+
+void send_all(const Socket& sock, const std::uint8_t* data, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(sock.fd(), data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    if (rc == 0) throw IoError("send: connection closed");
+    sent += static_cast<std::size_t>(rc);
+  }
+}
+
+bool recv_exact(const Socket& sock, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(sock.fd(), out + got, n - got, 0);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (rc == 0) {
+      if (got == 0) return false;  // clean EOF at a message boundary
+      throw IoError("recv: connection closed mid-message");
+    }
+    got += static_cast<std::size_t>(rc);
+  }
+  return true;
+}
+
+void write_frame(const Socket& sock, std::uint8_t type,
+                 std::span<const std::uint8_t> payload) {
+  Bytes header;
+  header.reserve(kFrameHeaderBytes);
+  ByteWriter w(header);
+  w.u32(kFrameMagic);
+  w.u8(type);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  send_all(sock, header.data(), header.size());
+  if (!payload.empty()) send_all(sock, payload.data(), payload.size());
+}
+
+std::optional<Frame> read_frame(const Socket& sock, std::uint32_t max_payload) {
+  std::uint8_t header[kFrameHeaderBytes];
+  if (!recv_exact(sock, header, sizeof(header))) return std::nullopt;
+
+  ByteReader reader(std::span<const std::uint8_t>(header, sizeof(header)));
+  const std::uint32_t magic = reader.u32();
+  if (magic != kFrameMagic) {
+    throw FormatError("bad frame magic");
+  }
+  Frame frame;
+  frame.type = reader.u8();
+  const std::uint32_t len = reader.u32();
+  // Validate the declared length BEFORE allocating: a hostile 4 GiB
+  // length must be rejected as a format error, not attempted.
+  if (len > max_payload) {
+    throw FrameTooLarge("frame payload exceeds limit (" + std::to_string(len) +
+                        " > " + std::to_string(max_payload) + " bytes)");
+  }
+  frame.payload.resize(len);
+  if (len > 0 && !recv_exact(sock, frame.payload.data(), len)) {
+    throw IoError("recv: connection closed mid-frame");
+  }
+  return frame;
+}
+
+}  // namespace cesm::util

@@ -3,11 +3,13 @@
 #include <array>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <string>
 #include <thread>
 
+#include "util/env.h"
 #include "util/failpoint.h"
 #include "util/trace.h"
 
@@ -43,13 +45,23 @@ std::uint64_t now_ns() {
           .count());
 }
 
+// Ceiling on explicitly requested worker threads: far above any real
+// machine, low enough that a fat-fingered CESM_THREADS cannot make the
+// pool constructor attempt a million std::threads.
+constexpr std::size_t kMaxEnvThreads = 4096;
+
 std::size_t resolve_env_threads() {
-  const char* env = std::getenv("CESM_THREADS");
-  if (env == nullptr || *env == '\0') return 0;
-  char* endp = nullptr;
-  const long long v = std::strtoll(env, &endp, 10);
-  if (endp == env || *endp != '\0' || v < 1) return 0;  // malformed: ignore
-  return static_cast<std::size_t>(v);
+  // env_u64 warns on stderr and returns nullopt for "-1", "abc", "4x" —
+  // the old strtoll path ignored those silently, so a typo'd CESM_THREADS
+  // degraded to the default with no hint why.
+  const auto v = util::env_u64("CESM_THREADS");
+  if (!v.has_value()) return 0;  // unset or malformed (already warned)
+  if (*v == 0 || *v > kMaxEnvThreads) {
+    std::fprintf(stderr, "CESM_THREADS ignored: %llu outside [1, %zu]\n",
+                 static_cast<unsigned long long>(*v), kMaxEnvThreads);
+    return 0;
+  }
+  return static_cast<std::size_t>(*v);
 }
 
 std::atomic<std::size_t> g_default_threads{0};

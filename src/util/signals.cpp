@@ -1,0 +1,81 @@
+#include "util/signals.h"
+
+#include <csignal>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace cesm::util {
+
+namespace {
+
+std::atomic<int> g_signal{0};
+int g_pipe[2] = {-1, -1};
+
+extern "C" void drain_handler(int sig) {
+  // Everything here is async-signal-safe: atomics, write, sigaction, raise.
+  int expected = 0;
+  if (!g_signal.compare_exchange_strong(expected, sig)) {
+    // Second signal: the user really means it. Restore default and
+    // re-raise so the process dies with the conventional status.
+    std::signal(sig, SIG_DFL);
+    ::raise(sig);
+    return;
+  }
+  if (g_pipe[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &byte, 1);
+  }
+}
+
+}  // namespace
+
+void install_signal_drain() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (::pipe(g_pipe) != 0) {
+      g_pipe[0] = g_pipe[1] = -1;
+    } else {
+      // Non-blocking on both ends: the handler must never block on a full
+      // pipe, and the test-reset drain must never block on an empty one.
+      ::fcntl(g_pipe[0], F_SETFL, O_NONBLOCK);
+      ::fcntl(g_pipe[1], F_SETFL, O_NONBLOCK);
+    }
+    struct sigaction sa = {};
+    sa.sa_handler = drain_handler;
+    ::sigemptyset(&sa.sa_mask);
+    // SA_RESTART keeps unrelated blocking syscalls from spurious EINTR;
+    // poll()-based loops are woken through the self-pipe instead.
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+  });
+}
+
+bool interrupt_requested() {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int interrupt_signal() { return g_signal.load(std::memory_order_relaxed); }
+
+int interrupt_fd() { return g_pipe[0]; }
+
+int interrupt_exit_code() {
+  const int sig = interrupt_signal();
+  return sig == 0 ? 0 : 128 + sig;
+}
+
+void clear_interrupt_for_tests() {
+  g_signal.store(0, std::memory_order_relaxed);
+  if (g_pipe[0] >= 0) {
+    // Drain any pending wake bytes so the next signal re-arms the pipe.
+    char buf[16];
+    while (::read(g_pipe[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+}
+
+}  // namespace cesm::util

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace cesm::core {
 namespace {
@@ -37,6 +38,58 @@ TEST(Export, SuiteCsvHasHeaderAndAllRows) {
   EXPECT_NE(csv.find("variable,is_3d,variant"), std::string::npos);
   EXPECT_NE(csv.find("U,1,fpzip-24"), std::string::npos);
   EXPECT_NE(csv.find("PS,0,APAX-2"), std::string::npos);
+}
+
+TEST(Export, CsvFieldEscapesPerRfc4180) {
+  // Plain values pass through verbatim.
+  EXPECT_EQ(csv_field("fpzip-24"), "fpzip-24");
+  EXPECT_EQ(csv_field(""), "");
+  // The separator, quotes, and line breaks force quoting with doubled
+  // inner quotes.
+  EXPECT_EQ(csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_field("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(csv_field("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(Export, HostileErrorMessageCannotShearTheRow) {
+  // A codec-error verdict whose message carries the separator, quotes,
+  // and a newline — the shape a real exception produces ("expected 4,
+  // got 2") and the exact input that used to split one row into several.
+  SuiteResults results;
+  results.variant_names = {"fpzip-24"};
+  VariableResult var;
+  var.variable = "U";
+  var.is_3d = true;
+  VariableVerdict verdict;
+  verdict.variable = "U";
+  verdict.codec = "fpzip-24";
+  verdict.codec_error = true;
+  verdict.error_message = "format error: expected 4, got 2,\n\"stream\" torn";
+  verdict.fallback_codec = "fpzip-32";
+  var.verdicts.push_back(verdict);
+  results.variables.push_back(var);
+
+  const std::string csv = suite_results_csv(results);
+  std::istringstream in(csv);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  // Header + one row; the row's embedded newline is inside quotes, so an
+  // RFC 4180 reader sees 2 records. (getline splits on the raw newline —
+  // 3 physical lines — but the quote count proves the field is intact.)
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(csv.find("\"format error: expected 4, got 2,\n\"\"stream\"\" torn\""),
+            std::string::npos);
+  // The hostile message never manufactures extra columns in its record:
+  // commas inside the quoted field don't count as separators.
+  std::size_t unquoted_commas = 0;
+  bool in_quotes = false;
+  for (std::size_t i = csv.find('\n') + 1; i < csv.size(); ++i) {
+    if (csv[i] == '"') in_quotes = !in_quotes;
+    if (csv[i] == ',' && !in_quotes) ++unquoted_commas;
+  }
+  EXPECT_EQ(unquoted_commas, 19u);  // 20 columns = 19 separators
 }
 
 TEST(Export, HybridCsvCoversAllFamilies) {

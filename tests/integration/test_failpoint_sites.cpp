@@ -32,6 +32,8 @@
 #include "core/export.h"
 #include "core/suite.h"
 #include "ncio/dataset.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "support/generators.h"
 #include "util/failpoint.h"
 #include "util/scheduler.h"
@@ -150,6 +152,26 @@ const std::map<std::string, std::function<void()>>& site_scenarios() {
            sum.fetch_add(i, std::memory_order_relaxed);
          });
        }},
+      {"serve.request",
+       [] {
+         // Full wire round-trip through a live daemon: the armed fault is
+         // converted to a typed kProcessingFailed error response, which
+         // the client rethrows as a RemoteError (a cesm::Error) — the
+         // daemon itself survives.
+         const std::filesystem::path sock =
+             std::filesystem::path(::testing::TempDir()) / "cesm_failpoint_serve.sock";
+         serve::ServerConfig cfg;
+         cfg.unix_path = sock.string();
+         serve::Server server(cfg);
+         server.start();
+         serve::VerifyRequest request;
+         request.ensemble = tiny_spec();
+         request.variable = "U";
+         request.config = fast_config();
+         serve::Client client = serve::Client::connect_unix(sock.string());
+         (void)client.verify_raw(request);
+         server.stop();
+       }},
       {"suite.variable",
        [] {
          const auto& ens = shared_ensemble();
@@ -262,9 +284,12 @@ TEST_F(SuiteRobustness, LossyDecodeFailureGetsCodecErrorVerdictWithLosslessFallb
   }
   EXPECT_EQ(codec_errors, 1u);
 
-  // The table layer reports the event instead of choking on it.
+  // The table layer reports the event instead of choking on it: the
+  // codec_error flag, the fallback codec, and the thrown message all
+  // appear in the row's trailing columns.
   const std::string csv = core::suite_results_csv(results);
-  EXPECT_NE(csv.find(",1,fpzip-32\n"), std::string::npos);
+  EXPECT_NE(csv.find(",1,fpzip-32,injected fault at failpoint fpz.decode\n"),
+            std::string::npos);
   EXPECT_EQ(results.tally().size(), 9u);
 }
 

@@ -1,0 +1,170 @@
+// Socket + frame layer: the three hostile-input surfaces.
+//
+// read_frame's contract distinguishes clean EOF at a boundary (nullopt),
+// malformed framing (FormatError before any payload allocation), and a
+// peer dying mid-frame (IoError). The cesmd server maps each to a
+// different response, so the distinction itself is under test here, on
+// loopback socketpairs with hand-built byte sequences.
+
+#include "util/net.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "util/bytes.h"
+
+namespace cesm::util {
+namespace {
+
+/// A connected unix-domain socket pair.
+struct Pair {
+  Socket a, b;
+  Pair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = Socket(fds[0]);
+    b = Socket(fds[1]);
+  }
+};
+
+Bytes frame_bytes(std::uint32_t magic, std::uint8_t type, std::uint32_t declared_len,
+                  const Bytes& payload) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u32(magic);
+  w.u8(type);
+  w.u32(declared_len);
+  w.raw(payload.data(), payload.size());
+  return out;
+}
+
+TEST(Frame, RoundTripsTypeAndPayload) {
+  Pair p;
+  const Bytes payload = {1, 2, 3, 250, 251, 252};
+  write_frame(p.a, 7, payload);
+  const auto frame = read_frame(p.b);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, 7);
+  EXPECT_EQ(frame->payload, payload);
+}
+
+TEST(Frame, EmptyPayloadIsLegal) {
+  Pair p;
+  write_frame(p.a, 1, {});
+  const auto frame = read_frame(p.b);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, 1);
+  EXPECT_TRUE(frame->payload.empty());
+}
+
+TEST(Frame, CleanEofAtBoundaryIsEndOfStream) {
+  Pair p;
+  write_frame(p.a, 3, Bytes{9});
+  p.a.close();
+  EXPECT_TRUE(read_frame(p.b).has_value());   // the queued frame drains
+  EXPECT_FALSE(read_frame(p.b).has_value());  // then clean EOF
+}
+
+TEST(Frame, BadMagicIsFormatError) {
+  Pair p;
+  const Bytes bytes = frame_bytes(0xDEADBEEF, 1, 0, {});
+  send_all(p.a, bytes.data(), bytes.size());
+  EXPECT_THROW((void)read_frame(p.b), FormatError);
+}
+
+TEST(Frame, OversizedDeclaredLengthIsRejectedBeforeAllocation) {
+  Pair p;
+  // Declares 4 GiB-ish; only the header is ever sent. The reader must
+  // throw from the length check, not sit waiting for a payload (or try
+  // to allocate one).
+  const Bytes bytes = frame_bytes(kFrameMagic, 1, 0xFFFFFFF0u, {});
+  send_all(p.a, bytes.data(), bytes.size());
+  EXPECT_THROW((void)read_frame(p.b), FrameTooLarge);
+}
+
+TEST(Frame, CustomLimitIsEnforced) {
+  Pair p;
+  write_frame(p.a, 1, Bytes(64, 0xAB));
+  EXPECT_THROW((void)read_frame(p.b, 16), FrameTooLarge);
+}
+
+TEST(Frame, TruncatedHeaderIsIoError) {
+  Pair p;
+  const Bytes partial = {0x43, 0x53, 0x4D};  // 3 of 9 header bytes
+  send_all(p.a, partial.data(), partial.size());
+  p.a.close();
+  EXPECT_THROW((void)read_frame(p.b), IoError);
+}
+
+TEST(Frame, TruncatedPayloadIsIoError) {
+  Pair p;
+  // Declares 8 payload bytes, delivers 2, then disconnects mid-frame.
+  const Bytes bytes = frame_bytes(kFrameMagic, 1, 8, {0xAA, 0xBB});
+  send_all(p.a, bytes.data(), bytes.size());
+  p.a.close();
+  EXPECT_THROW((void)read_frame(p.b), IoError);
+}
+
+TEST(Frame, SendToClosedPeerIsIoErrorNotSigpipe) {
+  Pair p;
+  p.b.close();
+  const Bytes big(1 << 16, 0x55);
+  // MSG_NOSIGNAL: the dead peer surfaces as an exception on this thread,
+  // never as a process-killing SIGPIPE.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) send_all(p.a, big.data(), big.size());
+      },
+      IoError);
+}
+
+TEST(Net, TcpListenerReportsEphemeralPortAndAccepts) {
+  std::uint16_t port = 0;
+  Socket listener = listen_tcp(0, &port);
+  ASSERT_GT(port, 0);
+
+  std::thread server([&] {
+    Socket conn = accept_connection(listener);
+    ASSERT_TRUE(conn.valid());
+    const auto frame = read_frame(conn);
+    ASSERT_TRUE(frame.has_value());
+    write_frame(conn, frame->type + 1, frame->payload);
+  });
+
+  Socket client = connect_tcp("127.0.0.1", port);
+  write_frame(client, 10, Bytes{42});
+  const auto reply = read_frame(client);
+  server.join();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, 11);
+  EXPECT_EQ(reply->payload, Bytes{42});
+}
+
+TEST(Net, UnixListenerAcceptsOnFilesystemPath) {
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "cesm_test_net.sock").string();
+  Socket listener = listen_unix(path);
+
+  std::thread server([&] {
+    Socket conn = accept_connection(listener);
+    ASSERT_TRUE(conn.valid());
+    const auto frame = read_frame(conn);
+    ASSERT_TRUE(frame.has_value());
+    write_frame(conn, frame->type, frame->payload);
+  });
+
+  Socket client = connect_unix(path);
+  write_frame(client, 5, Bytes{1, 2, 3});
+  const auto reply = read_frame(client);
+  server.join();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->payload, (Bytes{1, 2, 3}));
+  listener.close();
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cesm::util

@@ -1,0 +1,77 @@
+// Signal-drain helper: record-and-continue semantics.
+//
+// These tests raise real SIGTERM/SIGINT at the process (the handler is
+// async-signal-safe and merely records), then check the drain surface:
+// the flag, the recorded signal, the 128+signum exit code, and the
+// self-pipe becoming readable so poll loops wake. The "second signal
+// kills" escalation path is intentionally NOT raised here — it would
+// kill the test runner; its logic lives in the handler's
+// compare_exchange and is exercised manually.
+
+#include "util/signals.h"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+
+#include <csignal>
+
+namespace cesm::util {
+namespace {
+
+class SignalDrain : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    install_signal_drain();
+    clear_interrupt_for_tests();
+  }
+  void TearDown() override { clear_interrupt_for_tests(); }
+};
+
+TEST_F(SignalDrain, InstallIsIdempotent) {
+  install_signal_drain();
+  install_signal_drain();
+  EXPECT_FALSE(interrupt_requested());
+  EXPECT_EQ(interrupt_signal(), 0);
+  EXPECT_EQ(interrupt_exit_code(), 0);
+}
+
+TEST_F(SignalDrain, SigtermIsRecordedNotFatal) {
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  // Still alive — that is the point. The drain surface reflects it.
+  EXPECT_TRUE(interrupt_requested());
+  EXPECT_EQ(interrupt_signal(), SIGTERM);
+  EXPECT_EQ(interrupt_exit_code(), 128 + SIGTERM);
+}
+
+TEST_F(SignalDrain, SelfPipeWakesPollers) {
+  ASSERT_GE(interrupt_fd(), 0);
+  pollfd pfd = {interrupt_fd(), POLLIN, 0};
+  EXPECT_EQ(::poll(&pfd, 1, 0), 0);  // idle: nothing readable
+
+  ASSERT_EQ(::raise(SIGINT), 0);
+  pfd.revents = 0;
+  EXPECT_EQ(::poll(&pfd, 1, 1000), 1);
+  EXPECT_NE(pfd.revents & POLLIN, 0);
+  EXPECT_EQ(interrupt_signal(), SIGINT);
+}
+
+TEST_F(SignalDrain, FirstSignalWinsUntilCleared) {
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  EXPECT_EQ(interrupt_signal(), SIGTERM);
+  // clear + re-raise re-arms recording (the handler's one-shot
+  // compare_exchange starts from 0 again).
+  clear_interrupt_for_tests();
+  EXPECT_FALSE(interrupt_requested());
+  ASSERT_EQ(::raise(SIGINT), 0);
+  EXPECT_EQ(interrupt_signal(), SIGINT);
+}
+
+TEST_F(SignalDrain, ClearDrainsThePipe) {
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  clear_interrupt_for_tests();
+  pollfd pfd = {interrupt_fd(), POLLIN, 0};
+  EXPECT_EQ(::poll(&pfd, 1, 0), 0) << "stale wake byte left in the self-pipe";
+}
+
+}  // namespace
+}  // namespace cesm::util

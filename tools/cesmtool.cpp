@@ -23,6 +23,7 @@
 #include "core/metrics.h"
 #include "core/report.h"
 #include "ncio/dataset.h"
+#include "util/signals.h"
 
 namespace {
 
@@ -209,16 +210,28 @@ int cmd_diff(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  // Record-and-continue SIGINT/SIGTERM: dataset writes are temp+rename
+  // atomic, so finishing the in-flight command and exiting 128+signum
+  // beats dying mid-file. A second signal still kills immediately.
+  util::install_signal_drain();
   const std::string cmd = argv[1];
   try {
-    if (cmd == "generate") return cmd_generate(argc, argv);
-    if (cmd == "info") return cmd_info(argc, argv);
-    if (cmd == "compress") return cmd_compress(argc, argv);
-    if (cmd == "decompress") return cmd_decompress(argc, argv);
-    if (cmd == "diff") return cmd_diff(argc, argv);
+    int rc = -1;
+    if (cmd == "generate") rc = cmd_generate(argc, argv);
+    else if (cmd == "info") rc = cmd_info(argc, argv);
+    else if (cmd == "compress") rc = cmd_compress(argc, argv);
+    else if (cmd == "decompress") rc = cmd_decompress(argc, argv);
+    else if (cmd == "diff") rc = cmd_diff(argc, argv);
+    else return usage();
+    if (util::interrupt_requested()) {
+      std::fprintf(stderr, "cesmtool: interrupted by signal %d (output files are "
+                           "complete: writes are atomic)\n",
+                   util::interrupt_signal());
+      return util::interrupt_exit_code();
+    }
+    return rc;
   } catch (const cesm::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return usage();
 }
