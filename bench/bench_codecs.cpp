@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "compress/simd.h"
+#include "util/memory.h"
 #include "compress/variants.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
@@ -91,6 +92,7 @@ void write_json(std::ofstream& out, const std::vector<CodecResult>& results,
       << "  \"simd_supported\": " << (comp::simd::simd_supported() ? "true" : "false")
       << ",\n"
       << "  \"parity\": " << (parity ? "true" : "false") << ",\n"
+      << "  \"peak_rss_bytes\": " << util::peak_rss_bytes() << ",\n"
       << "  \"suite_seconds\": " << suite_seconds << ",\n"
       << "  \"benches\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "stats/kernels.h"
+#include "util/memory.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 
@@ -92,6 +93,7 @@ void json_escape_free_write(std::ofstream& out, const std::vector<BenchResult>& 
       << "  \"bench\": \"kernels\",\n"
       << "  \"elements\": " << n << ",\n"
       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"peak_rss_bytes\": " << util::peak_rss_bytes() << ",\n"
       << "  \"suite_seconds\": " << suite_seconds << ",\n"
       << "  \"benches\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

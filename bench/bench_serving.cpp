@@ -40,6 +40,7 @@
 #include "core/export.h"
 #include "core/suite.h"
 #include "serve/client.h"
+#include "util/memory.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "util/bytes.h"
@@ -241,6 +242,7 @@ int main(int argc, char** argv) {
          << "  \"p99_ms\": " << p99 << ",\n"
          << "  \"flights\": " << flights << ",\n"
          << "  \"coalesced_joins\": " << coalesced << ",\n"
+         << "  \"peak_rss_bytes\": " << util::peak_rss_bytes() << ",\n"
          << "  \"parity\": " << (parity ? "true" : "false") << ",\n"
          << "  \"coalescing\": " << (coalescing_ok ? "true" : "false") << "\n"
          << "}\n";

@@ -17,12 +17,19 @@
 // Output: a table on stdout and BENCH_suite.json (override with
 // --out=PATH). --quick shrinks members/variables for CI smoke runs;
 // --threads=N pins the worker count (default: CESM_THREADS env, then
-// hardware concurrency).
+// hardware concurrency; clamped to the hardware).
+//
+// --full-grid adds the out-of-core leg: one paper-scale 3-D variable is
+// streamed chunk-by-chunk under the CESM_MEM_MB budget, then re-run
+// through the in-core pipeline on the same chunk partition. The JSON
+// records both peak RSS figures, the streaming phase breakdown, and a
+// bitwise-parity flag the CI gate (and the exit code) require to hold.
 
 #include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -31,8 +38,10 @@
 #include "common.h"
 #include "core/ensemble_cache.h"
 #include "core/export.h"
+#include "core/ooc.h"
 #include "core/suite.h"
 #include "util/cache.h"
+#include "util/memory.h"
 #include "util/scheduler.h"
 #include "util/signals.h"
 #include "util/stopwatch.h"
@@ -195,10 +204,93 @@ CacheBench run_cache_phase(const bench::Options& options,
   return bench;
 }
 
+/// --full-grid: the out-of-core leg. One 3-D variable at the paper's
+/// ne30-scale grid is streamed chunk-by-chunk under the CESM_MEM_MB
+/// logical budget, then the same variable runs through the in-core
+/// pipeline with the same chunk partition. The two results must be
+/// bit-identical (CSV bytes and every verdict field), and the streaming
+/// peak RSS is recorded next to the in-core peak so the CI gate can hold
+/// the "bounded memory" promise to measured numbers.
+struct FullGridBench {
+  bool enabled = false;
+  std::string variable;
+  std::size_t members = 0;
+  std::uint64_t elems_per_member = 0;
+  std::size_t chunk_elems = 0;
+  std::uint64_t budget_cap_bytes = 0;  ///< CESM_MEM_MB (0 = uncapped)
+  bool rss_reset_supported = false;    ///< kernel accepted the HWM reset
+  core::OocPhaseStats phases;
+  double streaming_seconds = 0.0;
+  double incore_seconds = 0.0;
+  std::uint64_t streaming_peak_rss = 0;
+  std::uint64_t incore_peak_rss = 0;
+  bool parity = false;
+};
+
+FullGridBench run_full_grid_phase(const bench::Options& options) {
+  FullGridBench fg;
+  fg.enabled = true;
+  fg.variable = "U";  // 3-D spotlight: the largest per-member field
+  ScopedScheduler scoped(options.threads);
+
+  // Always the paper's grid — that is the point of the mode. --quick only
+  // shrinks the member count (still big enough that the in-core twin's
+  // resident ensemble dwarfs the streaming working set).
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec::paper();
+  spec.members = options.quick ? 57 : 101;
+  fg.members = spec.members;
+  const climate::EnsembleGenerator ensemble(spec);
+  const climate::VariableSpec& var = ensemble.variable(fg.variable);
+  fg.elems_per_member = ensemble.field_elems(var);
+
+  core::OocConfig ooc;
+  ooc.chunk_elems = 1 << 16;
+  if (const char* dir = std::getenv("CESM_SPILL_DIR")) ooc.spill_dir = dir;
+  ooc.memory_budget_bytes = util::memory_budget_bytes().value_or(0);
+  ooc.suite = bench::suite_config(options);
+  // The bias sweep round-trips every member through every variant; the
+  // full-grid leg bounds itself to the three PVT tests (bias parity is
+  // covered bit-for-bit by the unit tests on a small grid).
+  ooc.suite.run_bias = false;
+  ooc.suite.test_member_count = options.quick ? 2 : 3;
+  // The in-core twin must measure through the identical chunk partition.
+  ooc.suite.chunk_elems = ooc.chunk_elems;
+  fg.chunk_elems = ooc.chunk_elems;
+  fg.budget_cap_bytes = ooc.memory_budget_bytes;
+
+  // Streaming leg first, from a fresh high-water mark: its peak RSS must
+  // not inherit another phase's allocations. When the kernel cannot reset
+  // the HWM the number can only over-report the streaming leg — gate-safe.
+  fg.rss_reset_supported = util::reset_peak_rss();
+  Stopwatch sw;
+  core::SuiteResults streaming;
+  streaming.variables.push_back(
+      core::run_variable_streaming(ensemble, var, ooc, &fg.phases));
+  core::derive_variant_names(streaming);
+  fg.streaming_seconds = sw.seconds();
+  fg.streaming_peak_rss = util::peak_rss_bytes();
+
+  util::reset_peak_rss();
+  sw.restart();
+  core::SuiteResults incore;
+  incore.variables.push_back(core::run_variable(ensemble, var, ooc.suite));
+  core::derive_variant_names(incore);
+  fg.incore_seconds = sw.seconds();
+  fg.incore_peak_rss = util::peak_rss_bytes();
+
+  fg.parity =
+      identical_results(streaming, incore, "full_grid_streaming",
+                        "full_grid_incore") &&
+      core::suite_results_csv(streaming) == core::suite_results_csv(incore);
+  return fg;
+}
+
 void write_json(std::ostream& out, const std::vector<ConfigResult>& configs,
                 const std::vector<PhaseRow>& phases, const CacheBench& cache,
-                const bench::Options& options, std::size_t threads, std::size_t n_vars,
-                int reps, bool deterministic, double speedup_vs_fifo,
+                const FullGridBench& fg, const bench::Options& options,
+                std::size_t threads, std::size_t n_vars, int reps,
+                bool deterministic, double speedup_vs_fifo,
                 double speedup_vs_serial) {
   // `threads` is the configured worker count; when it exceeds the core
   // count the workers time-slice and any reported "parallel speedup" is
@@ -209,6 +301,12 @@ void write_json(std::ostream& out, const std::vector<ConfigResult>& configs,
   const std::size_t effective_workers =
       hw == 0 ? threads : std::min<std::size_t>(threads, hw);
   const bool oversubscribed = hw != 0 && threads > hw;
+  // --full-grid resets the kernel HWM between its legs, so the current
+  // reading alone would under-report the process peak; fold the phase
+  // peaks back in.
+  const std::uint64_t peak_rss =
+      std::max<std::uint64_t>(util::peak_rss_bytes(),
+                              std::max(fg.streaming_peak_rss, fg.incore_peak_rss));
   out << "{\n"
       << "  \"bench\": \"suite\",\n"
       << "  \"quick\": " << (options.quick ? "true" : "false") << ",\n"
@@ -218,6 +316,7 @@ void write_json(std::ostream& out, const std::vector<ConfigResult>& configs,
       << "  \"oversubscribed\": " << (oversubscribed ? "true" : "false") << ",\n"
       << "  \"members\": " << options.members << ",\n"
       << "  \"variables\": " << n_vars << ",\n"
+      << "  \"peak_rss_bytes\": " << peak_rss << ",\n"
       << "  \"reps\": " << reps << ",\n"
       << "  \"deterministic\": " << (deterministic ? "true" : "false") << ",\n"
       << "  \"speedup_vs_fifo\": " << speedup_vs_fifo << ",\n"
@@ -237,6 +336,29 @@ void write_json(std::ostream& out, const std::vector<ConfigResult>& configs,
         << (i + 1 < configs.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"full_grid\": {\n"
+      << "    \"enabled\": " << (fg.enabled ? "true" : "false");
+  if (fg.enabled) {
+    out << ",\n"
+        << "    \"variable\": \"" << fg.variable << "\",\n"
+        << "    \"members\": " << fg.members << ",\n"
+        << "    \"elems_per_member\": " << fg.elems_per_member << ",\n"
+        << "    \"chunk_elems\": " << fg.chunk_elems << ",\n"
+        << "    \"budget_cap_bytes\": " << fg.budget_cap_bytes << ",\n"
+        << "    \"rss_reset_supported\": " << (fg.rss_reset_supported ? "true" : "false")
+        << ",\n"
+        << "    \"parity\": " << (fg.parity ? "true" : "false") << ",\n"
+        << "    \"streaming_seconds\": " << fg.streaming_seconds << ",\n"
+        << "    \"streaming_peak_rss_bytes\": " << fg.streaming_peak_rss << ",\n"
+        << "    \"stage_seconds\": " << fg.phases.stage_seconds << ",\n"
+        << "    \"stats_seconds\": " << fg.phases.stats_seconds << ",\n"
+        << "    \"verify_seconds\": " << fg.phases.verify_seconds << ",\n"
+        << "    \"bytes_spilled\": " << fg.phases.bytes_spilled << ",\n"
+        << "    \"peak_logical_bytes\": " << fg.phases.peak_logical_bytes << ",\n"
+        << "    \"incore_seconds\": " << fg.incore_seconds << ",\n"
+        << "    \"incore_peak_rss_bytes\": " << fg.incore_peak_rss;
+  }
+  out << "\n  },\n"
       << "  \"cache\": {\n"
       << "    \"off_seconds\": " << cache.off_seconds << ",\n"
       << "    \"cold_seconds\": " << cache.cold_seconds << ",\n"
@@ -286,6 +408,12 @@ int main(int argc, char** argv) {
     off.enabled = false;
     core::EnsembleCache::global().configure(off);
   }
+
+  // The full-grid leg goes first so its streaming peak-RSS measurement
+  // starts from a near-pristine high-water mark even on kernels that
+  // cannot reset it.
+  FullGridBench full_grid;
+  if (options.full_grid) full_grid = run_full_grid_phase(options);
 
   std::vector<ConfigResult> configs;
   configs.push_back(run_config("fifo_baseline", options.threads,
@@ -368,6 +496,27 @@ int main(int argc, char** argv) {
               cache_bench.disk_tier ? ", disk tier on" : "");
   std::printf("cache parity (off == cold == warm, bitwise): %s\n",
               cache_bench.parity ? "yes" : "NO");
+  if (full_grid.enabled) {
+    std::printf("full grid: %s x%zu members (%llu elems each), chunk %zu\n",
+                full_grid.variable.c_str(), full_grid.members,
+                static_cast<unsigned long long>(full_grid.elems_per_member),
+                full_grid.chunk_elems);
+    std::printf("  streaming %.3fs (stage %.3f, stats %.3f, verify %.3f)  "
+                "peak RSS %.1f MB  logical %.1f MB%s\n",
+                full_grid.streaming_seconds, full_grid.phases.stage_seconds,
+                full_grid.phases.stats_seconds, full_grid.phases.verify_seconds,
+                static_cast<double>(full_grid.streaming_peak_rss) / 1048576.0,
+                static_cast<double>(full_grid.phases.peak_logical_bytes) / 1048576.0,
+                full_grid.budget_cap_bytes == 0 ? "  (no CESM_MEM_MB cap)" : "");
+    if (full_grid.budget_cap_bytes != 0) {
+      std::printf("  budget cap %.1f MB (CESM_MEM_MB)\n",
+                  static_cast<double>(full_grid.budget_cap_bytes) / 1048576.0);
+    }
+    std::printf("  in-core   %.3fs  peak RSS %.1f MB\n", full_grid.incore_seconds,
+                static_cast<double>(full_grid.incore_peak_rss) / 1048576.0);
+    std::printf("  streaming == in-core (bitwise): %s\n",
+                full_grid.parity ? "yes" : "NO");
+  }
   if (!phases.empty()) {
     std::printf("top phases (traced pass):\n");
     const std::size_t shown = std::min<std::size_t>(phases.size(), 8);
@@ -381,11 +530,13 @@ int main(int argc, char** argv) {
   // Buffer + atomic write: a bench killed between legs must not leave a
   // half-written JSON for the CI gate to parse.
   std::ostringstream out;
-  write_json(out, configs, phases, cache_bench, options, threads, variables.size(),
-             reps, deterministic, speedup_vs_fifo, speedup_vs_serial);
+  write_json(out, configs, phases, cache_bench, full_grid, options, threads,
+             variables.size(), reps, deterministic, speedup_vs_fifo,
+             speedup_vs_serial);
   core::write_text_file(out_path, out.str());
   std::printf("wrote %s and %s\n", out_path.c_str(), csv_path.c_str());
 
   bench::write_profile(options);
-  return deterministic && cache_bench.parity ? 0 : 1;
+  const bool full_grid_ok = !full_grid.enabled || full_grid.parity;
+  return deterministic && cache_bench.parity && full_grid_ok ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "compress/variants.h"
 #include "core/ensemble_cache.h"
@@ -21,7 +22,7 @@ namespace {
 [[noreturn]] void usage_and_exit(const char* prog) {
   std::printf(
       "usage: %s [--scale=reduced|paper] [--members=N] [--vars=N] [--no-bias] [--seed=N]\n"
-      "          [--threads=N] [--quick] [--out=PATH] [--profile=out.json]\n"
+      "          [--threads=N] [--quick] [--full-grid] [--out=PATH] [--profile=out.json]\n"
       "  --scale=reduced  3,456 columns x 8 levels (default for ensemble benches)\n"
       "  --scale=paper    48,672 columns x 30 levels (the paper's ne30-scale grid)\n"
       "  --members=N      perturbation ensemble size (paper: 101)\n"
@@ -29,8 +30,11 @@ namespace {
       "  --no-bias        skip the all-member bias regression (fast preview)\n"
       "  --seed=N         seed for the random test-member choice\n"
       "  --threads=N      scheduler worker count (default: CESM_THREADS env,\n"
-      "                   then hardware concurrency)\n"
+      "                   then hardware concurrency; clamped to the hardware)\n"
       "  --quick          CI smoke mode (shrinks the bench's workload)\n"
+      "  --full-grid      (bench_suite) out-of-core full-grid leg: stream one\n"
+      "                   paper-scale variable under the CESM_MEM_MB budget and\n"
+      "                   cross-check it bitwise against the in-core pipeline\n"
       "  --out=PATH       override the bench's JSON output path\n"
       "  --profile=PATH   enable per-stage tracing; write the JSON span tree\n"
       "                   to PATH and a readable tree to stderr\n",
@@ -64,6 +68,8 @@ Options Options::parse(int argc, char** argv, bool default_paper_scale) {
       if (o.threads == 0) usage_and_exit(argv[0]);
     } else if (arg == "--quick") {
       o.quick = true;
+    } else if (arg == "--full-grid") {
+      o.full_grid = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       o.out_path = arg.substr(6);
       if (o.out_path.empty()) usage_and_exit(argv[0]);
@@ -77,6 +83,18 @@ Options Options::parse(int argc, char** argv, bool default_paper_scale) {
   }
   o.grid = o.paper_scale ? climate::GridSpec::paper() : climate::GridSpec::reduced();
   if (o.threads != 0) {
+    // Oversubscribing the machine only adds context-switch noise to the
+    // timings, so an over-large request is clamped (loudly): the recorded
+    // numbers should describe workers that actually ran in parallel.
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    if (o.threads > hw) {
+      std::fprintf(stderr,
+                   "warning: --threads=%zu exceeds the %zu hardware thread%s "
+                   "available; clamping to %zu\n",
+                   o.threads, hw, hw == 1 ? "" : "s", hw);
+      o.threads = hw;
+    }
     // Before the lazily-built global scheduler exists; CESM_THREADS (and
     // hardware concurrency) yield to an explicit flag.
     Scheduler::set_default_threads(o.threads);

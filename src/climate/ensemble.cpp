@@ -44,6 +44,17 @@ Field EnsembleGenerator::field(const std::string& name, std::uint32_t member) co
   return field(variable(name), member);
 }
 
+void EnsembleGenerator::field_range(const VariableSpec& var, std::uint32_t member,
+                                    std::size_t elem_lo, std::size_t elem_hi,
+                                    std::span<float> out) const {
+  const FieldSynthesizer& synth = synthesizer(var);
+  synth.synthesize_range(member_means(member), member, elem_lo, elem_hi, out);
+}
+
+std::size_t EnsembleGenerator::field_elems(const VariableSpec& var) const {
+  return synthesizer(var).element_count();
+}
+
 std::vector<Field> EnsembleGenerator::ensemble_fields(const VariableSpec& var) const {
   trace::Span span("ensemble.synthesize");
   (void)synthesizer(var);  // construct once before fanning out

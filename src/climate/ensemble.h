@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,18 @@ class EnsembleGenerator {
 
   /// All `members()` fields of one variable, synthesized in parallel.
   [[nodiscard]] std::vector<Field> ensemble_fields(const VariableSpec& var) const;
+
+  /// Synthesize elements [elem_lo, elem_hi) of one member's variable into
+  /// `out` — bit-identical to the same slice of field() for any range (see
+  /// FieldSynthesizer::synthesize_range). Thread-safe; the out-of-core
+  /// stage phase uses it to emit chunks in parallel without holding any
+  /// full member.
+  void field_range(const VariableSpec& var, std::uint32_t member,
+                   std::size_t elem_lo, std::size_t elem_hi,
+                   std::span<float> out) const;
+
+  /// Element count of one variable's field (nlev * ncol).
+  [[nodiscard]] std::size_t field_elems(const VariableSpec& var) const;
 
   [[nodiscard]] const VariableSpec& variable(const std::string& name) const {
     return find_variable(catalog_, name);

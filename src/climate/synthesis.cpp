@@ -131,9 +131,12 @@ float FieldSynthesizer::transform(double g, double lf) const {
   throw InvalidArgument("unknown transform kind");
 }
 
+std::size_t FieldSynthesizer::element_count() const {
+  return (spec_.is_3d ? grid_.levels() : 1) * grid_.columns();
+}
+
 Field FieldSynthesizer::synthesize(std::span<const double> member_means,
                                    std::uint32_t member) const {
-  CESM_REQUIRE(member_means.size() == clim_.mean.size());
   const std::size_t ncol = grid_.columns();
   const std::size_t nlev = spec_.is_3d ? grid_.levels() : 1;
 
@@ -143,10 +146,24 @@ Field FieldSynthesizer::synthesize(std::span<const double> member_means,
   field.data.resize(nlev * ncol);
   if (spec_.has_fill) field.fill = kFillValue;
 
+  synthesize_range(member_means, member, 0, field.data.size(), field.data);
+  return field;
+}
+
+void FieldSynthesizer::synthesize_range(std::span<const double> member_means,
+                                        std::uint32_t member, std::size_t elem_lo,
+                                        std::size_t elem_hi,
+                                        std::span<float> out) const {
+  CESM_REQUIRE(member_means.size() == clim_.mean.size());
+  const std::size_t ncol = grid_.columns();
+  const std::size_t nlev = spec_.is_3d ? grid_.levels() : 1;
+  CESM_REQUIRE(elem_lo <= elem_hi && elem_hi <= nlev * ncol);
+  CESM_REQUIRE(out.size() == elem_hi - elem_lo);
+
   const std::vector<double> z = standardized(member_means);
 
   std::vector<double> coeff(kModes);
-  for (std::size_t l = 0; l < nlev; ++l) {
+  for (std::size_t l = elem_lo / ncol; l * ncol < elem_hi; ++l) {
     const double lf = nlev > 1 ? static_cast<double>(l) / static_cast<double>(nlev - 1) : 0.5;
     // Level coefficients: climatological pattern + vertically rotated
     // member anomaly (pairs of latent features keep levels coherent but
@@ -158,26 +175,33 @@ Field FieldSynthesizer::synthesize(std::span<const double> member_means,
                  spec_.anomaly_frac * mode_weight_[j] * zj;
     }
 
-    // Per-(member, variable, level) small-scale noise stream.
+    // Per-(member, variable, level) small-scale noise stream. The stream is
+    // consumed column-sequentially from the level start, so a range that
+    // enters the level mid-row burns the preceding draws — that keeps every
+    // emitted value identical to the full-field synthesis regardless of how
+    // the caller partitions the element range.
     NormalSampler noise(
         hash_combine(spec_.stream, hash_combine(0x4015eull + member, l)));
 
-    float* out = field.data.data() + l * ncol;
-    for (std::size_t c = 0; c < ncol; ++c) {
+    const std::size_t c_lo = l * ncol < elem_lo ? elem_lo - l * ncol : 0;
+    const std::size_t c_hi = std::min(ncol, elem_hi - l * ncol);
+    for (std::size_t c = 0; c < c_lo; ++c) (void)noise.next();
+
+    float* dst = out.data() + (l * ncol + c_lo - elem_lo);
+    for (std::size_t c = c_lo; c < c_hi; ++c) {
       double g = 0.0;
       for (std::size_t j = 0; j < kModes; ++j) {
         g += coeff[j] * basis_[j * ncol + c];
       }
       g += spec_.anomaly_frac * spec_.noise_frac * noise.next();
-      out[c] = transform(g, lf);
+      dst[c - c_lo] = transform(g, lf);
     }
     if (spec_.has_fill) {
-      for (std::size_t c = 0; c < ncol; ++c) {
-        if (mask_[c]) out[c] = kFillValue;
+      for (std::size_t c = c_lo; c < c_hi; ++c) {
+        if (mask_[c]) dst[c - c_lo] = kFillValue;
       }
     }
   }
-  return field;
 }
 
 }  // namespace cesm::climate

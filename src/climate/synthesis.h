@@ -32,6 +32,19 @@ class FieldSynthesizer {
   [[nodiscard]] Field synthesize(std::span<const double> member_means,
                                  std::uint32_t member) const;
 
+  /// Synthesize elements [elem_lo, elem_hi) of the row-major field into
+  /// `out` (out.size() == elem_hi - elem_lo). Bit-identical to the same
+  /// slice of synthesize() for ANY range: each level's noise stream is
+  /// re-seeded per (member, level) and consumed from the level start (draws
+  /// before elem_lo are burned), so the out-of-core pipeline can synthesize
+  /// chunk-by-chunk without ever materializing the full member.
+  void synthesize_range(std::span<const double> member_means, std::uint32_t member,
+                        std::size_t elem_lo, std::size_t elem_hi,
+                        std::span<float> out) const;
+
+  /// Total elements of this variable's field (nlev * ncol; nlev = 1 for 2-D).
+  [[nodiscard]] std::size_t element_count() const;
+
   [[nodiscard]] const VariableSpec& spec() const { return spec_; }
 
   /// The land mask shared by all fill-valued variables (1 = land = fill).

@@ -40,25 +40,47 @@ std::vector<std::size_t> ChunkedCodec::chunk_offsets(const Shape& shape) const {
   return offsets;
 }
 
+Shape ChunkedCodec::chunk_shape(const Shape& shape, std::size_t lo,
+                                std::size_t hi) const {
+  CESM_REQUIRE(lo < hi && hi <= shape.count());
+  if (shape.rank() > 1) {
+    const std::size_t slice = shape.count() / shape.dims[0];
+    CESM_REQUIRE((hi - lo) % slice == 0 && lo % slice == 0);
+    Shape cs = shape;
+    cs.dims[0] = (hi - lo) / slice;
+    return cs;
+  }
+  return Shape::d1(hi - lo);
+}
+
+std::size_t ChunkedCodec::packed_stream_bytes(
+    const Shape& shape, std::span<const std::size_t> chunk_sizes) const {
+  // Write the actual header (sans payloads) so the size is tied to the
+  // wire format by construction, not by a parallel arithmetic formula.
+  Bytes header;
+  ByteWriter w(header);
+  wire::write_header(w, kChunkMagic, shape);
+  w.u32(static_cast<std::uint32_t>(chunk_sizes.size()));
+  std::size_t payload = 0;
+  for (const std::size_t s : chunk_sizes) {
+    w.u64(s);
+    payload += s;
+  }
+  for (std::size_t c = 0; c < chunk_sizes.size(); ++c) w.u64(0);  // element counts
+  return header.size() + payload;
+}
+
 Bytes ChunkedCodec::encode(std::span<const float> data, const Shape& shape) const {
   CESM_REQUIRE(shape.count() == data.size());
   trace::Span span("chunked.encode");
   const std::vector<std::size_t> offsets = chunk_offsets(shape);
   const std::size_t chunks = offsets.size() - 1;
-  const std::size_t slice = shape.rank() > 1 ? data.size() / shape.dims[0] : 0;
 
   std::vector<Bytes> streams(chunks);
   parallel_for(0, chunks, [&](std::size_t c) {
     const std::size_t lo = offsets[c];
     const std::size_t hi = offsets[c + 1];
-    Shape chunk_shape;
-    if (shape.rank() > 1) {
-      chunk_shape = shape;
-      chunk_shape.dims[0] = (hi - lo) / slice;
-    } else {
-      chunk_shape = Shape::d1(hi - lo);
-    }
-    streams[c] = inner_->encode(data.subspan(lo, hi - lo), chunk_shape);
+    streams[c] = inner_->encode(data.subspan(lo, hi - lo), chunk_shape(shape, lo, hi));
   });
 
   Bytes out;

@@ -40,6 +40,27 @@ class ChunkedCodec final : public Codec {
   /// The chunk boundaries used for a given shape (element offsets).
   [[nodiscard]] std::vector<std::size_t> chunk_offsets(const Shape& shape) const;
 
+  // Chunk-granular API for the out-of-core pipeline: callers that cannot
+  // hold a full field encode chunk [lo, hi) with the wrapped codec under
+  // chunk_shape(), track per-chunk stream sizes, and recover the exact
+  // packed size the one-shot encode() would have produced — so a streaming
+  // run reports bit-identical compression ratios without ever
+  // concatenating the stream.
+
+  /// The wrapped codec (for per-chunk encode/decode in streaming mode).
+  [[nodiscard]] const CodecPtr& inner() const { return inner_; }
+
+  /// Shape of the chunk covering element range [lo, hi) of `shape` — the
+  /// same shape encode() hands the inner codec for that chunk. The range
+  /// must be a whole number of slowest-dimension slices when rank > 1.
+  [[nodiscard]] Shape chunk_shape(const Shape& shape, std::size_t lo,
+                                  std::size_t hi) const;
+
+  /// Exact byte size of the packed stream encode() would emit for `shape`
+  /// given each chunk's encoded size (in chunk_offsets order).
+  [[nodiscard]] std::size_t packed_stream_bytes(
+      const Shape& shape, std::span<const std::size_t> chunk_sizes) const;
+
  private:
   /// Parse + validate the stream and decode every chunk into its slice of
   /// `out` (whose size must equal the stream's element count).

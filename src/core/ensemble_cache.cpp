@@ -22,7 +22,10 @@ void make_tiers(const util::CacheConfig& cfg,
   disk = nullptr;
   if (!cfg.enabled || cfg.disk_dir.empty()) return;
   try {
-    disk = std::make_shared<util::DiskCache>(cfg.disk_dir, "stats");
+    // The disk tier shares the memory tier's byte budget as its per-entry
+    // ceiling: a snapshot too big to ever be admitted in memory would only
+    // burn disk space.
+    disk = std::make_shared<util::DiskCache>(cfg.disk_dir, "stats", cfg.max_bytes);
   } catch (const Error& e) {
     // An unusable cache directory must not take down the run; fall back
     // to the memory tier alone.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "compress/grib2/grib2.h"
+#include "core/suite.h"
 #include "util/error.h"
 #include "util/scheduler.h"
 #include "util/trace.h"
@@ -14,7 +15,8 @@ GribTuning rmsz_guided_decimal_scale(const EnsembleStats& stats,
                                      std::span<const std::size_t> test_members,
                                      const PvtThresholds& thresholds,
                                      int significant_digits,
-                                     int max_extra_digits) {
+                                     int max_extra_digits,
+                                     std::size_t chunk_elems) {
   CESM_REQUIRE(!test_members.empty());
   trace::Span span("grib.tune");
   const PvtVerifier verifier(stats, thresholds);
@@ -29,7 +31,9 @@ GribTuning rmsz_guided_decimal_scale(const EnsembleStats& stats,
   tuning.decimal_scale = d0;
   for (int extra = 0; extra <= max_extra_digits; ++extra) {
     const int d = std::min(30, d0 + extra);
-    const comp::Grib2Codec codec(d, fill);
+    const comp::CodecPtr codec_ptr =
+        with_chunking(std::make_shared<comp::Grib2Codec>(d, fill), chunk_elems);
+    const comp::Codec& codec = *codec_ptr;
     ++tuning.attempts;
     trace::counter_add("grib.tune_attempts", 1);
     bool all_pass = true;

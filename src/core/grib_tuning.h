@@ -23,11 +23,14 @@ struct GribTuning {
 /// Tune D for the variable held by `stats`. `fill` is forwarded to the
 /// codec's native bitmap support. The probe uses the first entry of
 /// `test_members` (tests 1–3 only; the bias sweep stays with the caller).
+/// Nonzero `chunk_elems` measures every attempt through a ChunkedCodec
+/// with that partition (see SuiteConfig::chunk_elems).
 GribTuning rmsz_guided_decimal_scale(const EnsembleStats& stats,
                                      std::optional<float> fill,
                                      std::span<const std::size_t> test_members,
                                      const PvtThresholds& thresholds = {},
                                      int significant_digits = 4,
-                                     int max_extra_digits = 6);
+                                     int max_extra_digits = 6,
+                                     std::size_t chunk_elems = 0);
 
 }  // namespace cesm::core

@@ -11,11 +11,19 @@
 namespace cesm::core {
 
 Characterization characterize(const climate::Field& field) {
+  return characterize(field, comp::DeflateCodec());
+}
+
+Characterization characterize(const climate::Field& field, const comp::Codec& lossless,
+                              std::optional<stats::Summary> summary) {
   Characterization c;
-  const std::vector<std::uint8_t> mask = field.valid_mask();
-  c.summary = stats::summarize(std::span<const float>(field.data), mask);
-  const comp::DeflateCodec nc;
-  const Bytes stream = nc.encode(field.data, field.shape);
+  if (summary) {
+    c.summary = *summary;
+  } else {
+    const std::vector<std::uint8_t> mask = field.valid_mask();
+    c.summary = stats::summarize(std::span<const float>(field.data), mask);
+  }
+  const Bytes stream = lossless.encode(field.data, field.shape);
   c.lossless_cr = comp::compression_ratio(stream.size(), field.data.size());
   return c;
 }
@@ -27,14 +35,13 @@ ErrorMetrics compare_fields(std::span<const float> original,
   CESM_REQUIRE(original.size() == reconstructed.size());
   CESM_REQUIRE(valid_mask.empty() || valid_mask.size() == original.size());
 
-  ErrorMetrics m;
   const stats::kernels::ErrorAccum err =
       stats::kernels::error_norms(original, reconstructed, valid_mask);
-  m.e_max = err.max_abs;
-  m.points = err.count;
-  if (m.points == 0) return m;
-
-  m.rmse = std::sqrt(err.sum_sq / static_cast<double>(m.points));
+  if (err.count == 0) {
+    ErrorMetrics m;
+    m.e_max = err.max_abs;
+    return m;
+  }
 
   double r = 0.0;
   double peak = 0.0;
@@ -45,9 +52,20 @@ ErrorMetrics compare_fields(std::span<const float> original,
     r = s.range();
     peak = std::max(std::fabs(s.min), std::fabs(s.max));
   }
-  if (r > 0.0) {
-    m.e_nmax = m.e_max / r;
-    m.nrmse = m.rmse / r;
+  return error_metrics_from(err, r, peak,
+                            stats::pearson(original, reconstructed, valid_mask));
+}
+
+ErrorMetrics error_metrics_from(const stats::kernels::ErrorAccum& err, double range,
+                                double peak, double pearson) {
+  ErrorMetrics m;
+  m.e_max = err.max_abs;
+  m.points = err.count;
+  if (m.points == 0) return m;
+  m.rmse = std::sqrt(err.sum_sq / static_cast<double>(m.points));
+  if (range > 0.0) {
+    m.e_nmax = m.e_max / range;
+    m.nrmse = m.rmse / range;
   } else {
     // Constant field: exact reconstruction gives zero errors; otherwise
     // report unnormalized magnitudes (range normalization is undefined).
@@ -57,7 +75,7 @@ ErrorMetrics compare_fields(std::span<const float> original,
   m.psnr = m.rmse > 0.0 && peak > 0.0
                ? 20.0 * std::log10(peak / m.rmse)
                : std::numeric_limits<double>::infinity();
-  m.pearson = stats::pearson(original, reconstructed, valid_mask);
+  m.pearson = pearson;
   return m;
 }
 

@@ -1,0 +1,155 @@
+#pragma once
+// Out-of-core full-grid verification (the streaming leg).
+//
+// A paper-scale variable (101 members of a full CAM grid) does not fit
+// in memory next to its derived statistics, so this module runs the §4
+// methodology without ever materializing a full ensemble:
+//
+//   1. stage_variable — synthesis writes every member chunk-by-chunk into
+//      a CNK1 spill store (ncio/chunkstore.h), members in parallel on the
+//      work-stealing scheduler;
+//   2. StreamingStats — two read passes over the store build the same
+//      sufficient statistics EnsembleStats holds (per-point sum/sum², the
+//      leave-one-out extremes, the RMSZ and E_nmax distributions), minus
+//      the resident member fields;
+//   3. run_variable_streaming — codec verification round-trips each chunk
+//      through the wrapped variant's inner codec and feeds the stats
+//      streaming kernels (stats/kernels.h), with the next chunk read
+//      prefetched on the scheduler while the current one is processed.
+//
+// Bitwise parity is by construction, not by tolerance: the streaming
+// kernels re-align chunk feeds to the one-shot kernels' block grid, the
+// chunk partition is the same ChunkedCodec partition an in-core run with
+// SuiteConfig::chunk_elems uses, and every finalization (Pearson, RMSZ,
+// error metrics, pass flags) goes through the same shared helpers. An
+// in-core run_variable with config.chunk_elems == OocConfig::chunk_elems
+// therefore produces a bit-identical VariableResult — the property the
+// full-grid bench gate asserts.
+//
+// Memory honesty: every slab the pipeline allocates (chunk buffers,
+// per-point arrays, codec scratch allowances) is charged to a
+// util::MemoryBudget; with CESM_MEM_MB set, exceeding the cap is an
+// error, not a slowdown.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "climate/ensemble.h"
+#include "core/suite.h"
+#include "ncio/chunkstore.h"
+#include "stats/descriptive.h"
+#include "util/memory.h"
+
+namespace cesm::core {
+
+struct OocConfig {
+  /// Target elements per chunk (the ChunkedCodec partition). Must equal
+  /// the in-core leg's SuiteConfig::chunk_elems for parity; >= 1024.
+  std::size_t chunk_elems = 1 << 16;
+  /// Directory for CNK1 spill files (must exist and be writable).
+  std::string spill_dir = "/tmp";
+  /// Logical working-set cap in bytes; 0 means "account only". Callers
+  /// usually seed this from util::memory_budget_bytes() (CESM_MEM_MB).
+  std::uint64_t memory_budget_bytes = 0;
+  /// Keep the spill file after the variable finishes (debugging).
+  bool keep_spill = false;
+  /// Everything else (thresholds, member picks, bias policy, retries).
+  /// `suite.chunk_elems` is ignored here: the streaming leg always uses
+  /// OocConfig::chunk_elems.
+  SuiteConfig suite;
+};
+
+/// Phase breakdown and I/O counters of one streaming variable run — the
+/// BENCH_suite.json streaming-phase record.
+struct OocPhaseStats {
+  double stage_seconds = 0.0;   ///< synthesis -> spill store
+  double stats_seconds = 0.0;   ///< StreamingStats two-pass build
+  double verify_seconds = 0.0;  ///< tuning + all variant verdicts
+  std::uint64_t bytes_spilled = 0;        ///< CNK1 payload written
+  std::uint64_t peak_logical_bytes = 0;   ///< MemoryBudget high-water mark
+  std::uint64_t budget_cap_bytes = 0;     ///< the cap charged against (0 = none)
+};
+
+/// The EnsembleStats sufficient statistics, built from a chunk store in
+/// two bounded-memory read passes instead of from resident members.
+/// Accessors mirror EnsembleStats so the shared finalization helpers
+/// (finish_member_evaluation, rmsz_from_accum, ...) see identical inputs.
+class StreamingStats {
+ public:
+  /// Builds from `store`. Pass 1 (parallel over chunks) derives the
+  /// shared validity mask and accumulates per-point sum/sum² and the
+  /// leave-one-out extremes, member-major per point. Pass 2 (parallel
+  /// over members) streams each member once more for its moments, RMSZ
+  /// and E_nmax. `budget` is charged for every resident array.
+  StreamingStats(const ncio::ChunkStoreReader& store, util::MemoryBudget& budget);
+
+  [[nodiscard]] std::size_t member_count() const { return member_count_; }
+  [[nodiscard]] std::size_t point_count() const { return valid_points_; }
+  [[nodiscard]] std::span<const std::uint8_t> mask() const { return mask_; }
+  [[nodiscard]] std::span<const double> sum() const { return sum_; }
+  [[nodiscard]] std::span<const double> sum_sq() const { return sum_sq_; }
+
+  [[nodiscard]] double rmsz(std::size_t m) const { return rmsz_dist_[m]; }
+  [[nodiscard]] const std::vector<double>& rmsz_distribution() const { return rmsz_dist_; }
+  [[nodiscard]] std::pair<double, double> rmsz_range() const {
+    return {rmsz_min_, rmsz_max_};
+  }
+  [[nodiscard]] double enmax(std::size_t m) const { return enmax_dist_[m]; }
+  [[nodiscard]] const std::vector<double>& enmax_distribution() const { return enmax_dist_; }
+  [[nodiscard]] double enmax_range() const;
+
+  [[nodiscard]] double member_range(std::size_t m) const { return ranges_[m]; }
+  [[nodiscard]] double global_mean(std::size_t m) const { return global_means_[m]; }
+  [[nodiscard]] const std::vector<double>& global_means() const { return global_means_; }
+
+  /// The §4.1 summary of member m over valid points — bit-identical to
+  /// summarize(member.data, mask) on the in-core leg.
+  [[nodiscard]] const stats::Summary& member_summary(std::size_t m) const {
+    return member_summary_[m];
+  }
+
+ private:
+  std::size_t member_count_ = 0;
+  std::size_t n_ = 0;
+  std::vector<std::uint8_t> mask_;  // normalized: empty when all valid
+  std::size_t valid_points_ = 0;
+  std::vector<double> sum_, sum_sq_;
+  std::vector<float> max1_, max2_, min1_, min2_;
+  std::vector<std::uint32_t> argmax_, argmin_;
+  std::vector<stats::Summary> member_summary_;
+  std::vector<double> rmsz_dist_, enmax_dist_, ranges_, global_means_;
+  double rmsz_min_ = 0.0;
+  double rmsz_max_ = 0.0;
+};
+
+/// Synthesize one variable's full ensemble into a CNK1 store at
+/// `dir/<variable>.cnk1` (members in parallel, chunk-granular writes;
+/// never more than one chunk of one member resident per worker). The
+/// chunk partition is the ChunkedCodec partition for `chunk_elems`.
+/// Returns the store path.
+std::string stage_variable(const climate::EnsembleGenerator& ensemble,
+                           const climate::VariableSpec& spec, const std::string& dir,
+                           std::size_t chunk_elems, util::MemoryBudget& budget);
+
+/// The streaming twin of run_variable: same seeds, same thresholds, same
+/// codecs (chunk-wrapped), bit-identical VariableResult to an in-core
+/// run with SuiteConfig::chunk_elems == config.chunk_elems — under a
+/// working set of chunks instead of members. `phases`, when non-null,
+/// receives the phase breakdown.
+VariableResult run_variable_streaming(const climate::EnsembleGenerator& ensemble,
+                                      const climate::VariableSpec& spec,
+                                      const OocConfig& config,
+                                      OocPhaseStats* phases = nullptr);
+
+/// Streaming twin of run_suite: variables run serially (the per-variable
+/// pipeline already parallelizes internally, and serial variables keep
+/// the bounded-memory promise), with the same guarded retry/containment
+/// policy as run_suite.
+SuiteResults run_suite_streaming(const climate::EnsembleGenerator& ensemble,
+                                 const OocConfig& config,
+                                 std::vector<std::string> variables = {});
+
+}  // namespace cesm::core

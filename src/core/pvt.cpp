@@ -13,42 +13,65 @@ namespace cesm::core {
 PvtVerifier::PvtVerifier(const EnsembleStats& stats, PvtThresholds thresholds)
     : stats_(stats), thresholds_(thresholds) {}
 
+MemberEvaluation finish_member_evaluation(std::size_t member, double cr,
+                                          const ErrorMetrics& metrics,
+                                          double rmsz_original,
+                                          double rmsz_reconstructed,
+                                          std::pair<double, double> rmsz_range,
+                                          double enmax_range,
+                                          const PvtThresholds& thresholds) {
+  MemberEvaluation eval;
+  eval.member = member;
+  eval.cr = cr;
+  eval.metrics = metrics;
+  eval.rmsz_original = rmsz_original;
+  eval.rmsz_reconstructed = rmsz_reconstructed;
+  eval.rmsz_diff = std::fabs(rmsz_original - rmsz_reconstructed);
+  const auto [lo, hi] = rmsz_range;
+  const double slack = thresholds.rmsz_range_slack * (hi - lo);
+  eval.rmsz_in_distribution =
+      rmsz_reconstructed >= lo - slack && rmsz_reconstructed <= hi + slack;
+  eval.enmax_ratio =
+      enmax_range > 0.0 ? metrics.e_nmax / enmax_range : metrics.e_nmax;
+  eval.rho_pass = metrics.pearson >= thresholds.pearson_min;
+  eval.rmsz_pass =
+      eval.rmsz_in_distribution && eval.rmsz_diff <= thresholds.rmsz_diff_max;
+  eval.enmax_pass = eval.enmax_ratio <= thresholds.enmax_ratio_max;
+  return eval;
+}
+
+void fold_member_flags(VariableVerdict& verdict) {
+  verdict.rho_pass = verdict.rmsz_pass = verdict.enmax_pass = true;
+  double cr_sum = 0.0;
+  for (const MemberEvaluation& eval : verdict.members) {
+    verdict.rho_pass = verdict.rho_pass && eval.rho_pass;
+    verdict.rmsz_pass = verdict.rmsz_pass && eval.rmsz_pass;
+    verdict.enmax_pass = verdict.enmax_pass && eval.enmax_pass;
+    cr_sum += eval.cr;
+  }
+  verdict.mean_cr = cr_sum / static_cast<double>(verdict.members.size());
+}
+
 MemberEvaluation PvtVerifier::evaluate_member(const comp::Codec& codec,
                                               std::size_t member) const {
   CESM_REQUIRE(member < stats_.member_count());
   const climate::Field& original = stats_.member(member);
 
-  MemberEvaluation eval;
-  eval.member = member;
-
   const comp::RoundTrip rt = comp::round_trip(codec, original.data, original.shape);
   trace::counter_add("pvt.member_roundtrips", 1);
-  eval.cr = rt.cr;
   // Reuse the ensemble's shared validity mask (every member agrees on it
   // by EnsembleStats' construction) instead of reallocating
   // Field::valid_mask() for each of the variants x members evaluations.
-  eval.metrics = compare_fields(original.data, rt.reconstructed, stats_.mask());
+  const ErrorMetrics metrics =
+      compare_fields(original.data, rt.reconstructed, stats_.mask());
 
-  eval.rmsz_original = stats_.rmsz(member);
-  eval.rmsz_reconstructed = stats_.rmsz_of(member, rt.reconstructed);
-  eval.rmsz_diff = std::fabs(eval.rmsz_original - eval.rmsz_reconstructed);
   // Distribution extremes precomputed once at EnsembleStats build time;
   // rescanning the distribution here would repeat an O(members) pass for
   // every (variant, test member) evaluation.
-  const auto [lo, hi] = stats_.rmsz_range();
-  const double slack = thresholds_.rmsz_range_slack * (hi - lo);
-  eval.rmsz_in_distribution = eval.rmsz_reconstructed >= lo - slack &&
-                              eval.rmsz_reconstructed <= hi + slack;
-
-  const double enmax_range = stats_.enmax_range();
-  eval.enmax_ratio =
-      enmax_range > 0.0 ? eval.metrics.e_nmax / enmax_range : eval.metrics.e_nmax;
-
-  eval.rho_pass = eval.metrics.pearson >= thresholds_.pearson_min;
-  eval.rmsz_pass =
-      eval.rmsz_in_distribution && eval.rmsz_diff <= thresholds_.rmsz_diff_max;
-  eval.enmax_pass = eval.enmax_ratio <= thresholds_.enmax_ratio_max;
-  return eval;
+  return finish_member_evaluation(member, rt.cr, metrics, stats_.rmsz(member),
+                                  stats_.rmsz_of(member, rt.reconstructed),
+                                  stats_.rmsz_range(), stats_.enmax_range(),
+                                  thresholds_);
 }
 
 void PvtVerifier::reconstructed_rmsz_into(const comp::Codec& codec,
@@ -119,7 +142,6 @@ VariableVerdict PvtVerifier::verify(const comp::Codec& codec,
   verdict.variable = stats_.member(0).name;
   verdict.codec = codec.name();
 
-  verdict.rho_pass = verdict.rmsz_pass = verdict.enmax_pass = true;
   // Evaluate test members in parallel into per-member slots (each
   // evaluation compresses + scores one field independently), then fold the
   // pass flags and CR mean serially in member order — same results as the
@@ -128,14 +150,7 @@ VariableVerdict PvtVerifier::verify(const comp::Codec& codec,
   parallel_for(0, test_members.size(), [&](std::size_t i) {
     verdict.members[i] = evaluate_member(codec, test_members[i]);
   });
-  double cr_sum = 0.0;
-  for (const MemberEvaluation& eval : verdict.members) {
-    verdict.rho_pass = verdict.rho_pass && eval.rho_pass;
-    verdict.rmsz_pass = verdict.rmsz_pass && eval.rmsz_pass;
-    verdict.enmax_pass = verdict.enmax_pass && eval.enmax_pass;
-    cr_sum += eval.cr;
-  }
-  verdict.mean_cr = cr_sum / static_cast<double>(test_members.size());
+  fold_member_flags(verdict);
 
   if (run_bias) {
     // Arena-backed score buffer: warmed on the first verify, reused

@@ -52,6 +52,15 @@ struct MemberEvaluation {
   bool enmax_pass = false;
 };
 
+/// The scalar tail of a member evaluation, shared by the in-core and
+/// streaming legs: given the raw measurements (CR, §4.2 metrics, original
+/// and reconstructed RMSZ) and the ensemble's precomputed distribution
+/// extremes, derive the eq. (8)/(11) windows and the per-test pass flags.
+[[nodiscard]] MemberEvaluation finish_member_evaluation(
+    std::size_t member, double cr, const ErrorMetrics& metrics, double rmsz_original,
+    double rmsz_reconstructed, std::pair<double, double> rmsz_range,
+    double enmax_range, const PvtThresholds& thresholds);
+
 /// Verdict for one (variable, codec) pair — one cell of Table 6.
 struct VariableVerdict {
   std::string variable;
@@ -76,6 +85,11 @@ struct VariableVerdict {
     return !codec_error && rho_pass && rmsz_pass && enmax_pass && bias_pass;
   }
 };
+
+/// Fold `verdict.members` into the verdict's per-test pass flags and mean
+/// CR (serial, member order) — shared by the in-core and streaming verify
+/// paths so both aggregate identically.
+void fold_member_flags(VariableVerdict& verdict);
 
 class PvtVerifier {
  public:

@@ -168,8 +168,7 @@ double EnsembleStats::rmsz_of(std::size_t m, std::span<const float> data) const 
   const stats::kernels::ZScoreAccum acc = stats::kernels::zscore_sums(
       data, members_[m].data, sum_, sum_sq_, mask_,
       static_cast<double>(members_.size()), kDegenerateSpreadRelTol);
-  if (acc.used == 0) return 0.0;
-  return std::sqrt(acc.sum_z2 / static_cast<double>(acc.used));
+  return rmsz_from_accum(acc);
 }
 
 double EnsembleStats::enmax_range() const {

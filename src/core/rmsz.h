@@ -13,10 +13,12 @@
 // statistics (sum and sum of squares), so evaluating any member is O(N)
 // rather than O(N·M).
 
+#include <cmath>
 #include <utility>
 #include <vector>
 
 #include "climate/field.h"
+#include "stats/kernels.h"
 #include "util/bytes.h"
 
 namespace cesm::core {
@@ -24,6 +26,14 @@ namespace cesm::core {
 /// Spread below this fraction of |mean| is float32 representation noise;
 /// z-scores against it are meaningless (eq. 6 degenerate-spread guard).
 inline constexpr double kDegenerateSpreadRelTol = 3e-7;
+
+/// RMSZ (eq. 7) from a z-score accumulation — the exact finalization
+/// rmsz_of() applies, shared with the streaming path, which accumulates
+/// chunk-by-chunk (stats::ZScoreStream).
+inline double rmsz_from_accum(const stats::kernels::ZScoreAccum& acc) {
+  if (acc.used == 0) return 0.0;
+  return std::sqrt(acc.sum_z2 / static_cast<double>(acc.used));
+}
 
 class EnsembleStats {
  public:

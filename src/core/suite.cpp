@@ -1,5 +1,6 @@
 #include "core/suite.h"
 
+#include "compress/chunked.h"
 #include "compress/deflate/deflate.h"
 #include "compress/fpz/fpz.h"
 #include "compress/variants.h"
@@ -51,21 +52,24 @@ const VariableResult& SuiteResults::variable(const std::string& name) const {
   throw InvalidArgument("variable not in suite results: " + name);
 }
 
-namespace {
+comp::CodecPtr with_chunking(comp::CodecPtr codec, std::size_t chunk_elems) {
+  if (chunk_elems == 0) return codec;
+  return std::make_shared<comp::ChunkedCodec>(std::move(codec), chunk_elems);
+}
 
-/// The §5 hybrid stand-in for a lossy variant that failed outright: the
-/// fpzip family degrades to its own lossless mode (fpzip-32); every other
-/// family has no lossless mode and is stored as NetCDF-4 instead.
 comp::CodecPtr lossless_stand_in(const std::string& failed_codec,
-                                 std::optional<float> fill) {
+                                 std::optional<float> fill,
+                                 std::size_t chunk_elems) {
   comp::CodecPtr codec;
   if (failed_codec.rfind("fpzip", 0) == 0) {
     codec = comp::with_fill_handling(std::make_shared<comp::FpzCodec>(32), fill);
   } else {
     codec = std::make_shared<comp::DeflateCodec>();
   }
-  return comp::traced(std::move(codec));
+  return with_chunking(comp::traced(std::move(codec)), chunk_elems);
 }
+
+namespace {
 
 /// verify() one variant; a thrown cesm::Error becomes a codec-error
 /// verdict (never a pass), re-scored under the lossless stand-in when the
@@ -87,7 +91,8 @@ VariableVerdict verify_with_fallback(const PvtVerifier& verifier, const comp::Co
     verdict.codec_error = true;
     verdict.error_message = e.what();
     if (config.lossless_fallback) {
-      const comp::CodecPtr stand_in = lossless_stand_in(codec.name(), fill);
+      const comp::CodecPtr stand_in =
+          lossless_stand_in(codec.name(), fill, config.chunk_elems);
       try {
         VariableVerdict lossless =
             verifier.verify(*stand_in, test_members, config.run_bias);
@@ -141,27 +146,33 @@ VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
       config.test_member_count, stats.member_count(),
       hash_combine(config.member_seed, spec.stream));
 
-  // Characterization + lossless baselines on the first test member.
+  // Characterization + lossless baselines on the first test member. With
+  // chunk_elems set, both baselines measure the chunked container stream —
+  // the same stream the out-of-core leg sizes via packed_stream_bytes.
   const climate::Field& probe = stats.member(result.test_members.front());
-  result.character = characterize(probe);
+  result.character = characterize(
+      probe, *with_chunking(std::make_shared<comp::DeflateCodec>(), config.chunk_elems));
   result.netcdf4_cr = result.character.lossless_cr;
   {
-    const comp::FpzCodec fpz32(32);
-    const Bytes s = fpz32.encode(probe.data, probe.shape);
+    const comp::CodecPtr fpz32 =
+        with_chunking(std::make_shared<comp::FpzCodec>(32), config.chunk_elems);
+    const Bytes s = fpz32->encode(probe.data, probe.shape);
     result.fpzip32_cr = comp::compression_ratio(s.size(), probe.data.size());
   }
 
   // RMSZ-guided GRIB2 decimal scale (§5.4).
   const GribTuning tuning = rmsz_guided_decimal_scale(
       stats, result.fill, result.test_members, config.thresholds,
-      config.grib_significant_digits, config.grib_max_extra_digits);
+      config.grib_significant_digits, config.grib_max_extra_digits,
+      config.chunk_elems);
   result.grib_decimal_scale = tuning.decimal_scale;
   result.grib_tuning_passed = tuning.passed;
 
   const std::vector<comp::CodecPtr> variants =
       comp::paper_variants(result.grib_decimal_scale, result.fill);
   for (const comp::CodecPtr& codec : variants) {
-    result.verdicts.push_back(verify_with_fallback(verifier, *codec, result.fill,
+    const comp::CodecPtr wrapped = with_chunking(codec, config.chunk_elems);
+    result.verdicts.push_back(verify_with_fallback(verifier, *wrapped, result.fill,
                                                    result.test_members, config));
   }
   return result;
@@ -222,6 +233,11 @@ SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
     trace::counter_add("suite.variables_failed_total", failed);
   }
 
+  derive_variant_names(results);
+  return results;
+}
+
+void derive_variant_names(SuiteResults& results) {
   // Derive the variant-name row from the verdicts actually recorded, not
   // from a separately-built paper_variants() list: tally() pairs
   // variant_names[v] with verdicts[v], so any name/order divergence
@@ -254,7 +270,6 @@ SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
       results.variant_names.push_back(codec->name());
     }
   }
-  return results;
 }
 
 }  // namespace cesm::core

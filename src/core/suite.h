@@ -31,6 +31,15 @@ struct SuiteConfig {
   /// GRIB2 cannot satisfy the tests on large-range variables (§5.3).
   int grib_max_extra_digits = 2;
 
+  /// Nonzero: wrap every codec the suite measures (variants, GRIB2 tuning
+  /// attempts, lossless baselines, fallback stand-ins) in a ChunkedCodec
+  /// with this target chunk size — the chunk partition the out-of-core
+  /// leg streams through, so an in-core run with the same value produces
+  /// bit-identical verdicts and CRs to run_variable_streaming (core/ooc.h).
+  /// 0 (the default) keeps the unwrapped codecs and existing results.
+  /// Must be >= 1024 when set (ChunkedCodec's floor).
+  std::size_t chunk_elems = 0;
+
   // --- robustness policy (exercised by cesm::fail injection) ---
   /// When a lossy variant's verify throws, record a codec-error verdict
   /// and re-verify with the family's lossless stand-in (fpzip -> fpzip-32,
@@ -100,5 +109,24 @@ SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
 VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
                             const climate::VariableSpec& spec,
                             const SuiteConfig& config = {});
+
+/// Wrap `codec` in a ChunkedCodec with the suite's chunk partition;
+/// passthrough when chunk_elems == 0. The single construction point both
+/// verification legs share.
+comp::CodecPtr with_chunking(comp::CodecPtr codec, std::size_t chunk_elems);
+
+/// The §5 hybrid stand-in for a lossy variant that failed outright: the
+/// fpzip family degrades to its own lossless mode (fpzip-32); every other
+/// family has no lossless mode and is stored as NetCDF-4 instead.
+/// Exposed so the streaming leg records the same fallback codec names.
+comp::CodecPtr lossless_stand_in(const std::string& failed_codec,
+                                 std::optional<float> fill,
+                                 std::size_t chunk_elems = 0);
+
+/// Derive results.variant_names from the verdicts actually recorded (and
+/// check every processed variable agrees on them) — shared by run_suite
+/// and run_suite_streaming so tally() pairs names with verdicts the same
+/// way on both legs.
+void derive_variant_names(SuiteResults& results);
 
 }  // namespace cesm::core

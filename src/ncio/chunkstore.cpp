@@ -1,0 +1,217 @@
+#include "ncio/chunkstore.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "util/bytes.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+#include "util/trace.h"
+
+namespace cesm::ncio {
+
+namespace {
+
+// "CNK1": staged-chunk spill file, version 1.
+constexpr std::uint32_t kChunkStoreMagic = 0x314b4e43;
+constexpr std::uint32_t kChunkStoreVersion = 1;
+constexpr std::size_t kMaxRank = 8;
+constexpr std::uint32_t kMaxMembers = 1u << 20;
+
+void write_fully(int fd, const void* buf, std::size_t len, std::uint64_t offset,
+                 const std::string& path) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (len > 0) {
+    const ::ssize_t n = ::pwrite(fd, p, len, static_cast<::off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("chunkstore write failed: " + path + ": " + std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+void read_fully(int fd, void* buf, std::size_t len, std::uint64_t offset,
+                const std::string& path) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (len > 0) {
+    const ::ssize_t n = ::pread(fd, p, len, static_cast<::off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("chunkstore read failed: " + path + ": " + std::strerror(errno));
+    }
+    if (n == 0) throw IoError("chunkstore truncated: " + path);
+    p += n;
+    len -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+}
+
+}  // namespace
+
+ChunkStoreWriter::ChunkStoreWriter(std::string path, std::string variable,
+                                   comp::Shape shape, std::optional<float> fill,
+                                   std::uint32_t member_count,
+                                   std::span<const std::size_t> chunk_offsets)
+    : path_(std::move(path)),
+      tmp_(path_ + ".tmp"),
+      offsets_(chunk_offsets.begin(), chunk_offsets.end()),
+      member_count_(member_count) {
+  CESM_REQUIRE(member_count_ >= 1 && member_count_ <= kMaxMembers);
+  CESM_REQUIRE(shape.rank() >= 1 && shape.rank() <= kMaxRank);
+  CESM_REQUIRE(offsets_.size() >= 2 && offsets_.front() == 0);
+  total_elems_ = shape.count();
+  CESM_REQUIRE(offsets_.back() == total_elems_);
+  for (std::size_t c = 0; c + 1 < offsets_.size(); ++c) {
+    CESM_REQUIRE(offsets_[c] < offsets_[c + 1]);
+  }
+
+  Bytes header;
+  ByteWriter w(header);
+  w.u32(kChunkStoreMagic);
+  w.u32(kChunkStoreVersion);
+  w.str(variable);
+  w.u8(static_cast<std::uint8_t>(shape.rank()));
+  for (const std::size_t d : shape.dims) w.u64(d);
+  w.u8(fill ? 1 : 0);
+  w.f32(fill ? *fill : 0.0f);
+  w.u32(member_count_);
+  w.u32(static_cast<std::uint32_t>(offsets_.size() - 1));
+  for (const std::size_t off : offsets_) w.u64(off);
+  header_bytes_ = header.size();
+
+  fd_ = ::open(tmp_.c_str(), O_CREAT | O_TRUNC | O_RDWR | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    throw IoError("chunkstore cannot create: " + tmp_ + ": " + std::strerror(errno));
+  }
+  CESM_FAILPOINT("ncio.write");
+  write_fully(fd_, header.data(), header.size(), 0, tmp_);
+  // Size the payload region up front so concurrent writers never race the
+  // file length and a crash leaves an obviously-short .tmp, not the store.
+  const std::uint64_t total =
+      header_bytes_ + std::uint64_t{4} * total_elems_ * member_count_;
+  if (::ftruncate(fd_, static_cast<::off_t>(total)) != 0) {
+    throw IoError("chunkstore cannot size: " + tmp_ + ": " + std::strerror(errno));
+  }
+}
+
+ChunkStoreWriter::~ChunkStoreWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    std::error_code ec;
+    std::filesystem::remove(tmp_, ec);  // finish() was never called
+  }
+}
+
+void ChunkStoreWriter::write_chunk(std::uint32_t member, std::size_t chunk,
+                                   std::span<const float> data) {
+  CESM_REQUIRE(fd_ >= 0);
+  CESM_REQUIRE(member < member_count_ && chunk + 1 < offsets_.size());
+  CESM_REQUIRE(data.size() == offsets_[chunk + 1] - offsets_[chunk]);
+  const std::uint64_t offset =
+      header_bytes_ +
+      std::uint64_t{4} * (std::uint64_t{member} * total_elems_ + offsets_[chunk]);
+  write_fully(fd_, data.data(), data.size() * sizeof(float), offset, tmp_);
+  trace::counter_add("ooc.chunks_written", 1);
+}
+
+void ChunkStoreWriter::finish() {
+  CESM_REQUIRE(fd_ >= 0);
+  if (::fsync(fd_) != 0) {
+    throw IoError("chunkstore fsync failed: " + tmp_ + ": " + std::strerror(errno));
+  }
+  ::close(fd_);
+  fd_ = -1;
+  std::error_code ec;
+  std::filesystem::rename(tmp_, path_, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_, ec);
+    throw IoError("chunkstore cannot rename " + tmp_ + " to " + path_);
+  }
+}
+
+ChunkStoreReader::ChunkStoreReader(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw IoError("chunkstore cannot open: " + path + ": " + std::strerror(errno));
+  }
+  // Headers are small; read a generous fixed prefix and parse from it.
+  const std::uint64_t file_size = [&] {
+    const ::off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) throw IoError("chunkstore cannot seek: " + path);
+    return static_cast<std::uint64_t>(end);
+  }();
+  Bytes prefix(std::min<std::uint64_t>(file_size, 1 << 20));
+  read_fully(fd_, prefix.data(), prefix.size(), 0, path_);
+  try {
+    ByteReader r(prefix);
+    if (r.u32() != kChunkStoreMagic) throw FormatError("chunkstore: bad magic");
+    if (r.u32() != kChunkStoreVersion) throw FormatError("chunkstore: bad version");
+    variable_ = r.str();
+    const std::uint8_t rank = r.u8();
+    if (rank < 1 || rank > kMaxRank) throw FormatError("chunkstore: bad rank");
+    std::size_t count = 1;
+    for (std::uint8_t d = 0; d < rank; ++d) {
+      const std::uint64_t dim = r.u64();
+      if (dim == 0 || dim > comp::wire::kMaxDecodeElements ||
+          count > comp::wire::kMaxDecodeElements / dim) {
+        throw FormatError("chunkstore: bad dimension");
+      }
+      shape_.dims.push_back(static_cast<std::size_t>(dim));
+      count *= static_cast<std::size_t>(dim);
+    }
+    const bool has_fill = r.u8() != 0;
+    const float fill = r.f32();
+    if (has_fill) fill_ = fill;
+    member_count_ = r.u32();
+    if (member_count_ < 1 || member_count_ > kMaxMembers) {
+      throw FormatError("chunkstore: bad member count");
+    }
+    const std::uint32_t chunks = r.u32();
+    if (chunks == 0 || chunks > count) throw FormatError("chunkstore: bad chunk count");
+    offsets_.resize(std::size_t{chunks} + 1);
+    for (std::size_t c = 0; c <= chunks; ++c) {
+      offsets_[c] = static_cast<std::size_t>(r.u64());
+    }
+    if (offsets_.front() != 0 || offsets_.back() != count) {
+      throw FormatError("chunkstore: chunk offsets disagree with shape");
+    }
+    for (std::size_t c = 0; c < chunks; ++c) {
+      if (offsets_[c] >= offsets_[c + 1]) {
+        throw FormatError("chunkstore: chunk offsets not increasing");
+      }
+    }
+    header_bytes_ = r.position();
+    const std::uint64_t expected =
+        header_bytes_ + std::uint64_t{4} * count * member_count_;
+    if (file_size != expected) throw FormatError("chunkstore: payload size mismatch");
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+}
+
+ChunkStoreReader::~ChunkStoreReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void ChunkStoreReader::read_chunk(std::uint32_t member, std::size_t chunk,
+                                  std::span<float> out) const {
+  CESM_REQUIRE(member < member_count_ && chunk + 1 < offsets_.size());
+  CESM_REQUIRE(out.size() == offsets_[chunk + 1] - offsets_[chunk]);
+  CESM_FAILPOINT("ncio.read_chunk");
+  const std::uint64_t offset =
+      header_bytes_ +
+      std::uint64_t{4} * (std::uint64_t{member} * offsets_.back() + offsets_[chunk]);
+  read_fully(fd_, out.data(), out.size() * sizeof(float), offset, path_);
+  trace::counter_add("ooc.chunks_read", 1);
+}
+
+}  // namespace cesm::ncio

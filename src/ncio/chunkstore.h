@@ -1,0 +1,102 @@
+#pragma once
+// Chunk-granular staged-variable store for the out-of-core pipeline.
+//
+// A full-grid suite run cannot hold even one ensemble member's variable in
+// RAM alongside the derived per-point statistics, so synthesis writes each
+// member chunk-by-chunk into a "CNK1" spill file and every later phase
+// (stats accumulation, codec round-trips, verification) re-reads the same
+// chunks on demand. The format is deliberately minimal: a self-describing
+// little-endian header (variable name, shape, fill value, member count,
+// chunk partition) followed by raw float32 payloads in member-major,
+// chunk-major order — every chunk's byte offset is computable, so reads
+// and writes are independent pread/pwrite calls that parallel workers can
+// issue concurrently with no shared file cursor.
+//
+// The chunk partition stored in the header is the single source of truth
+// shared by both verification legs: the streaming leg feeds kernels and
+// codecs chunk-by-chunk, the in-core leg reassembles whole members from
+// the very same bytes, which is what makes "bitwise-identical verdicts on
+// the same data" a meaningful claim.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace cesm::ncio {
+
+/// Writer: construct with the full layout (all header fields are known up
+/// front), write_chunk from any thread, then finish() to fsync + atomically
+/// rename into place. A writer destroyed without finish() removes its
+/// temporary file.
+class ChunkStoreWriter {
+ public:
+  ChunkStoreWriter(std::string path, std::string variable, comp::Shape shape,
+                   std::optional<float> fill, std::uint32_t member_count,
+                   std::span<const std::size_t> chunk_offsets);
+  ~ChunkStoreWriter();
+
+  ChunkStoreWriter(const ChunkStoreWriter&) = delete;
+  ChunkStoreWriter& operator=(const ChunkStoreWriter&) = delete;
+
+  /// Write one chunk of one member (data.size() must equal the chunk's
+  /// element count). Thread-safe: positional write, no shared cursor.
+  void write_chunk(std::uint32_t member, std::size_t chunk,
+                   std::span<const float> data);
+
+  /// Flush to disk and atomically rename the temp file to the final path.
+  void finish();
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::vector<std::size_t> offsets_;
+  std::size_t header_bytes_ = 0;
+  std::size_t total_elems_ = 0;
+  std::uint32_t member_count_ = 0;
+  int fd_ = -1;
+};
+
+/// Reader over a finished CNK1 file. read_chunk is thread-safe (pread).
+class ChunkStoreReader {
+ public:
+  explicit ChunkStoreReader(const std::string& path);
+  ~ChunkStoreReader();
+
+  ChunkStoreReader(const ChunkStoreReader&) = delete;
+  ChunkStoreReader& operator=(const ChunkStoreReader&) = delete;
+
+  [[nodiscard]] const std::string& variable() const { return variable_; }
+  [[nodiscard]] const comp::Shape& shape() const { return shape_; }
+  [[nodiscard]] std::optional<float> fill() const { return fill_; }
+  [[nodiscard]] std::uint32_t member_count() const { return member_count_; }
+
+  /// Element offsets of the chunk partition (size chunk_count() + 1).
+  [[nodiscard]] const std::vector<std::size_t>& chunk_offsets() const {
+    return offsets_;
+  }
+  [[nodiscard]] std::size_t chunk_count() const { return offsets_.size() - 1; }
+  [[nodiscard]] std::size_t chunk_elems(std::size_t chunk) const {
+    return offsets_[chunk + 1] - offsets_[chunk];
+  }
+  [[nodiscard]] std::size_t total_elems() const { return offsets_.back(); }
+
+  /// Read one chunk of one member into `out` (size must equal the chunk's
+  /// element count). Fails via the "ncio.read_chunk" failpoint in tests.
+  void read_chunk(std::uint32_t member, std::size_t chunk, std::span<float> out) const;
+
+ private:
+  std::string path_;
+  std::string variable_;
+  comp::Shape shape_;
+  std::optional<float> fill_;
+  std::vector<std::size_t> offsets_;
+  std::size_t header_bytes_ = 0;
+  std::uint32_t member_count_ = 0;
+  int fd_ = -1;
+};
+
+}  // namespace cesm::ncio

@@ -27,7 +27,12 @@ constexpr double kConstantMeanRelTol = 1e-5;
 template <typename T>
 double pearson_impl(std::span<const T> x, std::span<const T> y,
                     std::span<const std::uint8_t> mask) {
-  const kernels::CoMomentAccum m = kernels::comoments(x, y, mask);
+  return pearson_from_accum(kernels::comoments(x, y, mask));
+}
+
+}  // namespace
+
+double pearson_from_accum(const kernels::CoMomentAccum& m) {
   if (m.count == 0) return 0.0;
   const double n = static_cast<double>(m.count);
   const double floor_x = kConstantSpreadRelTol * std::fabs(m.mean_x);
@@ -43,8 +48,6 @@ double pearson_impl(std::span<const T> x, std::span<const T> y,
   }
   return m.sxy / std::sqrt(m.sxx * m.syy);
 }
-
-}  // namespace
 
 double covariance(std::span<const float> x, std::span<const float> y,
                   std::span<const std::uint8_t> mask) {

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <span>
 
+#include "stats/kernels.h"
+
 namespace cesm::stats {
 
 /// Population covariance cov(X, Y) over valid (unmasked) points.
@@ -21,5 +23,10 @@ double pearson(std::span<const float> x, std::span<const float> y,
                std::span<const std::uint8_t> mask = {});
 
 double pearson(std::span<const double> x, std::span<const double> y);
+
+/// The exact finalization pearson() applies to a co-moment accumulation —
+/// shared with the streaming path, which builds the accumulation
+/// chunk-by-chunk (stats::CoMomentStream) instead of in one pass.
+double pearson_from_accum(const kernels::CoMomentAccum& m);
 
 }  // namespace cesm::stats

@@ -16,7 +16,12 @@ namespace {
 // from memory once.
 template <typename T>
 Summary summarize_impl(std::span<const T> data, std::span<const std::uint8_t> mask) {
-  const kernels::MomentAccum a = kernels::moments(data, mask);
+  return summary_from(kernels::moments(data, mask));
+}
+
+}  // namespace
+
+Summary summary_from(const kernels::MomentAccum& a) {
   if (a.count == 0) return Summary{};
   Summary s;
   s.min = a.min;
@@ -26,8 +31,6 @@ Summary summarize_impl(std::span<const T> data, std::span<const std::uint8_t> ma
   s.count = a.count;
   return s;
 }
-
-}  // namespace
 
 Summary summarize(std::span<const float> data, std::span<const std::uint8_t> mask) {
   return summarize_impl(data, mask);

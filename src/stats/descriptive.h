@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "stats/kernels.h"
+
 namespace cesm::stats {
 
 /// Moment/extreme summary of a dataset (fill values excluded).
@@ -39,6 +41,11 @@ struct BoxSummary {
 /// means every point is valid. Returns count == 0 summary for empty input.
 Summary summarize(std::span<const float> data, std::span<const std::uint8_t> mask = {});
 Summary summarize(std::span<const double> data, std::span<const std::uint8_t> mask = {});
+
+/// The exact finalization summarize() applies to a fused moment
+/// accumulation — shared with the streaming path, which accumulates
+/// chunk-by-chunk (stats::MomentStream) instead of in one pass.
+Summary summary_from(const kernels::MomentAccum& a);
 
 /// Linear-interpolated quantile (q in [0,1]) of a *sorted* sequence.
 double quantile_sorted(std::span<const double> sorted, double q);

@@ -82,16 +82,15 @@ double block_m2(const T* x, std::size_t n, double mean) {
   return (s[0] + s[1]) + (s[2] + s[3]);
 }
 
+/// One ≤kBlock block of the moments kernel: computes the block accumulator
+/// and merges it into `acc`. `mk == nullptr` means no mask. Shared verbatim
+/// by the one-shot kernel and MomentStream so both produce identical bits.
 template <typename T>
-MomentAccum moments_impl(std::span<const T> data, std::span<const std::uint8_t> mask) {
-  CESM_REQUIRE(mask.empty() || mask.size() == data.size());
-  MomentAccum acc;
-  const std::size_t n = data.size();
-  for (std::size_t b = 0; b < n; b += kBlock) {
-    const std::size_t len = std::min(kBlock, n - b);
-    const T* x = data.data() + b;
-    MomentAccum blk;
-    if (mask.empty() || all_valid(mask.subspan(b, len))) {
+void moment_block(const T* x, const std::uint8_t* mk, std::size_t len,
+                  MomentAccum& acc) {
+  MomentAccum blk;
+  {
+    if (mk == nullptr || all_valid({mk, len})) {
       double lo = 0.0, hi = 0.0, sum = 0.0;
       block_minmax_sum(x, len, lo, hi, sum);
       blk.count = len;
@@ -100,7 +99,6 @@ MomentAccum moments_impl(std::span<const T> data, std::span<const std::uint8_t> 
       blk.min = lo;
       blk.max = hi;
     } else {
-      const std::uint8_t* mk = mask.data() + b;
       double lo = kInf, hi = -kInf, sum = 0.0;
       std::size_t cnt = 0;
       for (std::size_t i = 0; i < len; ++i) {
@@ -111,7 +109,7 @@ MomentAccum moments_impl(std::span<const T> data, std::span<const std::uint8_t> 
         hi = v > hi ? v : hi;
         ++cnt;
       }
-      if (cnt == 0) continue;
+      if (cnt == 0) return;
       blk.count = cnt;
       blk.mean = sum / static_cast<double>(cnt);
       blk.min = lo;
@@ -126,22 +124,27 @@ MomentAccum moments_impl(std::span<const T> data, std::span<const std::uint8_t> 
     }
     acc.merge(blk);
   }
-  return acc;
 }
 
 template <typename T>
-CoMomentAccum comoments_impl(std::span<const T> x, std::span<const T> y,
-                             std::span<const std::uint8_t> mask) {
-  CESM_REQUIRE(x.size() == y.size());
-  CESM_REQUIRE(mask.empty() || mask.size() == x.size());
-  CoMomentAccum acc;
-  const std::size_t n = x.size();
+MomentAccum moments_impl(std::span<const T> data, std::span<const std::uint8_t> mask) {
+  CESM_REQUIRE(mask.empty() || mask.size() == data.size());
+  MomentAccum acc;
+  const std::size_t n = data.size();
   for (std::size_t b = 0; b < n; b += kBlock) {
     const std::size_t len = std::min(kBlock, n - b);
-    const T* xp = x.data() + b;
-    const T* yp = y.data() + b;
-    CoMomentAccum blk;
-    if (mask.empty() || all_valid(mask.subspan(b, len))) {
+    moment_block(data.data() + b, mask.empty() ? nullptr : mask.data() + b, len, acc);
+  }
+  return acc;
+}
+
+/// One ≤kBlock block of the co-moments kernel (see moment_block).
+template <typename T>
+void comoment_block(const T* xp, const T* yp, const std::uint8_t* mk, std::size_t len,
+                    CoMomentAccum& acc) {
+  CoMomentAccum blk;
+  {
+    if (mk == nullptr || all_valid({mk, len})) {
       // One pass, pivoted on the block's first element: accumulate
       // deviations from (px, py), then correct at block end with
       //   sxx = sum(dx^2) - sum(dx)^2 / len.
@@ -191,10 +194,9 @@ CoMomentAccum comoments_impl(std::span<const T> x, std::span<const T> y,
     } else {
       // Masked slow path: same pivoted single pass, pivoted on the
       // block's first valid element.
-      const std::uint8_t* mk = mask.data() + b;
       std::size_t first = 0;
       while (first < len && !mk[first]) ++first;
-      if (first == len) continue;
+      if (first == len) return;
       const double px = static_cast<double>(xp[first]);
       const double py = static_cast<double>(yp[first]);
       double sx = 0.0, sy = 0.0, cxx = 0.0, cyy = 0.0, cxy = 0.0;
@@ -220,7 +222,131 @@ CoMomentAccum comoments_impl(std::span<const T> x, std::span<const T> y,
     }
     acc.merge(blk);
   }
+}
+
+template <typename T>
+CoMomentAccum comoments_impl(std::span<const T> x, std::span<const T> y,
+                             std::span<const std::uint8_t> mask) {
+  CESM_REQUIRE(x.size() == y.size());
+  CESM_REQUIRE(mask.empty() || mask.size() == x.size());
+  CoMomentAccum acc;
+  const std::size_t n = x.size();
+  for (std::size_t b = 0; b < n; b += kBlock) {
+    const std::size_t len = std::min(kBlock, n - b);
+    comoment_block(x.data() + b, y.data() + b,
+                   mask.empty() ? nullptr : mask.data() + b, len, acc);
+  }
   return acc;
+}
+
+/// One ≤kBlock block of the error-norm kernel. The compensated total is
+/// carried across blocks by the caller (one-shot loop or ErrorNormStream).
+void error_block(const float* xp, const float* yp, const std::uint8_t* mk,
+                 std::size_t len, ErrorAccum& acc, CompensatedSum& total) {
+  if (mk == nullptr || all_valid({mk, len})) {
+    double s[kLanes] = {0.0, 0.0, 0.0, 0.0};
+    double mx[kLanes] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t i = 0;
+    for (; i + kLanes <= len; i += kLanes) {
+      for (std::size_t k = 0; k < kLanes; ++k) {
+        const double e = static_cast<double>(xp[i + k]) - static_cast<double>(yp[i + k]);
+        const double a = std::fabs(e);
+        s[k] += e * e;
+        mx[k] = a > mx[k] ? a : mx[k];
+      }
+    }
+    for (; i < len; ++i) {
+      const double e = static_cast<double>(xp[i]) - static_cast<double>(yp[i]);
+      const double a = std::fabs(e);
+      s[0] += e * e;
+      mx[0] = a > mx[0] ? a : mx[0];
+    }
+    total.add((s[0] + s[1]) + (s[2] + s[3]));
+    const double blk_max = std::max(std::max(mx[0], mx[1]), std::max(mx[2], mx[3]));
+    acc.max_abs = blk_max > acc.max_abs ? blk_max : acc.max_abs;
+    acc.count += len;
+  } else {
+    double s = 0.0;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!mk[i]) continue;
+      const double e = static_cast<double>(xp[i]) - static_cast<double>(yp[i]);
+      const double a = std::fabs(e);
+      s += e * e;
+      acc.max_abs = a > acc.max_abs ? a : acc.max_abs;
+      ++acc.count;
+    }
+    total.add(s);
+  }
+}
+
+/// One ≤kBlock block of the z-score kernel. `inv` is 1/(member_count-1),
+/// hoisted by the caller exactly as the one-shot kernel hoists it. The
+/// masked path adds per point straight into `acc` — that ordering is part
+/// of the kernel's floating-point identity, which is why the stream must
+/// reuse this block routine rather than merging per-chunk sub-results.
+void zscore_block(const float* dp, const float* op, const double* sp, const double* qp,
+                  const std::uint8_t* mk, std::size_t len, double inv, double floor_rel,
+                  ZScoreAccum& acc) {
+  if (mk == nullptr || all_valid({mk, len})) {
+    // Branchless select form: degenerate-spread points contribute 0 and a
+    // clamped denominator keeps the divide finite. The accumulated
+    // quantity is z² = (x-μ)²/σ², so no sqrt is needed at all — the
+    // legacy loop's sqrt-then-square is one divide plus one sqrt per
+    // point of pure overhead.
+    double z2[kLanes] = {0.0, 0.0, 0.0, 0.0};
+    std::size_t used[kLanes] = {0, 0, 0, 0};
+    std::size_t i = 0;
+    for (; i + kLanes <= len; i += kLanes) {
+      for (std::size_t k = 0; k < kLanes; ++k) {
+        const double xm = static_cast<double>(op[i + k]);
+        const double mu = (sp[i + k] - xm) * inv;
+        const double raw = (qp[i + k] - xm * xm) * inv - mu * mu;
+        const double var = raw > 0.0 ? raw : 0.0;
+        const double floor_sd = floor_rel * std::fabs(mu);
+        const bool use = var > floor_sd * floor_sd;
+        const double num = static_cast<double>(dp[i + k]) - mu;
+        z2[k] += use ? num * num / var : 0.0;
+        used[k] += use ? 1 : 0;
+      }
+    }
+    for (; i < len; ++i) {
+      const double xm = static_cast<double>(op[i]);
+      const double mu = (sp[i] - xm) * inv;
+      const double raw = (qp[i] - xm * xm) * inv - mu * mu;
+      const double var = raw > 0.0 ? raw : 0.0;
+      const double floor_sd = floor_rel * std::fabs(mu);
+      const bool use = var > floor_sd * floor_sd;
+      const double num = static_cast<double>(dp[i]) - mu;
+      z2[0] += use ? num * num / var : 0.0;
+      used[0] += use ? 1 : 0;
+    }
+    acc.sum_z2 += (z2[0] + z2[1]) + (z2[2] + z2[3]);
+    acc.used += (used[0] + used[1]) + (used[2] + used[3]);
+  } else {
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!mk[i]) continue;
+      const double xm = static_cast<double>(op[i]);
+      const double mu = (sp[i] - xm) * inv;
+      const double raw = (qp[i] - xm * xm) * inv - mu * mu;
+      const double var = raw > 0.0 ? raw : 0.0;
+      const double floor_sd = floor_rel * std::fabs(mu);
+      if (var <= floor_sd * floor_sd) continue;
+      const double num = static_cast<double>(dp[i]) - mu;
+      acc.sum_z2 += num * num / var;
+      ++acc.used;
+    }
+  }
+}
+
+/// Copy `take` mask bytes into a staging slice, or ones when the caller's
+/// mask slice is empty (all-valid; identical arithmetic via all_valid).
+void stage_mask_bytes(std::uint8_t* dst, std::span<const std::uint8_t> mask,
+                      std::size_t offset, std::size_t take) {
+  if (mask.empty()) {
+    std::memset(dst, 1, take);
+  } else {
+    std::memcpy(dst, mask.data() + offset, take);
+  }
 }
 
 }  // namespace
@@ -306,43 +432,8 @@ ErrorAccum error_norms(std::span<const float> original,
   const std::size_t n = original.size();
   for (std::size_t b = 0; b < n; b += kBlock) {
     const std::size_t len = std::min(kBlock, n - b);
-    const float* xp = original.data() + b;
-    const float* yp = reconstructed.data() + b;
-    if (mask.empty() || all_valid(mask.subspan(b, len))) {
-      double s[kLanes] = {0.0, 0.0, 0.0, 0.0};
-      double mx[kLanes] = {0.0, 0.0, 0.0, 0.0};
-      std::size_t i = 0;
-      for (; i + kLanes <= len; i += kLanes) {
-        for (std::size_t k = 0; k < kLanes; ++k) {
-          const double e = static_cast<double>(xp[i + k]) - static_cast<double>(yp[i + k]);
-          const double a = std::fabs(e);
-          s[k] += e * e;
-          mx[k] = a > mx[k] ? a : mx[k];
-        }
-      }
-      for (; i < len; ++i) {
-        const double e = static_cast<double>(xp[i]) - static_cast<double>(yp[i]);
-        const double a = std::fabs(e);
-        s[0] += e * e;
-        mx[0] = a > mx[0] ? a : mx[0];
-      }
-      total.add((s[0] + s[1]) + (s[2] + s[3]));
-      const double blk_max = std::max(std::max(mx[0], mx[1]), std::max(mx[2], mx[3]));
-      acc.max_abs = blk_max > acc.max_abs ? blk_max : acc.max_abs;
-      acc.count += len;
-    } else {
-      const std::uint8_t* mk = mask.data() + b;
-      double s = 0.0;
-      for (std::size_t i = 0; i < len; ++i) {
-        if (!mk[i]) continue;
-        const double e = static_cast<double>(xp[i]) - static_cast<double>(yp[i]);
-        const double a = std::fabs(e);
-        s += e * e;
-        acc.max_abs = a > acc.max_abs ? a : acc.max_abs;
-        ++acc.count;
-      }
-      total.add(s);
-    }
+    error_block(original.data() + b, reconstructed.data() + b,
+                mask.empty() ? nullptr : mask.data() + b, len, acc, total);
   }
   acc.sum_sq = total.value();
   return acc;
@@ -360,60 +451,8 @@ ZScoreAccum zscore_sums(std::span<const float> data, std::span<const float> orig
   const double inv = 1.0 / (member_count - 1.0);
   for (std::size_t b = 0; b < n; b += kBlock) {
     const std::size_t len = std::min(kBlock, n - b);
-    const float* dp = data.data() + b;
-    const float* op = orig.data() + b;
-    const double* sp = sum.data() + b;
-    const double* qp = sum_sq.data() + b;
-    if (mask.empty() || all_valid(mask.subspan(b, len))) {
-      // Branchless select form: degenerate-spread points contribute 0 and a
-      // clamped denominator keeps the divide finite. The accumulated
-      // quantity is z² = (x-μ)²/σ², so no sqrt is needed at all — the
-      // legacy loop's sqrt-then-square is one divide plus one sqrt per
-      // point of pure overhead.
-      double z2[kLanes] = {0.0, 0.0, 0.0, 0.0};
-      std::size_t used[kLanes] = {0, 0, 0, 0};
-      std::size_t i = 0;
-      for (; i + kLanes <= len; i += kLanes) {
-        for (std::size_t k = 0; k < kLanes; ++k) {
-          const double xm = static_cast<double>(op[i + k]);
-          const double mu = (sp[i + k] - xm) * inv;
-          const double raw = (qp[i + k] - xm * xm) * inv - mu * mu;
-          const double var = raw > 0.0 ? raw : 0.0;
-          const double floor_sd = floor_rel * std::fabs(mu);
-          const bool use = var > floor_sd * floor_sd;
-          const double num = static_cast<double>(dp[i + k]) - mu;
-          z2[k] += use ? num * num / var : 0.0;
-          used[k] += use ? 1 : 0;
-        }
-      }
-      for (; i < len; ++i) {
-        const double xm = static_cast<double>(op[i]);
-        const double mu = (sp[i] - xm) * inv;
-        const double raw = (qp[i] - xm * xm) * inv - mu * mu;
-        const double var = raw > 0.0 ? raw : 0.0;
-        const double floor_sd = floor_rel * std::fabs(mu);
-        const bool use = var > floor_sd * floor_sd;
-        const double num = static_cast<double>(dp[i]) - mu;
-        z2[0] += use ? num * num / var : 0.0;
-        used[0] += use ? 1 : 0;
-      }
-      acc.sum_z2 += (z2[0] + z2[1]) + (z2[2] + z2[3]);
-      acc.used += (used[0] + used[1]) + (used[2] + used[3]);
-    } else {
-      const std::uint8_t* mk = mask.data() + b;
-      for (std::size_t i = 0; i < len; ++i) {
-        if (!mk[i]) continue;
-        const double xm = static_cast<double>(op[i]);
-        const double mu = (sp[i] - xm) * inv;
-        const double raw = (qp[i] - xm * xm) * inv - mu * mu;
-        const double var = raw > 0.0 ? raw : 0.0;
-        const double floor_sd = floor_rel * std::fabs(mu);
-        if (var <= floor_sd * floor_sd) continue;
-        const double num = static_cast<double>(dp[i]) - mu;
-        acc.sum_z2 += num * num / var;
-        ++acc.used;
-      }
-    }
+    zscore_block(data.data() + b, orig.data() + b, sum.data() + b, sum_sq.data() + b,
+                 mask.empty() ? nullptr : mask.data() + b, len, inv, floor_rel, acc);
   }
   return acc;
 }
@@ -478,6 +517,157 @@ void update_extremes(std::span<const float> x, std::span<const std::uint8_t> mas
       }
     }
   }
+}
+
+// --------------------------------------------------------------------------
+// Streaming front ends. Each stages feeds into an owned kBlock buffer and
+// flushes through the same block routine the one-shot kernel uses, so the
+// absolute block grid — and therefore every floating-point result — is
+// identical for any chunk partition of the input.
+
+MomentStream::MomentStream(bool masked) : masked_(masked) {
+  stage_.resize(kBlock);
+  if (masked_) stage_mask_.resize(kBlock);
+}
+
+void MomentStream::feed(std::span<const float> data, std::span<const std::uint8_t> mask) {
+  CESM_REQUIRE(mask.empty() || mask.size() == data.size());
+  CESM_REQUIRE(masked_ || mask.empty());
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::size_t take = std::min(kBlock - staged_, data.size() - i);
+    std::memcpy(stage_.data() + staged_, data.data() + i, take * sizeof(float));
+    if (masked_) stage_mask_bytes(stage_mask_.data() + staged_, mask, i, take);
+    staged_ += take;
+    i += take;
+    if (staged_ == kBlock) flush_block();
+  }
+}
+
+void MomentStream::flush_block() {
+  moment_block(stage_.data(), masked_ ? stage_mask_.data() : nullptr, staged_, acc_);
+  staged_ = 0;
+}
+
+MomentAccum MomentStream::finish() {
+  if (staged_ > 0) flush_block();
+  return acc_;
+}
+
+CoMomentStream::CoMomentStream(bool masked) : masked_(masked) {
+  stage_x_.resize(kBlock);
+  stage_y_.resize(kBlock);
+  if (masked_) stage_mask_.resize(kBlock);
+}
+
+void CoMomentStream::feed(std::span<const float> x, std::span<const float> y,
+                          std::span<const std::uint8_t> mask) {
+  CESM_REQUIRE(x.size() == y.size());
+  CESM_REQUIRE(mask.empty() || mask.size() == x.size());
+  CESM_REQUIRE(masked_ || mask.empty());
+  std::size_t i = 0;
+  while (i < x.size()) {
+    const std::size_t take = std::min(kBlock - staged_, x.size() - i);
+    std::memcpy(stage_x_.data() + staged_, x.data() + i, take * sizeof(float));
+    std::memcpy(stage_y_.data() + staged_, y.data() + i, take * sizeof(float));
+    if (masked_) stage_mask_bytes(stage_mask_.data() + staged_, mask, i, take);
+    staged_ += take;
+    i += take;
+    if (staged_ == kBlock) flush_block();
+  }
+}
+
+void CoMomentStream::flush_block() {
+  comoment_block(stage_x_.data(), stage_y_.data(),
+                 masked_ ? stage_mask_.data() : nullptr, staged_, acc_);
+  staged_ = 0;
+}
+
+CoMomentAccum CoMomentStream::finish() {
+  if (staged_ > 0) flush_block();
+  return acc_;
+}
+
+ErrorNormStream::ErrorNormStream(bool masked) : masked_(masked) {
+  stage_x_.resize(kBlock);
+  stage_y_.resize(kBlock);
+  if (masked_) stage_mask_.resize(kBlock);
+}
+
+void ErrorNormStream::feed(std::span<const float> original,
+                           std::span<const float> reconstructed,
+                           std::span<const std::uint8_t> mask) {
+  CESM_REQUIRE(original.size() == reconstructed.size());
+  CESM_REQUIRE(mask.empty() || mask.size() == original.size());
+  CESM_REQUIRE(masked_ || mask.empty());
+  std::size_t i = 0;
+  while (i < original.size()) {
+    const std::size_t take = std::min(kBlock - staged_, original.size() - i);
+    std::memcpy(stage_x_.data() + staged_, original.data() + i, take * sizeof(float));
+    std::memcpy(stage_y_.data() + staged_, reconstructed.data() + i, take * sizeof(float));
+    if (masked_) stage_mask_bytes(stage_mask_.data() + staged_, mask, i, take);
+    staged_ += take;
+    i += take;
+    if (staged_ == kBlock) flush_block();
+  }
+}
+
+void ErrorNormStream::flush_block() {
+  CompensatedSum total{total_.sum, total_.comp};
+  error_block(stage_x_.data(), stage_y_.data(), masked_ ? stage_mask_.data() : nullptr,
+              staged_, acc_, total);
+  total_ = {total.sum, total.comp};
+  staged_ = 0;
+}
+
+ErrorAccum ErrorNormStream::finish() {
+  if (staged_ > 0) flush_block();
+  acc_.sum_sq = CompensatedSum{total_.sum, total_.comp}.value();
+  return acc_;
+}
+
+ZScoreStream::ZScoreStream(double member_count, double floor_rel, bool masked)
+    : floor_rel_(floor_rel), masked_(masked) {
+  CESM_REQUIRE(member_count >= 2.0);
+  inv_ = 1.0 / (member_count - 1.0);
+  stage_data_.resize(kBlock);
+  stage_orig_.resize(kBlock);
+  stage_sum_.resize(kBlock);
+  stage_sum_sq_.resize(kBlock);
+  if (masked_) stage_mask_.resize(kBlock);
+}
+
+void ZScoreStream::feed(std::span<const float> data, std::span<const float> orig,
+                        std::span<const double> sum, std::span<const double> sum_sq,
+                        std::span<const std::uint8_t> mask) {
+  const std::size_t n = data.size();
+  CESM_REQUIRE(orig.size() == n && sum.size() == n && sum_sq.size() == n);
+  CESM_REQUIRE(mask.empty() || mask.size() == n);
+  CESM_REQUIRE(masked_ || mask.empty());
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t take = std::min(kBlock - staged_, n - i);
+    std::memcpy(stage_data_.data() + staged_, data.data() + i, take * sizeof(float));
+    std::memcpy(stage_orig_.data() + staged_, orig.data() + i, take * sizeof(float));
+    std::memcpy(stage_sum_.data() + staged_, sum.data() + i, take * sizeof(double));
+    std::memcpy(stage_sum_sq_.data() + staged_, sum_sq.data() + i, take * sizeof(double));
+    if (masked_) stage_mask_bytes(stage_mask_.data() + staged_, mask, i, take);
+    staged_ += take;
+    i += take;
+    if (staged_ == kBlock) flush_block();
+  }
+}
+
+void ZScoreStream::flush_block() {
+  zscore_block(stage_data_.data(), stage_orig_.data(), stage_sum_.data(),
+               stage_sum_sq_.data(), masked_ ? stage_mask_.data() : nullptr, staged_,
+               inv_, floor_rel_, acc_);
+  staged_ = 0;
+}
+
+ZScoreAccum ZScoreStream::finish() {
+  if (staged_ > 0) flush_block();
+  return acc_;
 }
 
 }  // namespace cesm::stats::kernels

@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace cesm::stats::kernels {
 
@@ -124,6 +125,113 @@ void update_extremes(std::span<const float> x, std::span<const std::uint8_t> mas
                      std::uint32_t m, std::span<float> max1, std::span<float> max2,
                      std::span<std::uint32_t> argmax, std::span<float> min1,
                      std::span<float> min2, std::span<std::uint32_t> argmin);
+
+// ---------------------------------------------------------------------------
+// Resumable streaming front ends for the kernels above.
+//
+// The out-of-core pipeline feeds each kernel one chunk at a time, and the
+// chunk partition is whatever the I/O layer chose — it rarely lands on
+// kBlock boundaries. A naive "run the one-shot kernel per chunk and merge"
+// would change the block decomposition and therefore the floating-point
+// result. Each stream below instead re-aligns arbitrary feeds to the same
+// absolute kBlock grid the one-shot kernel uses: inputs are staged into an
+// owned kBlock buffer and processed by the *identical* per-block routine
+// the one-shot kernel calls, so for any partition of the input —
+// 1-element tails included — the finished accumulator is bit-for-bit the
+// one-shot result.
+//
+// Contract shared by all four streams: feeds must cover the logical array
+// in order from element 0 with no gaps or overlaps; a stream constructed
+// masked receives a mask slice with every feed (an empty mask slice means
+// "all valid" and stages ones — by the all_valid fast path that is
+// arithmetically identical to an absent mask); finish() flushes the tail
+// block and returns the accumulator. Streams are single-use.
+
+/// Streaming `moments` (min/max/mean/M2/count).
+class MomentStream {
+ public:
+  explicit MomentStream(bool masked = false);
+  void feed(std::span<const float> data, std::span<const std::uint8_t> mask = {});
+  [[nodiscard]] MomentAccum finish();
+
+ private:
+  void flush_block();
+
+  MomentAccum acc_;
+  std::vector<float> stage_;
+  std::vector<std::uint8_t> stage_mask_;
+  std::size_t staged_ = 0;
+  bool masked_ = false;
+};
+
+/// Streaming `comoments` (Pearson sufficient statistics).
+class CoMomentStream {
+ public:
+  explicit CoMomentStream(bool masked = false);
+  void feed(std::span<const float> x, std::span<const float> y,
+            std::span<const std::uint8_t> mask = {});
+  [[nodiscard]] CoMomentAccum finish();
+
+ private:
+  void flush_block();
+
+  CoMomentAccum acc_;
+  std::vector<float> stage_x_;
+  std::vector<float> stage_y_;
+  std::vector<std::uint8_t> stage_mask_;
+  std::size_t staged_ = 0;
+  bool masked_ = false;
+};
+
+/// Streaming `error_norms` (compensated Σe², max |e|, count).
+class ErrorNormStream {
+ public:
+  explicit ErrorNormStream(bool masked = false);
+  void feed(std::span<const float> original, std::span<const float> reconstructed,
+            std::span<const std::uint8_t> mask = {});
+  [[nodiscard]] ErrorAccum finish();
+
+ private:
+  struct Comp {  // mirrors the kernel's Neumaier carry (sum, comp)
+    double sum = 0.0;
+    double comp = 0.0;
+  };
+  void flush_block();
+
+  ErrorAccum acc_;
+  Comp total_;
+  std::vector<float> stage_x_;
+  std::vector<float> stage_y_;
+  std::vector<std::uint8_t> stage_mask_;
+  std::size_t staged_ = 0;
+  bool masked_ = false;
+};
+
+/// Streaming `zscore_sums`. The per-point sufficient statistics sum/sum_sq
+/// slices ride along with each feed (they are per-point arrays, sliced by
+/// the same chunk bounds as the data).
+class ZScoreStream {
+ public:
+  ZScoreStream(double member_count, double floor_rel, bool masked = false);
+  void feed(std::span<const float> data, std::span<const float> orig,
+            std::span<const double> sum, std::span<const double> sum_sq,
+            std::span<const std::uint8_t> mask = {});
+  [[nodiscard]] ZScoreAccum finish();
+
+ private:
+  void flush_block();
+
+  ZScoreAccum acc_;
+  double inv_ = 0.0;
+  double floor_rel_ = 0.0;
+  std::vector<float> stage_data_;
+  std::vector<float> stage_orig_;
+  std::vector<double> stage_sum_;
+  std::vector<double> stage_sum_sq_;
+  std::vector<std::uint8_t> stage_mask_;
+  std::size_t staged_ = 0;
+  bool masked_ = false;
+};
 
 // ---------------------------------------------------------------------------
 // Legacy scalar two-pass implementations (the seed's exact algorithms).

@@ -27,8 +27,11 @@ std::uint64_t KeyHasher::digest() const {
   return SplitMix64(h_).next();
 }
 
-DiskCache::DiskCache(std::filesystem::path dir, std::string prefix)
-    : dir_(std::move(dir)), prefix_(std::move(prefix)) {
+DiskCache::DiskCache(std::filesystem::path dir, std::string prefix,
+                     std::size_t max_payload_bytes)
+    : dir_(std::move(dir)),
+      prefix_(std::move(prefix)),
+      max_payload_bytes_(max_payload_bytes) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec || !std::filesystem::is_directory(dir_)) {
@@ -98,6 +101,10 @@ std::optional<Bytes> DiskCache::read(std::uint64_t key) const {
 }
 
 void DiskCache::write(std::uint64_t key, std::span<const std::uint8_t> payload) const {
+  if (max_payload_bytes_ != 0 && payload.size() > max_payload_bytes_) {
+    trace::counter_add("cache.oversize", 1);
+    return;
+  }
   Bytes file;
   ByteWriter w(file);
   w.u32(kMagic);

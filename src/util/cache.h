@@ -85,6 +85,7 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t oversize = 0;       ///< inserts bypassed: value > whole budget
   std::uint64_t entries = 0;        ///< currently resident
   std::uint64_t resident_bytes = 0; ///< currently resident cost
   std::uint64_t inserted_bytes = 0; ///< cumulative cost of every insert
@@ -92,9 +93,12 @@ struct CacheStats {
 
 /// Byte-budgeted in-memory LRU tier. Values are shared_ptr<const T> so a
 /// cached object stays alive for callers that hold it across an eviction.
-/// Thread-safe; get() refreshes recency. The newest entry is never
-/// evicted, so one object larger than the whole budget is still admitted
-/// (alone) rather than thrashing the cache into uselessness.
+/// Thread-safe; get() refreshes recency. A single value larger than the
+/// whole budget (a full-grid EnsembleStats snapshot, say) is not admitted
+/// at all: caching it would evict everything else and still leave the
+/// tier thrashing, so the insert is bypassed and counted
+/// ("cache.oversize") — the caller keeps its shared_ptr and nothing else
+/// is lost.
 template <typename T>
 class LruCache {
  public:
@@ -119,6 +123,11 @@ class LruCache {
   /// deterministic so the duplicates are identical anyway).
   void put(std::uint64_t key, std::shared_ptr<const T> value, std::size_t cost_bytes) {
     std::lock_guard lock(mu_);
+    if (cost_bytes > max_bytes_) {
+      ++stats_.oversize;
+      trace::counter_add("cache.oversize", 1);
+      return;
+    }
     if (index_.find(key) != index_.end()) return;
     order_.push_front(Entry{key, std::move(value), cost_bytes});
     index_[key] = order_.begin();
@@ -181,8 +190,12 @@ class DiskCache {
   /// Creates `dir` (and parents) on first use. Throws IoError only when
   /// the directory cannot be created; per-entry I/O failures afterwards
   /// are soft (read -> miss, write -> dropped) because a cache must never
-  /// take down the computation it accelerates.
-  DiskCache(std::filesystem::path dir, std::string prefix);
+  /// take down the computation it accelerates. A nonzero
+  /// `max_payload_bytes` (usually the same budget as the memory tier)
+  /// makes write() bypass payloads larger than the budget, counted under
+  /// "cache.oversize" — one full-grid snapshot must not fill the disk.
+  DiskCache(std::filesystem::path dir, std::string prefix,
+            std::size_t max_payload_bytes = 0);
 
   /// The validated payload, or nullopt when the entry is absent, corrupt,
   /// truncated, or unreadable. Fires the "cache.disk_read" failpoint; an
@@ -202,6 +215,7 @@ class DiskCache {
  private:
   std::filesystem::path dir_;
   std::string prefix_;
+  std::size_t max_payload_bytes_ = 0;  ///< 0 = unlimited
 };
 
 /// Process-wide cache configuration from the environment:

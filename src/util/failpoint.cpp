@@ -31,6 +31,7 @@ constexpr const char* kRegisteredSites[] = {
     "isobar.decode",      //
     "mafisc.decode",      //
     "ncio.read",          //
+    "ncio.read_chunk",    //
     "ncio.read_file",     //
     "ncio.write",         //
     "ncio.write_file",    //

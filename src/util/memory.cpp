@@ -1,0 +1,97 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/env.h"
+#include "util/error.h"
+#include "util/trace.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace cesm::util {
+
+namespace {
+
+/// Parse a "Vm...:   <kB> kB" line value from /proc/self/status.
+std::size_t proc_status_kb(const char* key) {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return 0;
+  char line[256];
+  const std::size_t key_len = std::strlen(key);
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':') continue;
+    unsigned long long value = 0;
+    if (std::sscanf(line + key_len + 1, "%llu", &value) == 1) {
+      kb = static_cast<std::size_t>(value);
+    }
+    break;
+  }
+  std::fclose(f);
+  return kb;
+#else
+  (void)key;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() {
+  if (const std::size_t kb = proc_status_kb("VmHWM"); kb != 0) return kb * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+#if defined(__APPLE__)
+    return static_cast<std::size_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::size_t>(ru.ru_maxrss) * 1024;  // kilobytes elsewhere
+#endif
+  }
+#endif
+  return 0;
+}
+
+std::size_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+bool reset_peak_rss() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/clear_refs", "we");
+  if (f == nullptr) return false;
+  // "5" resets the peak-RSS watermark (Documentation/admin-guide/mm).
+  const bool ok = std::fputs("5", f) >= 0;
+  return (std::fclose(f) == 0) && ok;
+#else
+  return false;
+#endif
+}
+
+std::optional<std::uint64_t> memory_budget_bytes() {
+  const std::optional<std::uint64_t> mb = env_u64("CESM_MEM_MB");
+  if (!mb || *mb == 0) return std::nullopt;
+  return *mb * 1024 * 1024;
+}
+
+void MemoryBudget::charge(const char* what, std::uint64_t bytes) {
+  const std::uint64_t next = charged_ + bytes;
+  if (cap_ != 0 && next > cap_) {
+    trace::counter_add("mem.budget_exceeded", 1);
+    throw Error("memory budget exceeded: allocating " + std::to_string(bytes) +
+                " bytes for " + what + " would bring the total to " +
+                std::to_string(next) + " bytes against a CESM_MEM_MB cap of " +
+                std::to_string(cap_) + " bytes");
+  }
+  charged_ = next;
+  if (charged_ > peak_) peak_ = charged_;
+  trace::counter_add("mem.charged_bytes", bytes);
+}
+
+void MemoryBudget::release(std::uint64_t bytes) {
+  charged_ = bytes > charged_ ? 0 : charged_ - bytes;
+}
+
+}  // namespace cesm::util

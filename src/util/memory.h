@@ -1,0 +1,79 @@
+#pragma once
+// Peak-RSS measurement and a cooperative memory budget (cesm::util).
+//
+// The out-of-core suite mode promises "bounded memory": that promise is
+// only honest if the bound is measured (peak RSS, from the kernel) and
+// enforced (a logical budget the streaming pipeline charges its real
+// allocations against, failing fast instead of paging). This header
+// carries both halves:
+//
+//   * peak_rss_bytes() reads the process high-water mark — VmHWM from
+//     /proc/self/status where available, getrusage(ru_maxrss) otherwise —
+//     so bench JSON can record `peak_rss_bytes` next to wall times.
+//   * reset_peak_rss() asks the kernel to clear the high-water mark
+//     (/proc/self/clear_refs). Best-effort: when unsupported the HWM stays
+//     monotonic, which only ever over-reports a later phase — gate-safe.
+//   * MemoryBudget is the logical accounting object: the streaming runner
+//     charges every slab it allocates (chunk buffers, derived per-point
+//     arrays, codec scratch) and the budget throws a clear Error the
+//     moment a charge would exceed the cap, naming the offending
+//     allocation. The cap comes from CESM_MEM_MB (via memory_budget_bytes)
+//     or an explicit byte count; a zero cap disables enforcement but keeps
+//     the high-water accounting for the mem.* trace counters.
+//
+// Trace counters (enabled runs only): "mem.charged_bytes" accumulates
+// charges, "mem.budget_exceeded" counts rejected charges; callers snapshot
+// peak_logical_bytes() for phase breakdowns.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cesm::util {
+
+/// Process peak resident set size in bytes (VmHWM, falling back to
+/// getrusage). Returns 0 when neither source is available.
+std::size_t peak_rss_bytes();
+
+/// Current resident set size in bytes (VmRSS; 0 when unavailable).
+std::size_t current_rss_bytes();
+
+/// Reset the kernel's peak-RSS high-water mark so a later phase can be
+/// measured independently. Returns true when the kernel accepted the
+/// reset; false leaves the (monotonic) HWM untouched.
+bool reset_peak_rss();
+
+/// Memory cap from the CESM_MEM_MB environment variable, in bytes.
+/// Unset, zero, or malformed (warned by env_u64) -> nullopt (no cap).
+std::optional<std::uint64_t> memory_budget_bytes();
+
+/// Logical allocation ledger for a bounded-memory pipeline phase. Not
+/// thread-safe: one budget belongs to the phase's owning thread; charge
+/// before handing buffers to parallel workers.
+class MemoryBudget {
+ public:
+  /// cap_bytes == 0 means "account but never reject".
+  explicit MemoryBudget(std::uint64_t cap_bytes = 0) : cap_(cap_bytes) {}
+
+  /// Record an allocation of `bytes` for `what`. Throws cesm::Error when a
+  /// cap is set and the running total would exceed it; the message names
+  /// the allocation, its size, the total, and the cap so the caller can
+  /// tell "one slab is too big" from "death by a thousand buffers".
+  void charge(const char* what, std::uint64_t bytes);
+
+  /// Return `bytes` to the budget (clamped at zero; release of buffers
+  /// charged before an exception must never underflow).
+  void release(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t cap_bytes() const { return cap_; }
+  [[nodiscard]] std::uint64_t charged_bytes() const { return charged_; }
+  [[nodiscard]] std::uint64_t peak_logical_bytes() const { return peak_; }
+
+ private:
+  std::uint64_t cap_ = 0;
+  std::uint64_t charged_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+}  // namespace cesm::util

@@ -1,0 +1,242 @@
+#include "core/ooc.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "core/export.h"
+#include "core/rmsz.h"
+#include "stats/descriptive.h"
+#include "util/error.h"
+#include "util/memory.h"
+#include "util/scheduler.h"
+
+namespace cesm::core {
+namespace {
+
+/// Grid sized so a 2-D variable (1025 columns) splits into a full chunk
+/// plus a 1-element tail at chunk_elems = 1024, and a 3-D variable has
+/// slice-aligned chunks that don't divide the kernel block — the
+/// partition edge cases the streaming kernels must absorb.
+climate::EnsembleSpec small_spec() {
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec{25, 41, 3};
+  spec.members = 9;
+  spec.latent.k = 48;
+  spec.latent.spinup_steps = 200;
+  spec.latent.average_steps = 400;
+  return spec;
+}
+
+OocConfig ooc_config() {
+  OocConfig cfg;
+  cfg.chunk_elems = 1024;
+  cfg.spill_dir = ::testing::TempDir();
+  cfg.suite.test_member_count = 2;
+  cfg.suite.grib_max_extra_digits = 3;
+  // The in-core twin must measure through the same chunk partition.
+  cfg.suite.chunk_elems = 1024;
+  return cfg;
+}
+
+void expect_summary_eq(const stats::Summary& a, const stats::Summary& b) {
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.count, b.count);
+}
+
+void expect_eval_eq(const MemberEvaluation& a, const MemberEvaluation& b) {
+  EXPECT_EQ(a.member, b.member);
+  EXPECT_EQ(a.cr, b.cr);
+  EXPECT_EQ(a.metrics.rmse, b.metrics.rmse);
+  EXPECT_EQ(a.metrics.nrmse, b.metrics.nrmse);
+  EXPECT_EQ(a.metrics.e_max, b.metrics.e_max);
+  EXPECT_EQ(a.metrics.e_nmax, b.metrics.e_nmax);
+  EXPECT_EQ(a.metrics.psnr, b.metrics.psnr);
+  EXPECT_EQ(a.metrics.pearson, b.metrics.pearson);
+  EXPECT_EQ(a.metrics.points, b.metrics.points);
+  EXPECT_EQ(a.rmsz_original, b.rmsz_original);
+  EXPECT_EQ(a.rmsz_reconstructed, b.rmsz_reconstructed);
+  EXPECT_EQ(a.rmsz_diff, b.rmsz_diff);
+  EXPECT_EQ(a.rmsz_in_distribution, b.rmsz_in_distribution);
+  EXPECT_EQ(a.enmax_ratio, b.enmax_ratio);
+  EXPECT_EQ(a.rho_pass, b.rho_pass);
+  EXPECT_EQ(a.rmsz_pass, b.rmsz_pass);
+  EXPECT_EQ(a.enmax_pass, b.enmax_pass);
+}
+
+void expect_verdict_eq(const VariableVerdict& a, const VariableVerdict& b) {
+  EXPECT_EQ(a.variable, b.variable);
+  EXPECT_EQ(a.codec, b.codec);
+  EXPECT_EQ(a.mean_cr, b.mean_cr);
+  EXPECT_EQ(a.rho_pass, b.rho_pass);
+  EXPECT_EQ(a.rmsz_pass, b.rmsz_pass);
+  EXPECT_EQ(a.enmax_pass, b.enmax_pass);
+  EXPECT_EQ(a.bias_pass, b.bias_pass);
+  EXPECT_EQ(a.bias_evaluated, b.bias_evaluated);
+  EXPECT_EQ(a.bias.pass, b.bias.pass);
+  EXPECT_EQ(a.bias.slope_distance, b.bias.slope_distance);
+  EXPECT_EQ(a.bias.fit.slope, b.bias.fit.slope);
+  EXPECT_EQ(a.bias.fit.intercept, b.bias.fit.intercept);
+  EXPECT_EQ(a.codec_error, b.codec_error);
+  EXPECT_EQ(a.fallback_codec, b.fallback_codec);
+  ASSERT_EQ(a.members.size(), b.members.size());
+  for (std::size_t i = 0; i < a.members.size(); ++i) {
+    SCOPED_TRACE("member slot " + std::to_string(i));
+    expect_eval_eq(a.members[i], b.members[i]);
+  }
+}
+
+void expect_variable_eq(const VariableResult& a, const VariableResult& b) {
+  SCOPED_TRACE("variable " + a.variable);
+  EXPECT_EQ(a.variable, b.variable);
+  EXPECT_EQ(a.is_3d, b.is_3d);
+  EXPECT_EQ(a.fill, b.fill);
+  expect_summary_eq(a.character.summary, b.character.summary);
+  EXPECT_EQ(a.character.lossless_cr, b.character.lossless_cr);
+  EXPECT_EQ(a.netcdf4_cr, b.netcdf4_cr);
+  EXPECT_EQ(a.fpzip32_cr, b.fpzip32_cr);
+  EXPECT_EQ(a.grib_decimal_scale, b.grib_decimal_scale);
+  EXPECT_EQ(a.grib_tuning_passed, b.grib_tuning_passed);
+  EXPECT_EQ(a.test_members, b.test_members);
+  EXPECT_EQ(a.processing_failed, b.processing_failed);
+  ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+  for (std::size_t v = 0; v < a.verdicts.size(); ++v) {
+    SCOPED_TRACE("variant " + a.verdicts[v].codec);
+    expect_verdict_eq(a.verdicts[v], b.verdicts[v]);
+  }
+}
+
+class OocTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ensemble_ = new climate::EnsembleGenerator(small_spec());
+    const OocConfig cfg = ooc_config();
+    incore_ = new SuiteResults(run_suite(*ensemble_, cfg.suite, {"U", "SST"}));
+    streaming_ = new SuiteResults(run_suite_streaming(*ensemble_, cfg, {"U", "SST"}));
+  }
+  static void TearDownTestSuite() {
+    delete streaming_;
+    delete incore_;
+    delete ensemble_;
+    streaming_ = nullptr;
+    incore_ = nullptr;
+    ensemble_ = nullptr;
+  }
+
+  static climate::EnsembleGenerator* ensemble_;
+  static SuiteResults* incore_;
+  static SuiteResults* streaming_;
+};
+
+climate::EnsembleGenerator* OocTest::ensemble_ = nullptr;
+SuiteResults* OocTest::incore_ = nullptr;
+SuiteResults* OocTest::streaming_ = nullptr;
+
+TEST_F(OocTest, StreamingStatsMatchesEnsembleStatsBitwise) {
+  for (const char* name : {"U", "SST"}) {
+    SCOPED_TRACE(name);
+    const climate::VariableSpec& spec = ensemble_->variable(name);
+    const EnsembleStats stats(ensemble_->ensemble_fields(spec));
+
+    util::MemoryBudget budget;
+    const std::string path =
+        stage_variable(*ensemble_, spec, ::testing::TempDir(), 1024, budget);
+    const ncio::ChunkStoreReader store(path);
+    const StreamingStats streaming(store, budget);
+
+    ASSERT_EQ(streaming.member_count(), stats.member_count());
+    EXPECT_EQ(streaming.point_count(), stats.point_count());
+    EXPECT_TRUE(std::equal(streaming.mask().begin(), streaming.mask().end(),
+                           stats.mask().begin(), stats.mask().end()));
+    EXPECT_EQ(streaming.rmsz_distribution(), stats.rmsz_distribution());
+    EXPECT_EQ(streaming.enmax_distribution(), stats.enmax_distribution());
+    EXPECT_EQ(streaming.rmsz_range(), stats.rmsz_range());
+    EXPECT_EQ(streaming.enmax_range(), stats.enmax_range());
+    EXPECT_EQ(streaming.global_means(), stats.global_means());
+    for (std::size_t m = 0; m < stats.member_count(); ++m) {
+      EXPECT_EQ(streaming.member_range(m), stats.member_range(m));
+      const stats::Summary expected = stats::summarize(
+          std::span<const float>(stats.member(m).data), stats.mask());
+      expect_summary_eq(streaming.member_summary(m), expected);
+    }
+    std::filesystem::remove(path);
+  }
+}
+
+TEST_F(OocTest, SuiteCsvIsByteIdenticalToInCore) {
+  EXPECT_EQ(suite_results_csv(*streaming_), suite_results_csv(*incore_));
+}
+
+TEST_F(OocTest, SuiteResultsMatchInCoreBitwise) {
+  EXPECT_EQ(streaming_->variant_names, incore_->variant_names);
+  ASSERT_EQ(streaming_->variables.size(), incore_->variables.size());
+  for (std::size_t i = 0; i < streaming_->variables.size(); ++i) {
+    expect_variable_eq(streaming_->variables[i], incore_->variables[i]);
+  }
+}
+
+TEST_F(OocTest, StreamingIsWorkerCountInvariant) {
+  const OocConfig cfg = ooc_config();
+  const climate::VariableSpec& spec = ensemble_->variable("SST");
+  VariableResult serial;
+  VariableResult parallel;
+  {
+    ScopedScheduler sched(1);
+    serial = run_variable_streaming(*ensemble_, spec, cfg);
+  }
+  {
+    ScopedScheduler sched(4);
+    parallel = run_variable_streaming(*ensemble_, spec, cfg);
+  }
+  expect_variable_eq(serial, parallel);
+  expect_variable_eq(serial, incore_->variable("SST"));
+}
+
+TEST_F(OocTest, PhaseStatsAreRecorded) {
+  const OocConfig cfg = ooc_config();
+  const climate::VariableSpec& spec = ensemble_->variable("U");
+  OocPhaseStats phases;
+  const VariableResult result = run_variable_streaming(*ensemble_, spec, cfg, &phases);
+  EXPECT_FALSE(result.processing_failed);
+  EXPECT_GE(phases.stage_seconds, 0.0);
+  EXPECT_GE(phases.stats_seconds, 0.0);
+  EXPECT_GT(phases.verify_seconds, 0.0);
+  // U is 3-D: 3 levels x 1025 columns x 9 members x 4 bytes.
+  EXPECT_EQ(phases.bytes_spilled, 3ull * 1025 * 9 * 4);
+  EXPECT_GT(phases.peak_logical_bytes, 0u);
+  EXPECT_EQ(phases.budget_cap_bytes, 0u);
+}
+
+TEST_F(OocTest, MemoryBudgetCapRejectsOversizedWorkingSet) {
+  OocConfig cfg = ooc_config();
+  cfg.suite.variable_retry_limit = 0;
+  cfg.suite.continue_on_variable_error = false;
+  cfg.memory_budget_bytes = 10'000;  // far below the per-point arrays alone
+  const climate::VariableSpec& spec = ensemble_->variable("U");
+  EXPECT_THROW(run_variable_streaming(*ensemble_, spec, cfg), Error);
+}
+
+TEST_F(OocTest, FieldRangeMatchesFullSynthesis) {
+  const climate::VariableSpec& spec = ensemble_->variable("SST");
+  const std::size_t n = ensemble_->field_elems(spec);
+  const climate::Field full = ensemble_->field(spec, 4);
+  ASSERT_EQ(full.data.size(), n);
+  // Deliberately odd split points, including a 1-element range.
+  const std::size_t cuts[] = {0, 1, 511, 512, 1023, n};
+  for (std::size_t c = 0; c + 1 < std::size(cuts); ++c) {
+    const std::size_t lo = cuts[c];
+    const std::size_t hi = cuts[c + 1];
+    std::vector<float> out(hi - lo);
+    ensemble_->field_range(spec, 4, lo, hi, out);
+    EXPECT_TRUE(std::equal(out.begin(), out.end(), full.data.begin() + lo))
+        << "range [" << lo << ", " << hi << ")";
+  }
+}
+
+}  // namespace
+}  // namespace cesm::core

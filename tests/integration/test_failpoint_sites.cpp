@@ -31,6 +31,7 @@
 #include "core/ensemble_cache.h"
 #include "core/export.h"
 #include "core/suite.h"
+#include "ncio/chunkstore.h"
 #include "ncio/dataset.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -141,6 +142,22 @@ const std::map<std::string, std::function<void()>>& site_scenarios() {
          small_dataset().write_file(path);
          (void)ncio::Dataset::read_file(path);
          std::remove(path.c_str());
+       }},
+      {"ncio.read_chunk",
+       [] {
+         const std::filesystem::path path =
+             std::filesystem::path(::testing::TempDir()) / "cesm_failpoint_chunkstore.cnk";
+         const std::vector<std::size_t> offsets = {0, 128, 256};
+         ncio::ChunkStoreWriter writer(path.string(), "T", comp::Shape::d2(2, 128),
+                                       std::nullopt, 1, offsets);
+         const auto data = testgen::smooth_field(256, 0xC4ull);
+         writer.write_chunk(0, 0, std::span(data).subspan(0, 128));
+         writer.write_chunk(0, 1, std::span(data).subspan(128, 128));
+         writer.finish();
+         ncio::ChunkStoreReader reader(path.string());
+         std::vector<float> out(128);
+         reader.read_chunk(0, 0, out);
+         std::filesystem::remove(path);
        }},
       {"sched.task",
        [] {

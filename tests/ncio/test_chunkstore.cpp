@@ -1,0 +1,160 @@
+#include "ncio/chunkstore.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "support/generators.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace cesm::ncio {
+namespace {
+
+std::filesystem::path temp_store(const char* name) {
+  return std::filesystem::path(::testing::TempDir()) / name;
+}
+
+/// Write a 3-member store with a deliberately uneven partition (including
+/// a 1-element tail chunk) and return its path.
+std::filesystem::path write_store(const char* name,
+                                  std::optional<float> fill = std::nullopt) {
+  const std::filesystem::path path = temp_store(name);
+  const std::vector<std::size_t> offsets = {0, 1000, 2302, 2303};
+  ChunkStoreWriter writer(path.string(), "TS", comp::Shape::d1(2303), fill, 3,
+                          offsets);
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    const auto data = testgen::smooth_field(2303, 0x57a7e + m);
+    for (std::size_t c = 0; c + 1 < offsets.size(); ++c) {
+      writer.write_chunk(
+          m, c, std::span(data).subspan(offsets[c], offsets[c + 1] - offsets[c]));
+    }
+  }
+  writer.finish();
+  return path;
+}
+
+TEST(ChunkStore, RoundTripsEveryMemberAndChunk) {
+  const std::filesystem::path path = write_store("cnk_roundtrip.cnk1");
+  const ChunkStoreReader reader(path.string());
+
+  EXPECT_EQ(reader.variable(), "TS");
+  EXPECT_EQ(reader.member_count(), 3u);
+  EXPECT_EQ(reader.total_elems(), 2303u);
+  EXPECT_FALSE(reader.fill().has_value());
+  ASSERT_EQ(reader.chunk_count(), 3u);
+  EXPECT_EQ(reader.chunk_elems(0), 1000u);
+  EXPECT_EQ(reader.chunk_elems(1), 1302u);
+  EXPECT_EQ(reader.chunk_elems(2), 1u);  // 1-element tail
+
+  for (std::uint32_t m = 0; m < 3; ++m) {
+    const auto expected = testgen::smooth_field(2303, 0x57a7e + m);
+    std::vector<float> got(2303);
+    for (std::size_t c = 0; c < reader.chunk_count(); ++c) {
+      const std::size_t lo = reader.chunk_offsets()[c];
+      reader.read_chunk(m, c, std::span(got).subspan(lo, reader.chunk_elems(c)));
+    }
+    EXPECT_EQ(got, expected) << "member " << m;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkStore, FillValueRoundTripsThroughHeader) {
+  const std::filesystem::path path = write_store("cnk_fill.cnk1", 1.0e35f);
+  const ChunkStoreReader reader(path.string());
+  ASSERT_TRUE(reader.fill().has_value());
+  EXPECT_EQ(*reader.fill(), 1.0e35f);
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkStore, WriterValidatesPartition) {
+  const std::string path = temp_store("cnk_bad_layout.cnk1").string();
+  const comp::Shape shape = comp::Shape::d1(100);
+  // Partition must start at 0, end at the element count, and increase.
+  EXPECT_THROW(ChunkStoreWriter(path, "T", shape, std::nullopt, 1,
+                                std::vector<std::size_t>{10, 100}),
+               Error);
+  EXPECT_THROW(ChunkStoreWriter(path, "T", shape, std::nullopt, 1,
+                                std::vector<std::size_t>{0, 99}),
+               Error);
+  EXPECT_THROW(ChunkStoreWriter(path, "T", shape, std::nullopt, 1,
+                                std::vector<std::size_t>{0, 60, 60, 100}),
+               Error);
+  EXPECT_THROW(ChunkStoreWriter(path, "T", shape, std::nullopt, 0,
+                                std::vector<std::size_t>{0, 100}),
+               Error);
+}
+
+TEST(ChunkStore, WriteChunkValidatesArguments) {
+  const std::filesystem::path path = temp_store("cnk_bad_write.cnk1");
+  const std::vector<std::size_t> offsets = {0, 64, 100};
+  ChunkStoreWriter writer(path.string(), "T", comp::Shape::d1(100), std::nullopt, 2,
+                          offsets);
+  std::vector<float> data(64, 1.0f);
+  EXPECT_THROW(writer.write_chunk(2, 0, data), Error);                      // member
+  EXPECT_THROW(writer.write_chunk(0, 2, data), Error);                      // chunk
+  EXPECT_THROW(writer.write_chunk(0, 1, data), Error);                      // size
+  EXPECT_NO_THROW(writer.write_chunk(0, 0, data));
+}
+
+TEST(ChunkStore, UnfinishedWriterLeavesNoFileBehind) {
+  const std::filesystem::path path = temp_store("cnk_unfinished.cnk1");
+  {
+    ChunkStoreWriter writer(path.string(), "T", comp::Shape::d1(64), std::nullopt, 1,
+                            std::vector<std::size_t>{0, 64});
+    const std::vector<float> data(64, 2.0f);
+    writer.write_chunk(0, 0, data);
+    // no finish(): the dtor must clean up the temp file
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+}
+
+TEST(ChunkStore, ReaderRejectsCorruptMagic) {
+  const std::filesystem::path path = write_store("cnk_bad_magic.cnk1");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.put('X');  // clobber the first magic byte
+  }
+  EXPECT_THROW(ChunkStoreReader(path.string()), FormatError);
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkStore, ReaderRejectsTruncatedPayload) {
+  const std::filesystem::path path = write_store("cnk_truncated.cnk1");
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 8);
+  EXPECT_THROW(ChunkStoreReader(path.string()), FormatError);
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkStore, ReadChunkValidatesArguments) {
+  const std::filesystem::path path = write_store("cnk_bad_read.cnk1");
+  const ChunkStoreReader reader(path.string());
+  std::vector<float> out(1000);
+  EXPECT_THROW(reader.read_chunk(3, 0, out), Error);  // member out of range
+  EXPECT_THROW(reader.read_chunk(0, 3, out), Error);  // chunk out of range
+  EXPECT_THROW(reader.read_chunk(0, 1, out), Error);  // wrong span size
+  std::filesystem::remove(path);
+}
+
+TEST(ChunkStore, ReadChunkFailpointInjectsOnce) {
+  const std::filesystem::path path = write_store("cnk_failpoint.cnk1");
+  const ChunkStoreReader reader(path.string());
+  std::vector<float> out(1000);
+  {
+    fail::ScopedFailpoint fp("ncio.read_chunk", fail::Trigger::once());
+    EXPECT_THROW(reader.read_chunk(0, 0, out), fail::InjectedFault);
+    EXPECT_NO_THROW(reader.read_chunk(0, 0, out));  // one-shot: clears itself
+  }
+  EXPECT_NO_THROW(reader.read_chunk(1, 0, out));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace cesm::ncio

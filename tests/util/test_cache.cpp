@@ -93,18 +93,34 @@ TEST(LruCache, EvictsLeastRecentlyUsedWithinBudget) {
   EXPECT_LE(s.resident_bytes, 100u);
 }
 
-TEST(LruCache, ResidentBytesNeverExceedBudgetExceptForSingleOversizedEntry) {
+TEST(LruCache, ResidentBytesNeverExceedBudget) {
   LruCache<int> cache(100);
   for (int i = 0; i < 16; ++i) cache.put(static_cast<std::uint64_t>(i), boxed(i), 30);
   EXPECT_LE(cache.stats().resident_bytes, 100u);
+}
 
-  // One entry larger than the whole budget is admitted alone (the newest
-  // entry is never evicted) instead of thrashing the cache into refusal.
+TEST(LruCache, OversizedEntryBypassesInsteadOfEvictingEverything) {
+  LruCache<int> cache(100);
+  cache.put(1, boxed(1), 40);
+  cache.put(2, boxed(2), 40);
+
+  // A value larger than the whole budget would evict both residents and
+  // still thrash; the insert is bypassed and counted instead.
   cache.put(99, boxed(99), 500);
+  EXPECT_EQ(cache.get(99), nullptr);
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(2), nullptr);
   const CacheStats s = cache.stats();
-  EXPECT_NE(cache.get(99), nullptr);
-  EXPECT_EQ(s.entries, 1u);
-  EXPECT_EQ(s.resident_bytes, 500u);
+  EXPECT_EQ(s.oversize, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.resident_bytes, 80u);
+
+  // Exactly at budget is still admissible.
+  LruCache<int> exact(100);
+  exact.put(7, boxed(7), 100);
+  EXPECT_NE(exact.get(7), nullptr);
+  EXPECT_EQ(exact.stats().oversize, 0u);
 }
 
 TEST(LruCache, FirstInsertWins) {
@@ -235,6 +251,15 @@ TEST_F(DiskCacheTest, EmptyFileReadsAsMiss) {
   const DiskCache cache(dir_, "t");
   { std::ofstream f(cache.entry_path(8), std::ios::binary); }
   EXPECT_EQ(cache.read(8), std::nullopt);
+}
+
+TEST_F(DiskCacheTest, OversizedPayloadBypassesWrite) {
+  const DiskCache cache(dir_, "t", /*max_payload_bytes=*/4);
+  cache.write(10, payload());  // 8 bytes > the 4-byte budget
+  EXPECT_EQ(cache.read(10), std::nullopt);
+  EXPECT_FALSE(std::filesystem::exists(cache.entry_path(10)));
+  cache.write(11, Bytes{1, 2, 3, 4});  // exactly at budget: admitted
+  EXPECT_EQ(*cache.read(11), (Bytes{1, 2, 3, 4}));
 }
 
 TEST_F(DiskCacheTest, OverwriteReplacesEntry) {

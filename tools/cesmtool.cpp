@@ -11,8 +11,13 @@
 //       rewrite every variable as raw float storage
 //   cesmtool diff <a.cnc> <b.cnc>
 //       §4.2 error metrics per shared variable
+//   cesmtool suite [--full-grid] [--scale=paper] [--members=N] [--vars=N] ...
+//       the §4 verification suite; --full-grid streams every variable
+//       chunk-by-chunk under the CESM_MEM_MB budget instead of holding
+//       the ensemble in memory
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -20,9 +25,13 @@
 #include "climate/ensemble.h"
 #include "climate/history.h"
 #include "compress/variants.h"
+#include "core/export.h"
 #include "core/metrics.h"
+#include "core/ooc.h"
 #include "core/report.h"
+#include "core/suite.h"
 #include "ncio/dataset.h"
+#include "util/memory.h"
 #include "util/signals.h"
 
 namespace {
@@ -31,13 +40,25 @@ using namespace cesm;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: cesmtool <generate|info|compress|decompress|diff> ...\n"
+               "usage: cesmtool <generate|info|compress|decompress|diff|suite> ...\n"
                "  generate <out.cnc> [--member=N] [--vars=N] [--scale=paper]\n"
                "  info <file.cnc>\n"
                "  compress <in.cnc> <out.cnc> --codec=NAME [--min-rho=R]\n"
                "  decompress <in.cnc> <out.cnc>\n"
-               "  diff <a.cnc> <b.cnc>\n");
+               "  diff <a.cnc> <b.cnc>\n"
+               "  suite [--full-grid] [--scale=paper] [--members=N] [--vars=N]\n"
+               "        [--chunk=N] [--spill-dir=DIR] [--no-bias] [--out=results.csv]\n"
+               "    --full-grid streams each variable chunk-by-chunk (out-of-core)\n"
+               "    under the CESM_MEM_MB logical budget; verdicts are bitwise\n"
+               "    identical to the in-core pipeline on the same chunk partition\n");
   return 2;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
 }
 
 std::string opt_value(int argc, char** argv, const char* prefix) {
@@ -206,6 +227,73 @@ int cmd_diff(int argc, char** argv) {
   return 0;
 }
 
+int cmd_suite(int argc, char** argv) {
+  const bool full_grid = has_flag(argc, argv, "--full-grid");
+  const bool paper = opt_value(argc, argv, "--scale=") == "paper";
+  const std::string members_s = opt_value(argc, argv, "--members=");
+  const std::string vars_s = opt_value(argc, argv, "--vars=");
+  const std::string chunk_s = opt_value(argc, argv, "--chunk=");
+  const std::string spill_dir = opt_value(argc, argv, "--spill-dir=");
+  const std::string out = opt_value(argc, argv, "--out=");
+
+  climate::EnsembleSpec espec;
+  espec.grid = paper ? climate::GridSpec::paper() : climate::GridSpec::reduced();
+  espec.members = members_s.empty()
+                      ? 9
+                      : std::strtoull(members_s.c_str(), nullptr, 10);
+  const climate::EnsembleGenerator ens(espec);
+
+  std::vector<std::string> vars;
+  if (!vars_s.empty()) {
+    const std::size_t limit = std::strtoull(vars_s.c_str(), nullptr, 10);
+    for (const climate::VariableSpec& v : ens.catalog()) {
+      if (vars.size() >= limit) break;
+      vars.push_back(v.name);
+    }
+  }
+
+  core::OocConfig cfg;
+  if (!chunk_s.empty()) cfg.chunk_elems = std::strtoull(chunk_s.c_str(), nullptr, 10);
+  if (!spill_dir.empty()) cfg.spill_dir = spill_dir;
+  cfg.memory_budget_bytes = util::memory_budget_bytes().value_or(0);
+  cfg.suite.run_bias = !has_flag(argc, argv, "--no-bias");
+  cfg.suite.chunk_elems = cfg.chunk_elems;
+
+  core::SuiteResults results;
+  if (full_grid) {
+    results = core::run_suite_streaming(ens, cfg, vars);
+  } else {
+    results = core::run_suite(ens, cfg.suite, vars);
+  }
+
+  core::TextTable table({"method", "rho", "RMSZ", "e_nmax", "bias", "all 4"});
+  const std::size_t processed = results.variables.size() - results.failed_variable_count();
+  for (const core::MethodTally& row : results.tally()) {
+    table.add_row({row.codec, std::to_string(row.rho), std::to_string(row.rmsz),
+                   std::to_string(row.enmax), std::to_string(row.bias),
+                   std::to_string(row.all)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  for (const core::VariableResult& v : results.variables) {
+    if (v.processing_failed) {
+      std::fprintf(stderr, "variable %s failed: %s\n", v.variable.c_str(),
+                   v.error_message.c_str());
+    }
+  }
+  std::printf("%zu variables (%zu failed), %zu members%s\n", processed,
+              results.failed_variable_count(), espec.members,
+              full_grid ? ", out-of-core" : "");
+  std::printf("peak RSS %.1f MB%s\n",
+              static_cast<double>(util::peak_rss_bytes()) / 1048576.0,
+              full_grid && cfg.memory_budget_bytes == 0 ? " (no CESM_MEM_MB cap)"
+                                                        : "");
+  if (!out.empty()) {
+    core::write_text_file(out, core::suite_results_csv(results));
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return results.failed_variable_count() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -222,6 +310,7 @@ int main(int argc, char** argv) {
     else if (cmd == "compress") rc = cmd_compress(argc, argv);
     else if (cmd == "decompress") rc = cmd_decompress(argc, argv);
     else if (cmd == "diff") rc = cmd_diff(argc, argv);
+    else if (cmd == "suite") rc = cmd_suite(argc, argv);
     else return usage();
     if (util::interrupt_requested()) {
       std::fprintf(stderr, "cesmtool: interrupted by signal %d (output files are "
