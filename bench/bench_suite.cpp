@@ -19,17 +19,31 @@
 // --threads=N pins the worker count (default: CESM_THREADS env, then
 // hardware concurrency; clamped to the hardware).
 //
-// --full-grid adds the out-of-core leg: one paper-scale 3-D variable is
-// streamed chunk-by-chunk under the CESM_MEM_MB budget, then re-run
-// through the in-core pipeline on the same chunk partition. The JSON
-// records both peak RSS figures, the streaming phase breakdown, and a
-// bitwise-parity flag the CI gate (and the exit code) require to hold.
+// --full-grid adds three out-of-core legs:
+//   multi_var    several paper-scale 2-D variables streamed as concurrent
+//                jobs under ONE shared CESM_MEM_MB budget, serial
+//                (1 job) vs parallel (4 jobs) vs in-core — all three must
+//                be bitwise identical, and the parallel leg's peak RSS
+//                and logical high-water mark are recorded for the CI
+//                budget gate;
+//   spill_reuse  the same variables run cold then warm against a
+//                content-addressed spill store (--reuse-spill semantics):
+//                the warm run must show ZERO ensemble.synthesize spans
+//                and an identical CSV;
+//   full_grid    one paper-scale 3-D variable streamed chunk-by-chunk
+//                under the budget, then re-run through the in-core
+//                pipeline on the same chunk partition.
+// The JSON records peak RSS figures, phase breakdowns, and bitwise-parity
+// flags the CI gates (and the exit code) require to hold.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -286,9 +300,199 @@ FullGridBench run_full_grid_phase(const bench::Options& options) {
   return fg;
 }
 
+/// Shared setup for the 2-D multi-variable legs: a paper-scale ensemble
+/// and the first `count` 2-D catalog variables (each one's working set is
+/// a few MiB, so several fit side by side under the CI's CESM_MEM_MB cap
+/// while the in-core twin of the 3-D spotlight would not).
+std::vector<std::string> surface_variables(const climate::EnsembleGenerator& ens,
+                                           std::size_t count) {
+  std::vector<std::string> names;
+  for (const climate::VariableSpec& v : ens.catalog()) {
+    if (v.is_3d) continue;
+    names.push_back(v.name);
+    if (names.size() == count) break;
+  }
+  return names;
+}
+
+core::OocConfig surface_ooc_config(const bench::Options& options) {
+  core::OocConfig ooc;
+  ooc.chunk_elems = 1 << 16;
+  if (const char* dir = std::getenv("CESM_SPILL_DIR")) ooc.spill_dir = dir;
+  ooc.memory_budget_bytes = util::memory_budget_bytes().value_or(0);
+  ooc.suite = bench::suite_config(options);
+  ooc.suite.run_bias = false;
+  ooc.suite.test_member_count = options.quick ? 2 : 3;
+  ooc.suite.chunk_elems = ooc.chunk_elems;
+  return ooc;
+}
+
+/// --full-grid: the multi-variable contention leg. Four paper-scale 2-D
+/// variables are streamed under one shared CESM_MEM_MB budget three ways:
+/// serially (1 job), as 4 concurrent jobs, and through the in-core
+/// pipeline. All three must be bitwise identical — concurrency must not
+/// be observable in the results — and the parallel leg's peak RSS plus
+/// the shared budget's logical high-water mark and reserve-wait count are
+/// recorded so the CI gate can hold "hard cap under contention" to
+/// measured numbers.
+struct MultiVarBench {
+  bool enabled = false;
+  std::vector<std::string> variables;
+  std::size_t members = 0;
+  std::size_t chunk_elems = 0;
+  std::size_t parallel_jobs = 4;
+  std::size_t workers = 0;             ///< scheduler width the legs ran at
+  std::uint64_t budget_cap_bytes = 0;  ///< CESM_MEM_MB (0 = uncapped)
+  bool rss_reset_supported = false;
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  double incore_seconds = 0.0;
+  std::uint64_t serial_peak_rss = 0;
+  std::uint64_t parallel_peak_rss = 0;
+  std::uint64_t parallel_peak_logical = 0;  ///< shared-budget high-water mark
+  std::uint64_t reserve_waits = 0;          ///< admissions that had to park
+  std::uint64_t leaked_bytes = 0;           ///< shared-budget balance after the run
+  bool parity = false;
+
+  [[nodiscard]] double speedup() const {
+    return parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+  }
+};
+
+MultiVarBench run_multi_var_phase(const bench::Options& options) {
+  MultiVarBench mv;
+  mv.enabled = true;
+  ScopedScheduler scoped(options.threads);
+  mv.workers = scoped.scheduler().thread_count();
+
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec::paper();
+  spec.members = options.quick ? 57 : 101;
+  mv.members = spec.members;
+  const climate::EnsembleGenerator ensemble(spec);
+  mv.variables = surface_variables(ensemble, 4);
+
+  core::OocConfig ooc = surface_ooc_config(options);
+  mv.chunk_elems = ooc.chunk_elems;
+  mv.budget_cap_bytes = ooc.memory_budget_bytes;
+
+  // Serial streaming reference first, from a fresh high-water mark.
+  mv.rss_reset_supported = util::reset_peak_rss();
+  ooc.parallel_variables = 1;
+  Stopwatch sw;
+  const core::SuiteResults serial =
+      core::run_suite_streaming(ensemble, ooc, mv.variables);
+  mv.serial_seconds = sw.seconds();
+  mv.serial_peak_rss = util::peak_rss_bytes();
+
+  // Parallel leg under a caller-owned shared budget so the admission
+  // behaviour (peak, waits, and a zero balance afterwards) is observable.
+  util::reset_peak_rss();
+  util::MemoryBudget shared(ooc.memory_budget_bytes);
+  ooc.shared_budget = &shared;
+  ooc.parallel_variables = mv.parallel_jobs;
+  sw.restart();
+  const core::SuiteResults parallel =
+      core::run_suite_streaming(ensemble, ooc, mv.variables);
+  mv.parallel_seconds = sw.seconds();
+  mv.parallel_peak_rss = util::peak_rss_bytes();
+  mv.parallel_peak_logical = shared.peak_logical_bytes();
+  mv.reserve_waits = shared.reserve_waits();
+  mv.leaked_bytes = shared.charged_bytes();
+  ooc.shared_budget = nullptr;
+
+  // In-core twin last: its resident ensembles must not inflate the
+  // streaming legs' RSS readings through allocator retention.
+  sw.restart();
+  const core::SuiteResults incore =
+      core::run_suite(ensemble, ooc.suite, mv.variables);
+  mv.incore_seconds = sw.seconds();
+
+  mv.parity =
+      identical_results(serial, parallel, "multi_var_serial", "multi_var_parallel") &&
+      identical_results(serial, incore, "multi_var_serial", "multi_var_incore") &&
+      core::suite_results_csv(serial) == core::suite_results_csv(parallel) &&
+      core::suite_results_csv(serial) == core::suite_results_csv(incore);
+  return mv;
+}
+
+/// --full-grid: the spill-reuse leg. Two 2-D variables stream twice
+/// against a private content-addressed spill store (OocConfig::reuse_spill):
+/// the cold run stages and keeps the spills, the warm run must reuse them —
+/// zero "ensemble.synthesize" spans, "ooc.spill_reused" hits for every
+/// variable, and a byte-identical CSV. The store directory is created
+/// fresh and removed afterwards so leftovers from another process can
+/// neither satisfy nor poison the measurement.
+struct SpillReuseBench {
+  bool enabled = false;
+  std::vector<std::string> variables;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  std::uint64_t cold_synthesize_spans = 0;
+  std::uint64_t warm_synthesize_spans = 0;
+  std::uint64_t warm_spills_reused = 0;
+  bool parity = false;
+};
+
+SpillReuseBench run_spill_reuse_phase(const bench::Options& options) {
+  SpillReuseBench sr;
+  sr.enabled = true;
+  ScopedScheduler scoped(options.threads);
+
+  climate::EnsembleSpec spec;
+  spec.grid = climate::GridSpec::paper();
+  spec.members = options.quick ? 57 : 101;
+  const climate::EnsembleGenerator ensemble(spec);
+  sr.variables = surface_variables(ensemble, 2);
+
+  core::OocConfig ooc = surface_ooc_config(options);
+  std::string base = ooc.spill_dir;
+  const std::string store =
+      base + "/cesm-reuse-bench-" + std::to_string(static_cast<long>(getpid()));
+  std::filesystem::create_directories(store);
+  ooc.spill_dir = store;
+  ooc.reuse_spill = true;
+  ooc.parallel_variables = 1;
+
+  const auto synth_spans = [] {
+    const auto agg = trace::aggregate_by_label();
+    const auto it = agg.find("ensemble.synthesize");
+    return it == agg.end() ? std::uint64_t{0} : it->second.count;
+  };
+
+  const bool had_trace = trace::enabled();
+  trace::reset();
+  trace::set_enabled(true);
+  Stopwatch sw;
+  const core::SuiteResults cold =
+      core::run_suite_streaming(ensemble, ooc, sr.variables);
+  sr.cold_seconds = sw.seconds();
+  sr.cold_synthesize_spans = synth_spans();
+
+  trace::reset();
+  sw.restart();
+  const core::SuiteResults warm =
+      core::run_suite_streaming(ensemble, ooc, sr.variables);
+  sr.warm_seconds = sw.seconds();
+  sr.warm_synthesize_spans = synth_spans();
+  const auto counters = trace::counters();
+  if (const auto it = counters.find("ooc.spill_reused"); it != counters.end()) {
+    sr.warm_spills_reused = it->second;
+  }
+  trace::reset();
+  if (!had_trace) trace::set_enabled(false);
+
+  sr.parity = identical_results(cold, warm, "spill_cold", "spill_warm") &&
+              core::suite_results_csv(cold) == core::suite_results_csv(warm);
+  std::error_code ec;
+  std::filesystem::remove_all(store, ec);
+  return sr;
+}
+
 void write_json(std::ostream& out, const std::vector<ConfigResult>& configs,
                 const std::vector<PhaseRow>& phases, const CacheBench& cache,
-                const FullGridBench& fg, const bench::Options& options,
+                const FullGridBench& fg, const MultiVarBench& mv,
+                const SpillReuseBench& sr, const bench::Options& options,
                 std::size_t threads, std::size_t n_vars, int reps,
                 bool deterministic, double speedup_vs_fifo,
                 double speedup_vs_serial) {
@@ -304,9 +508,10 @@ void write_json(std::ostream& out, const std::vector<ConfigResult>& configs,
   // --full-grid resets the kernel HWM between its legs, so the current
   // reading alone would under-report the process peak; fold the phase
   // peaks back in.
-  const std::uint64_t peak_rss =
+  std::uint64_t peak_rss =
       std::max<std::uint64_t>(util::peak_rss_bytes(),
                               std::max(fg.streaming_peak_rss, fg.incore_peak_rss));
+  peak_rss = std::max(peak_rss, std::max(mv.serial_peak_rss, mv.parallel_peak_rss));
   out << "{\n"
       << "  \"bench\": \"suite\",\n"
       << "  \"quick\": " << (options.quick ? "true" : "false") << ",\n"
@@ -359,6 +564,52 @@ void write_json(std::ostream& out, const std::vector<ConfigResult>& configs,
         << "    \"incore_peak_rss_bytes\": " << fg.incore_peak_rss;
   }
   out << "\n  },\n"
+      << "  \"multi_var\": {\n"
+      << "    \"enabled\": " << (mv.enabled ? "true" : "false");
+  if (mv.enabled) {
+    out << ",\n    \"variables\": [";
+    for (std::size_t i = 0; i < mv.variables.size(); ++i) {
+      out << "\"" << mv.variables[i] << "\""
+          << (i + 1 < mv.variables.size() ? ", " : "");
+    }
+    out << "],\n"
+        << "    \"members\": " << mv.members << ",\n"
+        << "    \"chunk_elems\": " << mv.chunk_elems << ",\n"
+        << "    \"parallel_jobs\": " << mv.parallel_jobs << ",\n"
+        << "    \"workers\": " << mv.workers << ",\n"
+        << "    \"budget_cap_bytes\": " << mv.budget_cap_bytes << ",\n"
+        << "    \"rss_reset_supported\": "
+        << (mv.rss_reset_supported ? "true" : "false") << ",\n"
+        << "    \"serial_seconds\": " << mv.serial_seconds << ",\n"
+        << "    \"parallel_seconds\": " << mv.parallel_seconds << ",\n"
+        << "    \"incore_seconds\": " << mv.incore_seconds << ",\n"
+        << "    \"speedup_parallel_vs_serial\": " << mv.speedup() << ",\n"
+        << "    \"serial_peak_rss_bytes\": " << mv.serial_peak_rss << ",\n"
+        << "    \"parallel_peak_rss_bytes\": " << mv.parallel_peak_rss << ",\n"
+        << "    \"parallel_peak_logical_bytes\": " << mv.parallel_peak_logical
+        << ",\n"
+        << "    \"reserve_waits\": " << mv.reserve_waits << ",\n"
+        << "    \"leaked_bytes\": " << mv.leaked_bytes << ",\n"
+        << "    \"parity\": " << (mv.parity ? "true" : "false");
+  }
+  out << "\n  },\n"
+      << "  \"spill_reuse\": {\n"
+      << "    \"enabled\": " << (sr.enabled ? "true" : "false");
+  if (sr.enabled) {
+    out << ",\n    \"variables\": [";
+    for (std::size_t i = 0; i < sr.variables.size(); ++i) {
+      out << "\"" << sr.variables[i] << "\""
+          << (i + 1 < sr.variables.size() ? ", " : "");
+    }
+    out << "],\n"
+        << "    \"cold_seconds\": " << sr.cold_seconds << ",\n"
+        << "    \"warm_seconds\": " << sr.warm_seconds << ",\n"
+        << "    \"cold_synthesize_spans\": " << sr.cold_synthesize_spans << ",\n"
+        << "    \"warm_synthesize_spans\": " << sr.warm_synthesize_spans << ",\n"
+        << "    \"warm_spills_reused\": " << sr.warm_spills_reused << ",\n"
+        << "    \"parity\": " << (sr.parity ? "true" : "false");
+  }
+  out << "\n  },\n"
       << "  \"cache\": {\n"
       << "    \"off_seconds\": " << cache.off_seconds << ",\n"
       << "    \"cold_seconds\": " << cache.cold_seconds << ",\n"
@@ -409,11 +660,19 @@ int main(int argc, char** argv) {
     core::EnsembleCache::global().configure(off);
   }
 
-  // The full-grid leg goes first so its streaming peak-RSS measurement
-  // starts from a near-pristine high-water mark even on kernels that
-  // cannot reset it.
+  // The out-of-core legs go first so their streaming peak-RSS measurements
+  // start from a near-pristine high-water mark even on kernels that cannot
+  // reset it. The multi-variable legs (a few MiB of working set each) run
+  // before the 3-D spotlight, whose in-core twin leaves hundreds of MiB of
+  // allocator retention behind.
+  MultiVarBench multi_var;
+  SpillReuseBench spill_reuse;
   FullGridBench full_grid;
-  if (options.full_grid) full_grid = run_full_grid_phase(options);
+  if (options.full_grid) {
+    multi_var = run_multi_var_phase(options);
+    spill_reuse = run_spill_reuse_phase(options);
+    full_grid = run_full_grid_phase(options);
+  }
 
   std::vector<ConfigResult> configs;
   configs.push_back(run_config("fifo_baseline", options.threads,
@@ -517,6 +776,39 @@ int main(int argc, char** argv) {
     std::printf("  streaming == in-core (bitwise): %s\n",
                 full_grid.parity ? "yes" : "NO");
   }
+  if (multi_var.enabled) {
+    std::printf("multi-var: %zu surface variables x%zu members, %zu jobs vs serial "
+                "(%zu workers)\n",
+                multi_var.variables.size(), multi_var.members,
+                multi_var.parallel_jobs, multi_var.workers);
+    std::printf("  serial   %.3fs  peak RSS %.1f MB\n", multi_var.serial_seconds,
+                static_cast<double>(multi_var.serial_peak_rss) / 1048576.0);
+    std::printf("  parallel %.3fs  peak RSS %.1f MB  logical %.1f MB  "
+                "(%.2fx, %llu waits)\n",
+                multi_var.parallel_seconds,
+                static_cast<double>(multi_var.parallel_peak_rss) / 1048576.0,
+                static_cast<double>(multi_var.parallel_peak_logical) / 1048576.0,
+                multi_var.speedup(),
+                static_cast<unsigned long long>(multi_var.reserve_waits));
+    std::printf("  in-core  %.3fs\n", multi_var.incore_seconds);
+    if (multi_var.budget_cap_bytes != 0) {
+      std::printf("  budget cap %.1f MB (CESM_MEM_MB), balance after run %llu B\n",
+                  static_cast<double>(multi_var.budget_cap_bytes) / 1048576.0,
+                  static_cast<unsigned long long>(multi_var.leaked_bytes));
+    }
+    std::printf("  serial == parallel == in-core (bitwise): %s\n",
+                multi_var.parity ? "yes" : "NO");
+  }
+  if (spill_reuse.enabled) {
+    std::printf("spill reuse: cold %.3fs (%llu synthesize spans)  warm %.3fs "
+                "(%llu spans, %llu spills reused)\n",
+                spill_reuse.cold_seconds,
+                static_cast<unsigned long long>(spill_reuse.cold_synthesize_spans),
+                spill_reuse.warm_seconds,
+                static_cast<unsigned long long>(spill_reuse.warm_synthesize_spans),
+                static_cast<unsigned long long>(spill_reuse.warm_spills_reused));
+    std::printf("  cold == warm (bitwise): %s\n", spill_reuse.parity ? "yes" : "NO");
+  }
   if (!phases.empty()) {
     std::printf("top phases (traced pass):\n");
     const std::size_t shown = std::min<std::size_t>(phases.size(), 8);
@@ -530,13 +822,25 @@ int main(int argc, char** argv) {
   // Buffer + atomic write: a bench killed between legs must not leave a
   // half-written JSON for the CI gate to parse.
   std::ostringstream out;
-  write_json(out, configs, phases, cache_bench, full_grid, options, threads,
-             variables.size(), reps, deterministic, speedup_vs_fifo,
-             speedup_vs_serial);
+  write_json(out, configs, phases, cache_bench, full_grid, multi_var, spill_reuse,
+             options, threads, variables.size(), reps, deterministic,
+             speedup_vs_fifo, speedup_vs_serial);
   core::write_text_file(out_path, out.str());
   std::printf("wrote %s and %s\n", out_path.c_str(), csv_path.c_str());
 
   bench::write_profile(options);
   const bool full_grid_ok = !full_grid.enabled || full_grid.parity;
-  return deterministic && cache_bench.parity && full_grid_ok ? 0 : 1;
+  // Multi-variable concurrency must be invisible in the results, the shared
+  // budget must balance back to zero, and a warm spill store must satisfy
+  // every staging (no synthesis) while the cold run proves the counter works.
+  const bool multi_var_ok =
+      !multi_var.enabled || (multi_var.parity && multi_var.leaked_bytes == 0);
+  const bool spill_reuse_ok =
+      !spill_reuse.enabled ||
+      (spill_reuse.parity && spill_reuse.warm_synthesize_spans == 0 &&
+       spill_reuse.cold_synthesize_spans > 0 && spill_reuse.warm_spills_reused > 0);
+  return deterministic && cache_bench.parity && full_grid_ok && multi_var_ok &&
+                 spill_reuse_ok
+             ? 0
+             : 1;
 }

@@ -24,8 +24,10 @@ void make_tiers(const util::CacheConfig& cfg,
   try {
     // The disk tier shares the memory tier's byte budget as its per-entry
     // ceiling: a snapshot too big to ever be admitted in memory would only
-    // burn disk space.
-    disk = std::make_shared<util::DiskCache>(cfg.disk_dir, "stats", cfg.max_bytes);
+    // burn disk space. CESM_CACHE_DISK_MB additionally bounds the whole
+    // directory, evicted oldest-first after each write.
+    disk = std::make_shared<util::DiskCache>(cfg.disk_dir, "stats", cfg.max_bytes,
+                                             cfg.disk_max_bytes);
   } catch (const Error& e) {
     // An unusable cache directory must not take down the run; fall back
     // to the memory tier alone.

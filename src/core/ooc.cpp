@@ -1,12 +1,17 @@
 #include "core/ooc.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
 #include <memory>
+#include <random>
+#include <thread>
 #include <utility>
 
 #include "compress/chunked.h"
@@ -15,7 +20,9 @@
 #include "compress/grib2/grib2.h"
 #include "compress/variants.h"
 #include "core/bias.h"
+#include "core/ensemble_cache.h"
 #include "stats/correlation.h"
+#include "util/cache.h"
 #include "util/error.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -267,49 +274,125 @@ double StreamingStats::enmax_range() const {
   return *hi - *lo;
 }
 
-std::string stage_variable(const climate::EnsembleGenerator& ensemble,
-                           const climate::VariableSpec& spec, const std::string& dir,
-                           std::size_t chunk_elems, util::MemoryBudget& budget) {
-  trace::Span span("ooc.stage");
+namespace {
+
+/// The chunk partition of one variable's spill: the ChunkedCodec partition
+/// every downstream phase (stats, round-trips, packed_stream_bytes) reuses.
+struct SpillLayout {
+  comp::Shape shape;
+  std::vector<std::size_t> offsets;
+  std::size_t max_chunk = 0;
+};
+
+SpillLayout spill_layout(const climate::EnsembleGenerator& ensemble,
+                         const climate::VariableSpec& spec, std::size_t chunk_elems) {
+  SpillLayout layout;
   const std::size_t ncol = ensemble.grid().columns();
   const std::size_t nlev = spec.is_3d ? ensemble.grid().levels() : 1;
-  const comp::Shape shape =
-      spec.is_3d ? comp::Shape::d2(nlev, ncol) : comp::Shape::d1(ncol);
-  // The spill partition IS the codec partition: every downstream phase
-  // (stats, round-trips, packed_stream_bytes) reuses these offsets.
-  const std::vector<std::size_t> offsets =
+  layout.shape = spec.is_3d ? comp::Shape::d2(nlev, ncol) : comp::Shape::d1(ncol);
+  layout.offsets =
       comp::ChunkedCodec(std::make_shared<comp::DeflateCodec>(), chunk_elems)
-          .chunk_offsets(shape);
-  const std::size_t max_chunk = max_chunk_elems(offsets);
+          .chunk_offsets(layout.shape);
+  layout.max_chunk = max_chunk_elems(layout.offsets);
+  return layout;
+}
+
+}  // namespace
+
+void stage_variable_at(const climate::EnsembleGenerator& ensemble,
+                       const climate::VariableSpec& spec, const std::string& path,
+                       std::size_t chunk_elems, util::MemoryBudget& budget) {
+  trace::Span span("ooc.stage");
+  const SpillLayout layout = spill_layout(ensemble, spec, chunk_elems);
+  const std::vector<std::size_t>& offsets = layout.offsets;
   const std::optional<float> fill =
       spec.has_fill ? std::optional<float>(climate::kFillValue) : std::nullopt;
   const std::size_t members = ensemble.members();
 
-  const std::string path =
-      (std::filesystem::path(dir) / (spec.name + ".cnk1")).string();
-  ncio::ChunkStoreWriter writer(path, spec.name, shape, fill,
+  ncio::ChunkStoreWriter writer(path, spec.name, layout.shape, fill,
                                 static_cast<std::uint32_t>(members), offsets);
 
   const std::uint64_t stage_bytes =
-      static_cast<std::uint64_t>(buffer_lanes()) * max_chunk * sizeof(float);
+      static_cast<std::uint64_t>(buffer_lanes()) * layout.max_chunk * sizeof(float);
   budget.charge("ooc.stage_buffers", stage_bytes);
-  // Warm the memoized synthesizer before fanning out (same trick as
-  // ensemble_fields): the first access builds the spatial basis.
-  (void)ensemble.field_elems(spec);
-  parallel_for(0, members, [&](std::size_t m) {
-    std::vector<float> buf(max_chunk);
-    for (std::size_t c = 0; c + 1 < offsets.size(); ++c) {
-      const std::size_t len = offsets[c + 1] - offsets[c];
-      const std::span<float> out(buf.data(), len);
-      ensemble.field_range(spec, static_cast<std::uint32_t>(m), offsets[c],
-                           offsets[c + 1], out);
-      writer.write_chunk(static_cast<std::uint32_t>(m), c, out);
-    }
-  });
+  {
+    // The synthesis span is the reuse acceptance signal: a warm run that
+    // reuses every spill emits zero "ensemble.synthesize" spans.
+    trace::Span synth("ensemble.synthesize");
+    // Warm the memoized synthesizer before fanning out (same trick as
+    // ensemble_fields): the first access builds the spatial basis.
+    (void)ensemble.field_elems(spec);
+    parallel_for(0, members, [&](std::size_t m) {
+      std::vector<float> buf(layout.max_chunk);
+      for (std::size_t c = 0; c + 1 < offsets.size(); ++c) {
+        const std::size_t len = offsets[c + 1] - offsets[c];
+        const std::span<float> out(buf.data(), len);
+        ensemble.field_range(spec, static_cast<std::uint32_t>(m), offsets[c],
+                             offsets[c + 1], out);
+        writer.write_chunk(static_cast<std::uint32_t>(m), c, out);
+      }
+    });
+  }
   writer.finish();
   budget.release(stage_bytes);
   trace::counter_add("ooc.variables_staged", 1);
+}
+
+std::string stage_variable(const climate::EnsembleGenerator& ensemble,
+                           const climate::VariableSpec& spec, const std::string& dir,
+                           std::size_t chunk_elems, util::MemoryBudget& budget) {
+  const std::string path =
+      (std::filesystem::path(dir) / (spec.name + ".cnk1")).string();
+  stage_variable_at(ensemble, spec, path, chunk_elems, budget);
   return path;
+}
+
+std::uint64_t spill_key(const climate::EnsembleSpec& spec,
+                        const climate::VariableSpec& var, std::size_t chunk_elems) {
+  // Version of the *spill* keying itself; bump when the staged bytes for
+  // an identical (spec, var, partition) would change.
+  constexpr std::uint64_t kSpillSchemaVersion = 1;
+  // CNK1 format revisions invalidate old spills through the key too, so a
+  // reader never even opens a file written by an incompatible writer.
+  constexpr std::uint64_t kSpillFormatVersion = 2;
+  return util::KeyHasher()
+      .u64(kSpillSchemaVersion)
+      .u64(kSpillFormatVersion)
+      .u64(EnsembleCache::key(spec, var))
+      .u64(chunk_elems)
+      .digest();
+}
+
+std::string spill_path(const std::string& dir, const std::string& variable,
+                       std::uint64_t key) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(key));
+  return (std::filesystem::path(dir) / (variable + "-" + hex + ".cnk1")).string();
+}
+
+SpillSession::SpillSession(const std::string& base_dir, bool keep) : keep_(keep) {
+  static std::atomic<std::uint64_t> seq{0};
+  static const std::uint64_t salt = [] {
+    std::random_device rd;
+    return (std::uint64_t{rd()} << 32) ^ std::uint64_t{rd()};
+  }();
+  // pid + a once-per-process random salt: unique across concurrent
+  // processes sharing spill_dir, and across pid reuse after a crash.
+  char token[17];
+  std::snprintf(token, sizeof token, "%016llx",
+                static_cast<unsigned long long>(hash_combine(
+                    salt, seq.fetch_add(1, std::memory_order_relaxed) + 1)));
+  dir_ = (std::filesystem::path(base_dir) /
+          ("cesm-spill-" + std::to_string(static_cast<long>(::getpid())) + "-" + token))
+             .string();
+  std::filesystem::create_directories(dir_);
+}
+
+SpillSession::~SpillSession() {
+  if (!keep_) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);  // best effort, incl. unwind paths
+  }
 }
 
 namespace {
@@ -554,12 +637,19 @@ GribTuning tune_decimal_scale_streaming(const ncio::ChunkStoreReader& store,
   return tuning;
 }
 
-/// Removes the spill file unless the config asked to keep it.
-struct SpillGuard {
-  std::string path;
-  bool keep;
-  ~SpillGuard() {
-    if (!keep) std::remove(path.c_str());
+/// Deletes a reused spill file when the scope unwinds with an exception:
+/// bytes that failed a run are never trusted by the next one. (POSIX
+/// semantics keep the already-open reader fd valid after the unlink.)
+struct ReusedSpillInvalidator {
+  const std::string& path;
+  bool reused;
+  int base = std::uncaught_exceptions();
+  ~ReusedSpillInvalidator() {
+    if (reused && std::uncaught_exceptions() > base) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+      trace::counter_add("ooc.spill_invalidated", 1);
+    }
   }
 };
 
@@ -572,9 +662,29 @@ std::uint64_t roundtrip_bytes_per_lane(std::size_t max_chunk) {
 
 }  // namespace
 
+std::uint64_t ooc_working_set_bytes(const climate::EnsembleGenerator& ensemble,
+                                    const climate::VariableSpec& spec,
+                                    std::size_t chunk_elems) {
+  const SpillLayout layout = spill_layout(ensemble, spec, chunk_elems);
+  const std::uint64_t n = layout.shape.count();
+  // Mirrors the charge sequence of one streaming run exactly; the peak is
+  // point_stats (+ mask) + member_stats + the verify-phase lane buffers,
+  // which dominates the stage (1 lane-buffer), pass-1 (1) and pass-2 (2)
+  // phases.
+  const std::uint64_t point_stats = n * (40 + (spec.has_fill ? 1 : 0));
+  const std::uint64_t member_stats =
+      static_cast<std::uint64_t>(ensemble.members()) *
+      (sizeof(stats::Summary) + 4 * sizeof(double));
+  const std::uint64_t lane_buffers =
+      static_cast<std::uint64_t>(buffer_lanes()) *
+      roundtrip_bytes_per_lane(layout.max_chunk);
+  return point_stats + member_stats + lane_buffers;
+}
+
 VariableResult run_variable_streaming(const climate::EnsembleGenerator& ensemble,
                                       const climate::VariableSpec& spec,
-                                      const OocConfig& config, OocPhaseStats* phases) {
+                                      const OocConfig& config, OocPhaseStats* phases,
+                                      util::MemoryBudget* shared) {
   trace::Span span("ooc.variable");
   trace::counter_add("suite.variables", 1);
   const SuiteConfig& suite = config.suite;
@@ -583,20 +693,75 @@ VariableResult run_variable_streaming(const climate::EnsembleGenerator& ensemble
                           spec.name + ")");
   }
   CESM_FAILPOINT("suite.variable");
-  util::MemoryBudget budget(config.memory_budget_bytes);
+
+  // Admission: against a shared suite budget the variable acquires its
+  // whole working set as one all-or-nothing reservation (parking under
+  // contention, never holding a partial grant), then runs its fine-
+  // grained charges against a private sub-budget capped at exactly that
+  // reservation. Standalone runs keep the PR 8 fail-fast budget.
+  std::optional<util::MemoryReservation> admission;
+  if (shared != nullptr) {
+    admission.emplace(*shared, "ooc.variable_working_set",
+                      ooc_working_set_bytes(ensemble, spec, config.chunk_elems));
+  }
+  util::MemoryBudget budget(shared != nullptr
+                                ? (shared->cap_bytes() != 0 ? admission->bytes() : 0)
+                                : config.memory_budget_bytes);
 
   VariableResult result;
   result.variable = spec.name;
   result.is_3d = spec.is_3d;
   if (spec.has_fill) result.fill = climate::kFillValue;
 
-  // Phase 1: synthesis -> CNK1 spill store.
+  // Phase 1: synthesis -> CNK1 spill store, or content-addressed reuse of
+  // a previous run's spill. A reuse candidate is only trusted after its
+  // header and checksum table validate; anything less is deleted, counted
+  // and restaged.
   const Clock::time_point t_stage = Clock::now();
-  const std::string path =
-      stage_variable(ensemble, spec, config.spill_dir, config.chunk_elems, budget);
-  const SpillGuard guard{path, config.keep_spill};
-  const ncio::ChunkStoreReader store(path);
+  std::string path;
+  std::optional<SpillSession> session;
+  if (config.reuse_spill) {
+    std::filesystem::create_directories(config.spill_dir);
+    path = spill_path(config.spill_dir, spec.name,
+                      spill_key(ensemble.spec(), spec, config.chunk_elems));
+  } else {
+    session.emplace(config.spill_dir, config.keep_spill);
+    path = (std::filesystem::path(session->dir()) / (spec.name + ".cnk1")).string();
+  }
+  std::optional<ncio::ChunkStoreReader> store_slot;
+  bool reused = false;
+  if (config.reuse_spill) {
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+      try {
+        store_slot.emplace(path);
+        // The key should make a layout mismatch impossible; check anyway
+        // so a hash collision or hand-placed file cannot poison the run.
+        if (store_slot->variable() != spec.name ||
+            store_slot->member_count() != ensemble.members()) {
+          throw FormatError("chunkstore: spill does not match its key");
+        }
+        reused = true;
+        trace::counter_add("ooc.spill_reused", 1);
+      } catch (const Error&) {
+        store_slot.reset();
+        std::filesystem::remove(path, ec);
+        trace::counter_add("ooc.spill_corrupt", 1);
+      }
+    }
+  }
+  if (!store_slot.has_value()) {
+    stage_variable_at(ensemble, spec, path, config.chunk_elems, budget);
+    store_slot.emplace(path);
+  }
+  const ncio::ChunkStoreReader& store = *store_slot;
   const double stage_seconds = seconds_since(t_stage);
+
+  // From here on, a failure while running over a *reused* spill must
+  // invalidate it: delete the file and count it, so the error propagates
+  // to the guarded retry, which restages from fresh synthesis instead of
+  // re-trusting the bytes.
+  const ReusedSpillInvalidator invalidator{path, reused};
 
   // Phase 2: the EnsembleStats sufficient statistics in two read passes.
   const Clock::time_point t_stats = Clock::now();
@@ -658,6 +823,19 @@ VariableResult run_variable_streaming(const climate::EnsembleGenerator& ensemble
   }
   budget.release(verify_bytes);
 
+  // Keep the reusable store within its byte budget: oldest spills go
+  // first, the one this run just used is protected. Eviction of a file
+  // another in-flight variable holds open is harmless (its fd survives
+  // the unlink); that variable's next run simply restages.
+  if (config.reuse_spill && config.spill_budget_bytes > 0) {
+    const std::string protect[] = {path};
+    const util::EvictionResult evicted = util::evict_directory_to_budget(
+        config.spill_dir, ".cnk1", config.spill_budget_bytes, protect);
+    if (evicted.files_removed > 0) {
+      trace::counter_add("ooc.spill_evicted", evicted.files_removed);
+    }
+  }
+
   if (phases != nullptr) {
     phases->stage_seconds = stage_seconds;
     phases->stats_seconds = stats_seconds;
@@ -676,11 +854,12 @@ namespace {
 /// contain the failure as a processing_failed marker.
 VariableResult run_variable_streaming_guarded(const climate::EnsembleGenerator& ensemble,
                                               const climate::VariableSpec& spec,
-                                              const OocConfig& config) {
+                                              const OocConfig& config,
+                                              util::MemoryBudget* shared = nullptr) {
   std::size_t failures = 0;
   for (;;) {
     try {
-      return run_variable_streaming(ensemble, spec, config);
+      return run_variable_streaming(ensemble, spec, config, nullptr, shared);
     } catch (const InvalidArgument&) {
       throw;  // caller bug: retrying cannot help and hiding it would lie
     } catch (const Error& e) {
@@ -708,19 +887,65 @@ SuiteResults run_suite_streaming(const climate::EnsembleGenerator& ensemble,
   trace::Span span("ooc.run");
   SuiteResults results;
 
-  std::vector<const climate::VariableSpec*> specs;
-  if (variables.empty()) {
-    for (const climate::VariableSpec& spec : ensemble.catalog()) specs.push_back(&spec);
-  } else {
-    for (const std::string& name : variables) specs.push_back(&ensemble.variable(name));
-  }
+  const std::vector<const climate::VariableSpec*> specs =
+      resolve_suite_specs(ensemble, variables);
 
-  // Variables run serially: each variable's pipeline already parallelizes
-  // internally, and one variable's working set at a time is the bounded-
-  // memory promise this leg exists for.
-  results.variables.reserve(specs.size());
-  for (const climate::VariableSpec* spec : specs) {
-    results.variables.push_back(run_variable_streaming_guarded(ensemble, *spec, config));
+  // One shared admission budget for every in-flight variable: the
+  // bounded-memory promise is now "the *sum* of concurrent working sets
+  // stays under the cap", enforced by all-or-nothing reservations.
+  util::MemoryBudget own_budget(config.memory_budget_bytes);
+  util::MemoryBudget& shared =
+      config.shared_budget != nullptr ? *config.shared_budget : own_budget;
+
+  std::size_t jobs = config.parallel_variables == 0
+                         ? Scheduler::global().thread_count()
+                         : config.parallel_variables;
+  jobs = std::max<std::size_t>(1, std::min(jobs, specs.size()));
+
+  // Fixed result slots keep the output byte-identical at any job count;
+  // the atomic cursor only decides who computes what, never where it
+  // lands or what it contains.
+  results.variables.resize(specs.size());
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results.variables[i] =
+          run_variable_streaming_guarded(ensemble, *specs[i], config, &shared);
+    }
+  } else {
+    // Variable jobs live on dedicated admission threads, NOT on scheduler
+    // workers: a parked reservation must never occupy a worker the
+    // admitted variables need to make progress (that would deadlock the
+    // backpressure). The inner parallel_for/parallel_reduce work still
+    // lands on the global work-stealing scheduler — external threads
+    // help-execute their own joins, so admission threads add concurrency
+    // without oversubscribing the worker pool.
+    std::atomic<std::size_t> cursor{0};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+    std::vector<std::thread> admission;
+    admission.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      admission.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= specs.size()) return;
+          try {
+            results.variables[i] =
+                run_variable_streaming_guarded(ensemble, *specs[i], config, &shared);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (!first_error) first_error = std::current_exception();
+            }
+            // Stop dispatching new variables; in-flight ones finish.
+            cursor.store(specs.size(), std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : admission) t.join();
+    if (first_error) std::rethrow_exception(first_error);
   }
   if (const std::size_t failed = results.failed_variable_count(); failed > 0) {
     trace::counter_add("suite.variables_failed_total", failed);

@@ -30,6 +30,27 @@
 // per-point arrays, codec scratch allowances) is charged to a
 // util::MemoryBudget; with CESM_MEM_MB set, exceeding the cap is an
 // error, not a slowdown.
+//
+// Multi-variable concurrency: run_suite_streaming pipelines variables as
+// concurrent jobs (OocConfig::parallel_variables), all charging ONE shared
+// MemoryBudget. Each variable computes its full working-set bound up front
+// (ooc_working_set_bytes) and acquires it as a single all-or-nothing
+// reservation — a variable that does not fit *parks* behind the budget's
+// FIFO admission queue instead of throwing, so CESM_MEM_MB stays a hard
+// cap under contention, admission order cannot starve a large variable,
+// and (because no admitted variable ever waits for more memory) the
+// schedule cannot deadlock. Results are written to fixed slots, so the
+// suite CSV is byte-identical to the serial run at any job count.
+//
+// Spill reuse: with OocConfig::reuse_spill, spill files are
+// content-addressed on the same (EnsembleSpec, VariableSpec) key schema as
+// EnsembleCache (plus the chunk partition and spill format version), so a
+// later suite run finds its staged members on disk, validates the CNK1 v2
+// checksums, and skips synthesis entirely. A spill that fails validation —
+// or fails mid-run after being reused — is deleted, counted, and restaged
+// by the guarded retry, never trusted. Non-reusable runs stage into a
+// unique per-run subdirectory (SpillSession) so concurrent processes
+// sharing one spill_dir cannot collide on per-variable filenames.
 
 #include <cstdint>
 #include <optional>
@@ -56,10 +77,67 @@ struct OocConfig {
   std::uint64_t memory_budget_bytes = 0;
   /// Keep the spill file after the variable finishes (debugging).
   bool keep_spill = false;
+  /// Concurrent variable jobs in run_suite_streaming: 0 = auto (one job
+  /// per scheduler worker), 1 = serial, N = exactly N jobs. All jobs
+  /// charge one shared MemoryBudget via working-set reservations.
+  std::size_t parallel_variables = 0;
+  /// Content-address spill files on (EnsembleSpec, VariableSpec,
+  /// chunk partition) and keep them after the run: a later run reuses a
+  /// staged spill (after checksum validation) instead of re-synthesizing.
+  bool reuse_spill = false;
+  /// Byte budget for the reusable spill store in spill_dir (0 = no
+  /// limit). After each variable, oldest spills are evicted until the
+  /// store fits — same mtime-ordered policy as the DiskCache tier.
+  std::uint64_t spill_budget_bytes = 0;
+  /// Caller-owned shared admission budget for run_suite_streaming; when
+  /// null the suite builds its own from memory_budget_bytes. Exposed so
+  /// tests and benches can observe peak/waits across a run.
+  util::MemoryBudget* shared_budget = nullptr;
   /// Everything else (thresholds, member picks, bias policy, retries).
   /// `suite.chunk_elems` is ignored here: the streaming leg always uses
   /// OocConfig::chunk_elems.
   SuiteConfig suite;
+};
+
+/// Upper bound on the resident working set of one streaming variable run
+/// at the current scheduler width: the per-point statistic planes, the
+/// per-member moment slots, and the widest per-lane chunk-buffer
+/// allowance of any phase. This is the exact peak the per-variable charge
+/// sequence can reach, so reserving it up front on a shared budget
+/// guarantees the variable never over-draws its admission.
+std::uint64_t ooc_working_set_bytes(const climate::EnsembleGenerator& ensemble,
+                                    const climate::VariableSpec& spec,
+                                    std::size_t chunk_elems);
+
+/// Content hash of everything that determines a staged spill's bytes:
+/// the EnsembleCache key schema for (spec, var) plus the chunk partition
+/// and the CNK1 format version.
+std::uint64_t spill_key(const climate::EnsembleSpec& spec,
+                        const climate::VariableSpec& var, std::size_t chunk_elems);
+
+/// Where a reusable spill for `key` lives: "<dir>/<var>-<16-hex-key>.cnk1".
+std::string spill_path(const std::string& dir, const std::string& variable,
+                       std::uint64_t key);
+
+/// Unique per-run spill subdirectory ("<base>/cesm-spill-<pid>-<token>"),
+/// created on construction and removed recursively on destruction unless
+/// asked to keep it. The fix for concurrent processes sharing one
+/// spill_dir: per-(member, variable) filenames only ever collide inside a
+/// single run's private directory, and unwinding (including a signal
+/// drain) cleans the whole directory up.
+class SpillSession {
+ public:
+  explicit SpillSession(const std::string& base_dir, bool keep = false);
+  ~SpillSession();
+
+  SpillSession(const SpillSession&) = delete;
+  SpillSession& operator=(const SpillSession&) = delete;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  bool keep_ = false;
 };
 
 /// Phase breakdown and I/O counters of one streaming variable run — the
@@ -125,10 +203,17 @@ class StreamingStats {
   double rmsz_max_ = 0.0;
 };
 
-/// Synthesize one variable's full ensemble into a CNK1 store at
-/// `dir/<variable>.cnk1` (members in parallel, chunk-granular writes;
-/// never more than one chunk of one member resident per worker). The
-/// chunk partition is the ChunkedCodec partition for `chunk_elems`.
+/// Synthesize one variable's full ensemble into a CNK1 store at `path`
+/// (members in parallel, chunk-granular writes; never more than one chunk
+/// of one member resident per worker). The chunk partition is the
+/// ChunkedCodec partition for `chunk_elems`. Synthesis runs under an
+/// "ensemble.synthesize" span, so a trace with zero such spans proves a
+/// warm run never regenerated data.
+void stage_variable_at(const climate::EnsembleGenerator& ensemble,
+                       const climate::VariableSpec& spec, const std::string& path,
+                       std::size_t chunk_elems, util::MemoryBudget& budget);
+
+/// stage_variable_at with the classic `dir/<variable>.cnk1` naming.
 /// Returns the store path.
 std::string stage_variable(const climate::EnsembleGenerator& ensemble,
                            const climate::VariableSpec& spec, const std::string& dir,
@@ -139,15 +224,25 @@ std::string stage_variable(const climate::EnsembleGenerator& ensemble,
 /// run with SuiteConfig::chunk_elems == config.chunk_elems — under a
 /// working set of chunks instead of members. `phases`, when non-null,
 /// receives the phase breakdown.
+///
+/// `shared`, when non-null, is a suite-level admission budget: the
+/// variable reserves its full ooc_working_set_bytes on it (parking under
+/// contention) and runs its fine-grained charges against a private
+/// sub-budget capped at that reservation, so the shared cap stays a hard
+/// bound no matter how many variables are in flight. When null the
+/// variable budgets directly against config.memory_budget_bytes with the
+/// PR 8 fail-fast semantics.
 VariableResult run_variable_streaming(const climate::EnsembleGenerator& ensemble,
                                       const climate::VariableSpec& spec,
                                       const OocConfig& config,
-                                      OocPhaseStats* phases = nullptr);
+                                      OocPhaseStats* phases = nullptr,
+                                      util::MemoryBudget* shared = nullptr);
 
-/// Streaming twin of run_suite: variables run serially (the per-variable
-/// pipeline already parallelizes internally, and serial variables keep
-/// the bounded-memory promise), with the same guarded retry/containment
-/// policy as run_suite.
+/// Streaming twin of run_suite: variables stream as concurrent jobs
+/// (config.parallel_variables) under one shared admission budget, with
+/// the same guarded retry/containment policy as run_suite. Results land
+/// in catalog order regardless of job count — the CSV is byte-identical
+/// to a serial run.
 SuiteResults run_suite_streaming(const climate::EnsembleGenerator& ensemble,
                                  const OocConfig& config,
                                  std::vector<std::string> variables = {});

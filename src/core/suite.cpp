@@ -212,18 +212,28 @@ VariableResult run_variable_guarded(const climate::EnsembleGenerator& ensemble,
 
 }  // namespace
 
+std::vector<const climate::VariableSpec*> resolve_suite_specs(
+    const climate::EnsembleGenerator& ensemble,
+    const std::vector<std::string>& variables) {
+  std::vector<const climate::VariableSpec*> specs;
+  if (variables.empty()) {
+    specs.reserve(ensemble.catalog().size());
+    for (const climate::VariableSpec& spec : ensemble.catalog()) specs.push_back(&spec);
+  } else {
+    specs.reserve(variables.size());
+    for (const std::string& name : variables) specs.push_back(&ensemble.variable(name));
+  }
+  return specs;
+}
+
 SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
                        const SuiteConfig& config,
                        std::vector<std::string> variables) {
   trace::Span span("suite.run");
   SuiteResults results;
 
-  std::vector<const climate::VariableSpec*> specs;
-  if (variables.empty()) {
-    for (const climate::VariableSpec& spec : ensemble.catalog()) specs.push_back(&spec);
-  } else {
-    for (const std::string& name : variables) specs.push_back(&ensemble.variable(name));
-  }
+  const std::vector<const climate::VariableSpec*> specs =
+      resolve_suite_specs(ensemble, variables);
 
   results.variables.resize(specs.size());
   parallel_for(0, specs.size(), [&](std::size_t i) {

@@ -98,6 +98,15 @@ struct SuiteResults {
   [[nodiscard]] const VariableResult& variable(const std::string& name) const;
 };
 
+/// The variable set a suite run covers: the whole catalog when
+/// `variables` is empty, otherwise the named specs in the given order
+/// (throws on an unknown name). Shared by run_suite and
+/// run_suite_streaming so both legs agree on ordering — the property the
+/// byte-identical CSV claims rest on.
+std::vector<const climate::VariableSpec*> resolve_suite_specs(
+    const climate::EnsembleGenerator& ensemble,
+    const std::vector<std::string>& variables);
+
 /// Run the suite over `variables` (whole catalog when empty). Work is
 /// parallelized across variables. This is the expensive entry point: the
 /// bias test alone compresses members x variants streams per variable.

@@ -7,10 +7,21 @@
 // (stats accumulation, codec round-trips, verification) re-reads the same
 // chunks on demand. The format is deliberately minimal: a self-describing
 // little-endian header (variable name, shape, fill value, member count,
-// chunk partition) followed by raw float32 payloads in member-major,
-// chunk-major order — every chunk's byte offset is computable, so reads
-// and writes are independent pread/pwrite calls that parallel workers can
-// issue concurrently with no shared file cursor.
+// chunk partition) followed by a per-chunk checksum table and the raw
+// float32 payloads in member-major, chunk-major order — every chunk's byte
+// offset is computable, so reads and writes are independent pread/pwrite
+// calls that parallel workers can issue concurrently with no shared file
+// cursor.
+//
+// Format version 2 makes every byte of the file checksummed, because spill
+// stores can now outlive the run that wrote them (content-addressed spill
+// reuse): the header carries an FNV-1a checksum of itself, the chunk
+// checksum table carries its own checksum, and each (member, chunk)
+// payload carries a 64-bit FNV-1a entry in the table, verified on every
+// read_chunk. Truncation at any byte prefix and any single-bit flip —
+// header, table, or payload — therefore surfaces as a typed FormatError
+// (at open for header/table damage, at the affected read for payload
+// damage), never as silently-wrong science or undefined behavior.
 //
 // The chunk partition stored in the header is the single source of truth
 // shared by both verification legs: the streaming leg feeds kernels and
@@ -31,7 +42,9 @@ namespace cesm::ncio {
 /// Writer: construct with the full layout (all header fields are known up
 /// front), write_chunk from any thread, then finish() to fsync + atomically
 /// rename into place. A writer destroyed without finish() removes its
-/// temporary file.
+/// temporary file. Temporary names are unique per process and per writer,
+/// so concurrent processes staging into one directory never clobber each
+/// other's in-flight files.
 class ChunkStoreWriter {
  public:
   ChunkStoreWriter(std::string path, std::string variable, comp::Shape shape,
@@ -43,24 +56,34 @@ class ChunkStoreWriter {
   ChunkStoreWriter& operator=(const ChunkStoreWriter&) = delete;
 
   /// Write one chunk of one member (data.size() must equal the chunk's
-  /// element count). Thread-safe: positional write, no shared cursor.
+  /// element count) and record its checksum. Thread-safe across distinct
+  /// (member, chunk) slots: positional write, no shared cursor, one
+  /// checksum slot per chunk. finish() must not race in-flight writes
+  /// (callers join their workers first).
   void write_chunk(std::uint32_t member, std::size_t chunk,
                    std::span<const float> data);
 
-  /// Flush to disk and atomically rename the temp file to the final path.
+  /// Write the checksum table, flush to disk, and atomically rename the
+  /// temp file to the final path.
   void finish();
 
  private:
   std::string path_;
   std::string tmp_;
+  std::string variable_;
+  comp::Shape shape_;
+  std::optional<float> fill_;
   std::vector<std::size_t> offsets_;
+  std::vector<std::uint64_t> checksums_;  // member-major, one per chunk
   std::size_t header_bytes_ = 0;
   std::size_t total_elems_ = 0;
   std::uint32_t member_count_ = 0;
   int fd_ = -1;
 };
 
-/// Reader over a finished CNK1 file. read_chunk is thread-safe (pread).
+/// Reader over a finished CNK1 file. The constructor validates the entire
+/// header and checksum table (typed FormatError on any damage); read_chunk
+/// is thread-safe (pread) and verifies the chunk's payload checksum.
 class ChunkStoreReader {
  public:
   explicit ChunkStoreReader(const std::string& path);
@@ -84,8 +107,16 @@ class ChunkStoreReader {
   }
   [[nodiscard]] std::size_t total_elems() const { return offsets_.back(); }
 
+  /// Byte extents of the file regions, for corruption tests that need to
+  /// aim at a specific one: [0, header_bytes) is the header,
+  /// [header_bytes, header_bytes + table_bytes) the checksum table, and
+  /// everything after is payload.
+  [[nodiscard]] std::size_t header_bytes() const { return header_bytes_; }
+  [[nodiscard]] std::size_t table_bytes() const { return checksums_.size() * 8; }
+
   /// Read one chunk of one member into `out` (size must equal the chunk's
-  /// element count). Fails via the "ncio.read_chunk" failpoint in tests.
+  /// element count) and verify its checksum (FormatError on mismatch).
+  /// Fails via the "ncio.read_chunk" failpoint in tests.
   void read_chunk(std::uint32_t member, std::size_t chunk, std::span<float> out) const;
 
  private:
@@ -94,6 +125,7 @@ class ChunkStoreReader {
   comp::Shape shape_;
   std::optional<float> fill_;
   std::vector<std::size_t> offsets_;
+  std::vector<std::uint64_t> checksums_;  // member-major, one per chunk
   std::size_t header_bytes_ = 0;
   std::uint32_t member_count_ = 0;
   int fd_ = -1;

@@ -1,9 +1,11 @@
 #include "util/cache.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <vector>
 
 #include "util/env.h"
 #include "util/error.h"
@@ -27,11 +29,69 @@ std::uint64_t KeyHasher::digest() const {
   return SplitMix64(h_).next();
 }
 
+EvictionResult evict_directory_to_budget(const std::filesystem::path& dir,
+                                         std::string_view extension,
+                                         std::uint64_t max_total_bytes,
+                                         std::span<const std::string> protect) {
+  EvictionResult result;
+  struct Entry {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& de : std::filesystem::directory_iterator(dir, ec)) {
+    if (ec) break;
+    std::error_code fec;
+    if (!de.is_regular_file(fec) || fec) continue;
+    const std::string name = de.path().filename().string();
+    if (name.size() < extension.size() ||
+        name.compare(name.size() - extension.size(), extension.size(), extension) != 0) {
+      continue;
+    }
+    Entry e;
+    e.path = de.path();
+    e.bytes = de.file_size(fec);
+    if (fec) continue;
+    e.mtime = de.last_write_time(fec);
+    if (fec) continue;
+    total += e.bytes;
+    entries.push_back(std::move(e));
+  }
+  if (total <= max_total_bytes) return result;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& e : entries) {
+    if (total <= max_total_bytes) break;
+    const std::string path_str = e.path.string();
+    bool is_protected = false;
+    for (const std::string& p : protect) {
+      if (p == path_str) {
+        is_protected = true;
+        break;
+      }
+    }
+    if (is_protected) continue;
+    std::error_code rec;
+    if (!std::filesystem::remove(e.path, rec) || rec) continue;
+    total -= e.bytes;
+    ++result.files_removed;
+    result.bytes_removed += e.bytes;
+  }
+  if (result.files_removed > 0) {
+    trace::counter_add("cache.dir_evict", result.files_removed);
+  }
+  return result;
+}
+
 DiskCache::DiskCache(std::filesystem::path dir, std::string prefix,
-                     std::size_t max_payload_bytes)
+                     std::size_t max_payload_bytes, std::uint64_t max_total_bytes)
     : dir_(std::move(dir)),
       prefix_(std::move(prefix)),
-      max_payload_bytes_(max_payload_bytes) {
+      max_payload_bytes_(max_payload_bytes),
+      max_total_bytes_(max_total_bytes) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec || !std::filesystem::is_directory(dir_)) {
@@ -141,6 +201,10 @@ void DiskCache::write(std::uint64_t key, std::span<const std::uint8_t> payload) 
     return;
   }
   trace::counter_add("cache.disk_write", 1);
+  if (max_total_bytes_ != 0) {
+    const std::string protect[] = {path.string()};
+    evict_directory_to_budget(dir_, ".cesmc", max_total_bytes_, protect);
+  }
 }
 
 CacheConfig CacheConfig::from_env() {
@@ -163,6 +227,15 @@ CacheConfig CacheConfig::from_env() {
   }
   if (const char* v = std::getenv("CESM_CACHE_DIR"); v != nullptr && *v != '\0') {
     cfg.disk_dir = v;
+  }
+  if (const auto mb = env_u64("CESM_CACHE_DISK_MB")) {
+    if (*mb > (std::numeric_limits<std::uint64_t>::max() >> 20)) {
+      std::fprintf(stderr,
+                   "CESM_CACHE_DISK_MB ignored: %llu MiB overflows the byte budget\n",
+                   static_cast<unsigned long long>(*mb));
+    } else {
+      cfg.disk_max_bytes = *mb << 20;
+    }
   }
   return cfg;
 }

@@ -194,8 +194,11 @@ class DiskCache {
   /// `max_payload_bytes` (usually the same budget as the memory tier)
   /// makes write() bypass payloads larger than the budget, counted under
   /// "cache.oversize" — one full-grid snapshot must not fill the disk.
+  /// A nonzero `max_total_bytes` bounds the whole directory: every write
+  /// triggers an oldest-first eviction pass back under the budget
+  /// (evict_directory_to_budget), protecting the entry just written.
   DiskCache(std::filesystem::path dir, std::string prefix,
-            std::size_t max_payload_bytes = 0);
+            std::size_t max_payload_bytes = 0, std::uint64_t max_total_bytes = 0);
 
   /// The validated payload, or nullopt when the entry is absent, corrupt,
   /// truncated, or unreadable. Fires the "cache.disk_read" failpoint; an
@@ -215,17 +218,40 @@ class DiskCache {
  private:
   std::filesystem::path dir_;
   std::string prefix_;
-  std::size_t max_payload_bytes_ = 0;  ///< 0 = unlimited
+  std::size_t max_payload_bytes_ = 0;   ///< 0 = unlimited per entry
+  std::uint64_t max_total_bytes_ = 0;   ///< 0 = unlimited directory
 };
 
+/// What evict_directory_to_budget removed.
+struct EvictionResult {
+  std::size_t files_removed = 0;
+  std::uint64_t bytes_removed = 0;
+};
+
+/// Shrink a cache-like directory to `max_total_bytes`: among regular files
+/// whose name ends in `extension`, the oldest (by mtime) are deleted first
+/// until the total fits. Paths listed in `protect` are never removed (the
+/// entry the caller is actively using). Best effort — unreadable or
+/// vanished files are skipped, never fatal: eviction serves the budget, it
+/// must not take down the computation. Counted under "cache.dir_evict".
+/// Shared by the DiskCache tier and the reusable spill store.
+EvictionResult evict_directory_to_budget(const std::filesystem::path& dir,
+                                         std::string_view extension,
+                                         std::uint64_t max_total_bytes,
+                                         std::span<const std::string> protect = {});
+
 /// Process-wide cache configuration from the environment:
-///   CESM_CACHE      "off"/"0" disables memoization entirely;
-///   CESM_CACHE_MB   in-memory budget in MiB (default 256);
-///   CESM_CACHE_DIR  enables the on-disk tier rooted at this directory.
+///   CESM_CACHE          "off"/"0" disables memoization entirely;
+///   CESM_CACHE_MB       in-memory budget in MiB (default 256);
+///   CESM_CACHE_DIR      enables the on-disk tier rooted at this directory;
+///   CESM_CACHE_DISK_MB  total byte budget for the disk tier (0 = no
+///                       limit): after each write the directory is
+///                       evicted oldest-first back under the budget.
 struct CacheConfig {
   bool enabled = true;
   std::size_t max_bytes = 256ull << 20;
-  std::string disk_dir;  ///< empty = no disk tier
+  std::string disk_dir;               ///< empty = no disk tier
+  std::uint64_t disk_max_bytes = 0;   ///< 0 = unlimited disk tier
 
   [[nodiscard]] static CacheConfig from_env();
 };

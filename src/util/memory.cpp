@@ -76,22 +76,64 @@ std::optional<std::uint64_t> memory_budget_bytes() {
   return *mb * 1024 * 1024;
 }
 
-void MemoryBudget::charge(const char* what, std::uint64_t bytes) {
-  const std::uint64_t next = charged_ + bytes;
-  if (cap_ != 0 && next > cap_) {
-    trace::counter_add("mem.budget_exceeded", 1);
-    throw Error("memory budget exceeded: allocating " + std::to_string(bytes) +
-                " bytes for " + what + " would bring the total to " +
-                std::to_string(next) + " bytes against a CESM_MEM_MB cap of " +
-                std::to_string(cap_) + " bytes");
-  }
-  charged_ = next;
+void MemoryBudget::reject(const char* what, std::uint64_t bytes) const {
+  trace::counter_add("mem.budget_exceeded", 1);
+  throw Error("memory budget exceeded: allocating " + std::to_string(bytes) +
+              " bytes for " + what + " would bring the total to " +
+              std::to_string(charged_ + bytes) +
+              " bytes against a CESM_MEM_MB cap of " + std::to_string(cap_) +
+              " bytes");
+}
+
+void MemoryBudget::admit_locked(const char* what, std::uint64_t bytes) {
+  (void)what;
+  charged_ += bytes;
   if (charged_ > peak_) peak_ = charged_;
   trace::counter_add("mem.charged_bytes", bytes);
 }
 
+void MemoryBudget::charge(const char* what, std::uint64_t bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!fits_locked(bytes)) reject(what, bytes);
+  admit_locked(what, bytes);
+}
+
+void MemoryBudget::reserve(const char* what, std::uint64_t bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (cap_ != 0 && bytes > cap_) reject(what, bytes);  // can never fit
+  const std::uint64_t ticket = next_ticket_++;
+  const bool parked = !(serving_ticket_ == ticket && fits_locked(bytes));
+  if (parked) {
+    ++waits_;
+    trace::counter_add("mem.reserve_waits", 1);
+    cv_.wait(lock, [&] { return serving_ticket_ == ticket && fits_locked(bytes); });
+  }
+  admit_locked(what, bytes);
+  ++serving_ticket_;
+  cv_.notify_all();
+}
+
 void MemoryBudget::release(std::uint64_t bytes) {
-  charged_ = bytes > charged_ ? 0 : charged_ - bytes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    charged_ = bytes > charged_ ? 0 : charged_ - bytes;
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t MemoryBudget::charged_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charged_;
+}
+
+std::uint64_t MemoryBudget::peak_logical_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+std::uint64_t MemoryBudget::reserve_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waits_;
 }
 
 }  // namespace cesm::util

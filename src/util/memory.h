@@ -21,12 +21,28 @@
 //     or an explicit byte count; a zero cap disables enforcement but keeps
 //     the high-water accounting for the mem.* trace counters.
 //
+// Concurrency: MemoryBudget is thread-safe. charge() keeps its fail-fast
+// contract (a charge that does not fit throws immediately), which is what
+// a single pipeline wants when its own working set is simply too big for
+// the cap. reserve() is the multi-tenant admission primitive layered on
+// top: it *parks* the caller until the requested bytes fit, so several
+// variable pipelines can race one shared cap without any of them dying —
+// backpressure instead of failure. Reservations are admitted in strict
+// FIFO ticket order, so a large reservation behind a stream of small ones
+// is never starved, and because every tenant acquires its full working
+// set in one reservation (all-or-nothing, no hold-and-wait), admission
+// order cannot deadlock: the head waiter only ever waits on releases from
+// tenants that are already fully admitted and running.
+//
 // Trace counters (enabled runs only): "mem.charged_bytes" accumulates
-// charges, "mem.budget_exceeded" counts rejected charges; callers snapshot
-// peak_logical_bytes() for phase breakdowns.
+// charges, "mem.budget_exceeded" counts rejected charges,
+// "mem.reserve_waits" counts reservations that had to park; callers
+// snapshot peak_logical_bytes() for phase breakdowns.
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -48,13 +64,16 @@ bool reset_peak_rss();
 /// Unset, zero, or malformed (warned by env_u64) -> nullopt (no cap).
 std::optional<std::uint64_t> memory_budget_bytes();
 
-/// Logical allocation ledger for a bounded-memory pipeline phase. Not
-/// thread-safe: one budget belongs to the phase's owning thread; charge
-/// before handing buffers to parallel workers.
+/// Logical allocation ledger for bounded-memory pipeline phases.
+/// Thread-safe; see the header comment for the charge()/reserve()
+/// split (fail-fast vs park-and-wait).
 class MemoryBudget {
  public:
   /// cap_bytes == 0 means "account but never reject".
   explicit MemoryBudget(std::uint64_t cap_bytes = 0) : cap_(cap_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
 
   /// Record an allocation of `bytes` for `what`. Throws cesm::Error when a
   /// cap is set and the running total would exceed it; the message names
@@ -62,18 +81,60 @@ class MemoryBudget {
   /// tell "one slab is too big" from "death by a thousand buffers".
   void charge(const char* what, std::uint64_t bytes);
 
+  /// Blocking admission: parks the calling thread until `bytes` fit under
+  /// the cap, then records them like charge(). Reservations are admitted
+  /// in FIFO order (anti-starvation); a reservation larger than the cap
+  /// itself can never fit and throws immediately with the same message
+  /// shape as charge(). With no cap this never blocks.
+  void reserve(const char* what, std::uint64_t bytes);
+
   /// Return `bytes` to the budget (clamped at zero; release of buffers
-  /// charged before an exception must never underflow).
+  /// charged before an exception must never underflow) and wake any
+  /// parked reservations.
   void release(std::uint64_t bytes);
 
   [[nodiscard]] std::uint64_t cap_bytes() const { return cap_; }
-  [[nodiscard]] std::uint64_t charged_bytes() const { return charged_; }
-  [[nodiscard]] std::uint64_t peak_logical_bytes() const { return peak_; }
+  [[nodiscard]] std::uint64_t charged_bytes() const;
+  [[nodiscard]] std::uint64_t peak_logical_bytes() const;
+  /// Number of reserve() calls that had to park at least once.
+  [[nodiscard]] std::uint64_t reserve_waits() const;
 
  private:
-  std::uint64_t cap_ = 0;
+  [[nodiscard]] bool fits_locked(std::uint64_t bytes) const {
+    return cap_ == 0 || charged_ + bytes <= cap_;
+  }
+  void admit_locked(const char* what, std::uint64_t bytes);
+  [[noreturn]] void reject(const char* what, std::uint64_t bytes) const;
+
+  const std::uint64_t cap_ = 0;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
   std::uint64_t charged_ = 0;
   std::uint64_t peak_ = 0;
+  std::uint64_t waits_ = 0;
+  std::uint64_t next_ticket_ = 0;     ///< next ticket to hand out
+  std::uint64_t serving_ticket_ = 0;  ///< ticket currently allowed to admit
+};
+
+/// RAII working-set reservation: reserve() on construction, release() on
+/// destruction. The unit of all-or-nothing admission for one streaming
+/// variable against the suite's shared budget.
+class MemoryReservation {
+ public:
+  MemoryReservation(MemoryBudget& budget, const char* what, std::uint64_t bytes)
+      : budget_(budget), bytes_(bytes) {
+    budget_.reserve(what, bytes_);
+  }
+  ~MemoryReservation() { budget_.release(bytes_); }
+
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget& budget_;
+  std::uint64_t bytes_ = 0;
 };
 
 }  // namespace cesm::util

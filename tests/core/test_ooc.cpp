@@ -1,17 +1,27 @@
 #include "core/ooc.h"
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/export.h"
 #include "core/rmsz.h"
+#include "ncio/chunkstore.h"
 #include "stats/descriptive.h"
+#include "support/generators.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/memory.h"
 #include "util/scheduler.h"
+#include "util/trace.h"
 
 namespace cesm::core {
 namespace {
@@ -219,6 +229,327 @@ TEST_F(OocTest, MemoryBudgetCapRejectsOversizedWorkingSet) {
   cfg.memory_budget_bytes = 10'000;  // far below the per-point arrays alone
   const climate::VariableSpec& spec = ensemble_->variable("U");
   EXPECT_THROW(run_variable_streaming(*ensemble_, spec, cfg), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-variable concurrency under one shared budget.
+
+TEST_F(OocTest, SharedBudgetContentionIsDeadlockFreeAndInvisible) {
+  // Eight variables race a cap sized for roughly two of the largest
+  // working sets, at scheduler widths 1 and 4. The run must complete (no
+  // deadlock), hold the cap as a hard bound, park at least one admission,
+  // balance the budget back to zero, and produce byte-identical results
+  // to the serial schedule.
+  std::vector<std::string> vars;
+  for (const climate::VariableSpec& v : ensemble_->catalog()) {
+    vars.push_back(v.name);
+    if (vars.size() == 8) break;
+  }
+  ASSERT_EQ(vars.size(), 8u);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("workers " + std::to_string(workers));
+    ScopedScheduler sched(workers);
+
+    // The working-set bound depends on the scheduler width (verify lane
+    // buffers), so size the cap inside the scope that runs the jobs.
+    std::uint64_t max_ws = 0;
+    for (const std::string& name : vars) {
+      max_ws = std::max(max_ws, ooc_working_set_bytes(
+                                    *ensemble_, ensemble_->variable(name), 1024));
+    }
+    OocConfig cfg = ooc_config();
+    cfg.memory_budget_bytes = 2 * max_ws;
+
+    cfg.parallel_variables = 1;
+    const SuiteResults serial = run_suite_streaming(*ensemble_, cfg, vars);
+
+    util::MemoryBudget shared(cfg.memory_budget_bytes);
+    cfg.shared_budget = &shared;
+    cfg.parallel_variables = 8;
+    const SuiteResults parallel = run_suite_streaming(*ensemble_, cfg, vars);
+
+    EXPECT_LE(shared.peak_logical_bytes(), cfg.memory_budget_bytes);
+    EXPECT_EQ(shared.charged_bytes(), 0u);
+    EXPECT_GT(shared.reserve_waits(), 0u);
+
+    ASSERT_EQ(parallel.variables.size(), serial.variables.size());
+    for (std::size_t i = 0; i < serial.variables.size(); ++i) {
+      ASSERT_FALSE(serial.variables[i].processing_failed)
+          << serial.variables[i].variable;
+      ASSERT_FALSE(parallel.variables[i].processing_failed)
+          << parallel.variables[i].variable;
+      expect_variable_eq(parallel.variables[i], serial.variables[i]);
+    }
+    EXPECT_EQ(suite_results_csv(parallel), suite_results_csv(serial));
+  }
+}
+
+TEST_F(OocTest, OversizedReservationStillFailsFastUnderSharedBudget) {
+  // A working set larger than the whole cap can never be admitted;
+  // parking it would hang the suite, so it must throw (and with retries
+  // and containment off, propagate).
+  OocConfig cfg = ooc_config();
+  cfg.suite.variable_retry_limit = 0;
+  cfg.suite.continue_on_variable_error = false;
+  cfg.parallel_variables = 2;
+  cfg.memory_budget_bytes = 10'000;  // far below any working set
+  EXPECT_THROW(run_suite_streaming(*ensemble_, cfg, {"U", "SST"}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed spill reuse.
+
+std::string fresh_store_dir(const char* name) {
+  const std::filesystem::path dir = std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<std::filesystem::path> spill_files(const std::string& dir) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& de : std::filesystem::directory_iterator(dir)) {
+    if (de.is_regular_file() && de.path().extension() == ".cnk1") {
+      files.push_back(de.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Runs `fn` with tracing freshly enabled and returns the counters it
+/// produced, restoring the previous trace state afterwards.
+template <typename Fn>
+std::map<std::string, std::uint64_t> traced_counters(Fn&& fn) {
+  const bool had_trace = trace::enabled();
+  trace::reset();
+  trace::set_enabled(true);
+  fn();
+  const std::map<std::string, std::uint64_t> counters = trace::counters();
+  trace::set_enabled(had_trace);
+  trace::reset();
+  return counters;
+}
+
+TEST_F(OocTest, SpillReuseWarmRunSkipsSynthesisAndMatchesBitwise) {
+  OocConfig cfg = ooc_config();
+  cfg.reuse_spill = true;
+  cfg.spill_dir = fresh_store_dir("reuse_warm");
+
+  const SuiteResults cold = run_suite_streaming(*ensemble_, cfg, {"U", "SST"});
+  EXPECT_EQ(spill_files(cfg.spill_dir).size(), 2u);
+
+  SuiteResults warm;
+  std::uint64_t synth_spans = 1;
+  const auto counters = traced_counters([&] {
+    warm = run_suite_streaming(*ensemble_, cfg, {"U", "SST"});
+    const auto agg = trace::aggregate_by_label();
+    const auto it = agg.find("ensemble.synthesize");
+    synth_spans = it == agg.end() ? 0 : it->second.count;
+  });
+
+  // Every variable reused its spill; nothing was synthesized or staged.
+  EXPECT_EQ(counters.count("ooc.spill_reused") ? counters.at("ooc.spill_reused") : 0, 2u);
+  EXPECT_EQ(counters.count("ooc.chunks_written"), 0u);
+  EXPECT_EQ(synth_spans, 0u);
+
+  ASSERT_EQ(warm.variables.size(), cold.variables.size());
+  for (std::size_t i = 0; i < cold.variables.size(); ++i) {
+    expect_variable_eq(warm.variables[i], cold.variables[i]);
+  }
+  EXPECT_EQ(suite_results_csv(warm), suite_results_csv(cold));
+  EXPECT_EQ(suite_results_csv(warm), suite_results_csv(*incore_));
+}
+
+TEST_F(OocTest, RottenSpillHeaderIsDetectedAtProbeDeletedAndRestaged) {
+  OocConfig cfg = ooc_config();
+  cfg.reuse_spill = true;
+  cfg.spill_dir = fresh_store_dir("reuse_rot_header");
+  const SuiteResults cold = run_suite_streaming(*ensemble_, cfg, {"SST"});
+
+  const auto files = spill_files(cfg.spill_dir);
+  ASSERT_EQ(files.size(), 1u);
+  {
+    // Flip one bit inside the checksummed header region: the reuse probe
+    // must reject the store before trusting anything in it.
+    std::fstream f(files[0], std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(20);
+    char b = 0;
+    f.get(b);
+    f.seekp(20);
+    f.put(static_cast<char>(b ^ 0x10));
+  }
+
+  SuiteResults warm;
+  const auto counters = traced_counters(
+      [&] { warm = run_suite_streaming(*ensemble_, cfg, {"SST"}); });
+
+  EXPECT_EQ(counters.count("ooc.spill_corrupt") ? counters.at("ooc.spill_corrupt") : 0, 1u);
+  EXPECT_EQ(counters.count("ooc.spill_reused"), 0u);
+  ASSERT_FALSE(warm.variables[0].processing_failed);
+  expect_variable_eq(warm.variables[0], cold.variables[0]);
+
+  // The restaged spill is valid again and satisfies the next run.
+  const auto restaged = spill_files(cfg.spill_dir);
+  ASSERT_EQ(restaged.size(), 1u);
+  EXPECT_NO_THROW(ncio::ChunkStoreReader(restaged[0].string()));
+}
+
+TEST_F(OocTest, ReusedSpillFailingMidRunIsInvalidatedAndRestagedByRetry) {
+  OocConfig cfg = ooc_config();
+  cfg.reuse_spill = true;
+  cfg.spill_dir = fresh_store_dir("reuse_rot_payload");
+  const SuiteResults cold = run_suite_streaming(*ensemble_, cfg, {"SST"});
+
+  const auto files = spill_files(cfg.spill_dir);
+  ASSERT_EQ(files.size(), 1u);
+  {
+    // Header and table stay valid, so the probe accepts the reuse; the
+    // payload checksum mismatch then surfaces mid-run, which must
+    // invalidate (delete + count) the spill and succeed via the guarded
+    // retry's fresh staging.
+    const ncio::ChunkStoreReader reader(files[0].string());
+    const std::streamoff payload_at = static_cast<std::streamoff>(
+        reader.header_bytes() + reader.table_bytes());
+    std::fstream f(files[0], std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(payload_at);
+    char b = 0;
+    f.get(b);
+    f.seekp(payload_at);
+    f.put(static_cast<char>(b ^ 0x01));
+  }
+
+  SuiteResults warm;
+  const auto counters = traced_counters(
+      [&] { warm = run_suite_streaming(*ensemble_, cfg, {"SST"}); });
+
+  EXPECT_EQ(counters.count("ooc.spill_reused") ? counters.at("ooc.spill_reused") : 0, 1u);
+  EXPECT_EQ(counters.count("ooc.spill_invalidated") ? counters.at("ooc.spill_invalidated") : 0,
+            1u);
+  EXPECT_EQ(counters.count("suite.variable_retries") ? counters.at("suite.variable_retries") : 0,
+            1u);
+  ASSERT_FALSE(warm.variables[0].processing_failed);
+  expect_variable_eq(warm.variables[0], cold.variables[0]);
+}
+
+TEST_F(OocTest, ReadChunkFaultOnReusedSpillInvalidatesAndRetries) {
+  OocConfig cfg = ooc_config();
+  cfg.reuse_spill = true;
+  cfg.spill_dir = fresh_store_dir("reuse_failpoint");
+  const SuiteResults cold = run_suite_streaming(*ensemble_, cfg, {"SST"});
+  ASSERT_EQ(spill_files(cfg.spill_dir).size(), 1u);
+
+  // An injected one-shot read fault on a *reused* spill must travel the
+  // same invalidation path as real rot: delete, count, restage, succeed.
+  SuiteResults warm;
+  const auto counters = traced_counters([&] {
+    fail::ScopedFailpoint fp("ncio.read_chunk", fail::Trigger::once());
+    warm = run_suite_streaming(*ensemble_, cfg, {"SST"});
+  });
+
+  EXPECT_EQ(counters.count("ooc.spill_reused") ? counters.at("ooc.spill_reused") : 0, 1u);
+  EXPECT_EQ(counters.count("ooc.spill_invalidated") ? counters.at("ooc.spill_invalidated") : 0,
+            1u);
+  ASSERT_FALSE(warm.variables[0].processing_failed);
+  expect_variable_eq(warm.variables[0], cold.variables[0]);
+}
+
+TEST_F(OocTest, SpillStoreEvictsOldestBeyondByteBudget) {
+  OocConfig cfg = ooc_config();
+  cfg.reuse_spill = true;
+  cfg.spill_dir = fresh_store_dir("reuse_evict");
+
+  // Stage two spills, then re-run with a budget that only fits one: the
+  // eviction pass after each variable must delete the older spill and
+  // keep the one just used.
+  const SuiteResults cold = run_suite_streaming(*ensemble_, cfg, {"U", "SST"});
+  ASSERT_EQ(spill_files(cfg.spill_dir).size(), 2u);
+
+  std::uint64_t largest = 0;
+  for (const auto& f : spill_files(cfg.spill_dir)) {
+    largest = std::max<std::uint64_t>(largest, std::filesystem::file_size(f));
+  }
+  cfg.spill_budget_bytes = largest;
+  const SuiteResults warm = run_suite_streaming(*ensemble_, cfg, {"SST"});
+  ASSERT_FALSE(warm.variables[0].processing_failed);
+  expect_variable_eq(warm.variables[0], cold.variables[1]);
+
+  const auto kept = spill_files(cfg.spill_dir);
+  ASSERT_EQ(kept.size(), 1u);
+  // The survivor is SST's spill (its name carries the variable).
+  EXPECT_NE(kept[0].filename().string().find("SST"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// SpillSession: per-run isolation of non-reusable spills.
+
+TEST(SpillSession, UniquePerInstanceAndRemovedOnExit) {
+  const std::string base = fresh_store_dir("session_unique");
+  std::string d1, d2;
+  {
+    const SpillSession a(base);
+    const SpillSession b(base);
+    d1 = a.dir();
+    d2 = b.dir();
+    EXPECT_NE(d1, d2);
+    EXPECT_TRUE(std::filesystem::is_directory(d1));
+    EXPECT_TRUE(std::filesystem::is_directory(d2));
+  }
+  EXPECT_FALSE(std::filesystem::exists(d1));
+  EXPECT_FALSE(std::filesystem::exists(d2));
+
+  std::string kept;
+  {
+    const SpillSession keeper(base, /*keep=*/true);
+    kept = keeper.dir();
+  }
+  EXPECT_TRUE(std::filesystem::is_directory(kept));
+  std::filesystem::remove_all(kept);
+}
+
+/// Stage-and-verify one tiny store named `X.cnk1` inside a fresh
+/// SpillSession under `base`. Returns 0 on success; used by both halves
+/// of the two-process regression (the child must not touch gtest).
+int stage_in_session(const std::string& base, std::uint64_t seed) {
+  try {
+    const SpillSession session(base);
+    const std::string path = session.dir() + "/X.cnk1";
+    const std::vector<std::size_t> offsets = {0, 64};
+    const auto data = testgen::smooth_field(64, seed);
+    ncio::ChunkStoreWriter writer(path, "X", comp::Shape::d1(64), std::nullopt, 1,
+                                  offsets);
+    writer.write_chunk(0, 0, data);
+    writer.finish();
+    const ncio::ChunkStoreReader reader(path);
+    std::vector<float> got(64);
+    reader.read_chunk(0, 0, got);
+    return std::equal(got.begin(), got.end(), data.begin()) ? 0 : 1;
+  } catch (...) {
+    return 2;
+  }
+}
+
+TEST(SpillSession, TwoProcessesShareOneSpillDirWithoutCollision) {
+  // The regression this pins: before per-run session directories, two
+  // processes staging the same variable into one spill_dir raced on the
+  // same "<dir>/X.cnk1" final name, and one process could read (or
+  // delete) the other's bytes. Each process now stages into its own
+  // "cesm-spill-<pid>-<token>" subdirectory.
+  const std::string base = fresh_store_dir("session_two_proc");
+  const pid_t child = fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    // Child: plain syscalls + library code only, result via exit status.
+    _exit(stage_in_session(base, 0xc411d));
+  }
+  EXPECT_EQ(stage_in_session(base, 0x9a9e47), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  // Both sessions cleaned up after themselves.
+  EXPECT_TRUE(std::filesystem::is_empty(base));
 }
 
 TEST_F(OocTest, FieldRangeMatchesFullSynthesis) {

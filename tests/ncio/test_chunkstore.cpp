@@ -5,8 +5,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "support/generators.h"
@@ -140,6 +143,146 @@ TEST(ChunkStore, ReadChunkValidatesArguments) {
   EXPECT_THROW(reader.read_chunk(3, 0, out), Error);  // member out of range
   EXPECT_THROW(reader.read_chunk(0, 3, out), Error);  // chunk out of range
   EXPECT_THROW(reader.read_chunk(0, 1, out), Error);  // wrong span size
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Hostility suite: a spill store that can outlive its writing process (spill
+// reuse) must treat ANY damage — truncation at any byte prefix, any single
+// bit flip in header, checksum table, or payload — as a typed FormatError,
+// never as silently-wrong data, a crash, or UB. Mirrors the frame-hostility
+// suite the serving protocol carries.
+
+/// Read every chunk of every member, forcing every payload checksum check.
+void read_everything(const ChunkStoreReader& reader) {
+  std::vector<float> buf;
+  for (std::uint32_t m = 0; m < reader.member_count(); ++m) {
+    for (std::size_t c = 0; c < reader.chunk_count(); ++c) {
+      buf.resize(reader.chunk_elems(c));
+      reader.read_chunk(m, c, buf);
+    }
+  }
+}
+
+std::vector<char> slurp(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+}
+
+void spew(const std::filesystem::path& path, std::span<const char> bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Open-then-read-everything must throw FormatError; anything else (no
+/// throw, a different exception type, a crash) fails the test.
+void expect_typed_rejection(const std::filesystem::path& path,
+                            const std::string& what) {
+  try {
+    const ChunkStoreReader reader(path.string());
+    read_everything(reader);
+    ADD_FAILURE() << what << ": damage was not detected";
+  } catch (const FormatError&) {
+    // expected: typed, catchable, attributable
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << what << ": wrong exception type: " << e.what();
+  }
+}
+
+/// A small store (2 members, 3 chunks with a 1-element tail) whose whole
+/// file is cheap to rewrite thousands of times.
+std::filesystem::path write_hostility_store(const char* name) {
+  const std::filesystem::path path = temp_store(name);
+  const std::vector<std::size_t> offsets = {0, 64, 130, 131};
+  ChunkStoreWriter writer(path.string(), "TS", comp::Shape::d1(131), 1.0e35f, 2,
+                          offsets);
+  for (std::uint32_t m = 0; m < 2; ++m) {
+    const auto data = testgen::smooth_field(131, 0x57a7e + m);
+    for (std::size_t c = 0; c + 1 < offsets.size(); ++c) {
+      writer.write_chunk(
+          m, c, std::span(data).subspan(offsets[c], offsets[c + 1] - offsets[c]));
+    }
+  }
+  writer.finish();
+  return path;
+}
+
+TEST(ChunkStoreHostility, TruncationAtEveryBytePrefixIsTyped) {
+  const std::filesystem::path path = write_hostility_store("cnk_trunc_all.cnk1");
+  const std::vector<char> pristine = slurp(path);
+  ASSERT_GT(pristine.size(), 0u);
+  const std::filesystem::path mutant = temp_store("cnk_trunc_all_mutant.cnk1");
+  for (std::size_t n = 0; n < pristine.size(); ++n) {
+    spew(mutant, std::span(pristine.data(), n));
+    expect_typed_rejection(mutant, "truncated to " + std::to_string(n) + " bytes");
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(mutant);
+}
+
+/// The byte range of one file region, resolved from the pristine reader.
+struct Region {
+  const char* name;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+class ChunkStoreHostility : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ChunkStoreHostility, EverySingleBitFlipIsTyped) {
+  // File names carry the param: ctest runs each instance as its own
+  // process against the shared TempDir, so a common name would race.
+  const std::string stem = std::string("cnk_flip_") + GetParam();
+  const std::filesystem::path path = write_hostility_store((stem + ".cnk1").c_str());
+  const std::vector<char> pristine = slurp(path);
+  Region region{GetParam(), 0, 0};
+  {
+    const ChunkStoreReader reader(path.string());
+    const std::size_t header = reader.header_bytes();
+    const std::size_t table = reader.table_bytes();
+    if (std::string_view(region.name) == "header") {
+      region.hi = header;
+    } else if (std::string_view(region.name) == "table") {
+      region.lo = header;
+      region.hi = header + table;
+    } else {
+      region.lo = header + table;
+      region.hi = pristine.size();
+    }
+  }
+  ASSERT_LT(region.lo, region.hi);
+  ASSERT_LE(region.hi, pristine.size());
+
+  const std::filesystem::path mutant = temp_store((stem + "_mutant.cnk1").c_str());
+  std::vector<char> bytes = pristine;
+  for (std::size_t pos = region.lo; pos < region.hi; ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bytes[pos] = static_cast<char>(bytes[pos] ^ (1 << bit));
+      spew(mutant, bytes);
+      expect_typed_rejection(mutant, std::string(region.name) + " byte " +
+                                         std::to_string(pos) + " bit " +
+                                         std::to_string(bit));
+      bytes[pos] = pristine[pos];  // restore for the next flip
+    }
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(mutant);
+}
+
+INSTANTIATE_TEST_SUITE_P(Regions, ChunkStoreHostility,
+                         ::testing::Values("header", "table", "payload"));
+
+TEST(ChunkStoreHostility, RejectsVersionOneFiles) {
+  // Spill reuse must never trust a pre-checksum (version 1) store: flip the
+  // version field back and expect a typed rejection even though the rest of
+  // the file is pristine.
+  const std::filesystem::path path = write_hostility_store("cnk_v1.cnk1");
+  std::vector<char> bytes = slurp(path);
+  ASSERT_GE(bytes.size(), 8u);
+  bytes[4] = 1;  // version word (little-endian u32 at offset 4)
+  spew(path, bytes);
+  expect_typed_rejection(path, "version 1 store");
   std::filesystem::remove(path);
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -278,6 +279,99 @@ TEST_F(DiskCacheTest, UnusableDirectoryThrowsIoError) {
 }
 
 // ---------------------------------------------------------------------------
+// evict_directory_to_budget + the DiskCache total-byte budget
+// ---------------------------------------------------------------------------
+
+/// Write `bytes` zeros at dir/name and stamp an mtime `age_rank` hours in
+/// the past, so eviction order is deterministic regardless of filesystem
+/// timestamp resolution.
+void put_file(const std::filesystem::path& dir, const char* name,
+              std::size_t bytes, int age_rank) {
+  const std::filesystem::path path = dir / name;
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    const std::string zeros(bytes, '\0');
+    f.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  }
+  std::filesystem::last_write_time(
+      path, std::filesystem::file_time_type::clock::now() -
+                std::chrono::hours(age_rank));
+}
+
+TEST_F(DiskCacheTest, EvictDirectoryRemovesOldestFirstAndOnlyMatching) {
+  std::filesystem::create_directories(dir_);
+  put_file(dir_, "a.cnk1", 100, 3);  // oldest
+  put_file(dir_, "b.cnk1", 100, 2);
+  put_file(dir_, "c.cnk1", 100, 1);  // newest
+  put_file(dir_, "d.other", 100, 4);  // wrong extension: invisible to eviction
+
+  const EvictionResult result = evict_directory_to_budget(dir_, ".cnk1", 150);
+  EXPECT_EQ(result.files_removed, 2u);
+  EXPECT_EQ(result.bytes_removed, 200u);
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "a.cnk1"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "b.cnk1"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "c.cnk1"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "d.other"));
+}
+
+TEST_F(DiskCacheTest, EvictDirectorySkipsProtectedPaths) {
+  std::filesystem::create_directories(dir_);
+  put_file(dir_, "a.cnk1", 100, 3);  // oldest, but in active use
+  put_file(dir_, "b.cnk1", 100, 2);
+  put_file(dir_, "c.cnk1", 100, 1);
+
+  const std::string protect[] = {(dir_ / "a.cnk1").string()};
+  const EvictionResult result = evict_directory_to_budget(dir_, ".cnk1", 100, protect);
+  EXPECT_EQ(result.files_removed, 2u);
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "a.cnk1"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "b.cnk1"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "c.cnk1"));
+}
+
+TEST_F(DiskCacheTest, EvictDirectoryIsNoOpUnderBudget) {
+  std::filesystem::create_directories(dir_);
+  put_file(dir_, "a.cnk1", 100, 1);
+  const EvictionResult result = evict_directory_to_budget(dir_, ".cnk1", 100);
+  EXPECT_EQ(result.files_removed, 0u);
+  EXPECT_EQ(result.bytes_removed, 0u);
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "a.cnk1"));
+}
+
+TEST_F(DiskCacheTest, EvictMissingDirectoryIsNotFatal) {
+  const EvictionResult result =
+      evict_directory_to_budget(dir_ / "never_created", ".cnk1", 0);
+  EXPECT_EQ(result.files_removed, 0u);
+  EXPECT_EQ(result.bytes_removed, 0u);
+}
+
+TEST_F(DiskCacheTest, TotalByteBudgetEvictsOldestEntriesAfterWrite) {
+  // Entries are 32 header + 8 payload = 40 bytes; a 100-byte directory
+  // budget holds two. The entry just written is always protected.
+  const DiskCache cache(dir_, "t", 0, 100);
+  cache.write(1, payload());
+  cache.write(2, payload());
+  // Backdate the first two so the third write's eviction pass has an
+  // unambiguous oldest victim.
+  std::filesystem::last_write_time(
+      cache.entry_path(1), std::filesystem::file_time_type::clock::now() -
+                               std::chrono::hours(2));
+  std::filesystem::last_write_time(
+      cache.entry_path(2), std::filesystem::file_time_type::clock::now() -
+                               std::chrono::hours(1));
+  cache.write(3, payload());
+
+  EXPECT_EQ(cache.read(1), std::nullopt);  // evicted: oldest
+  ASSERT_TRUE(cache.read(2).has_value());
+  ASSERT_TRUE(cache.read(3).has_value());
+}
+
+TEST_F(DiskCacheTest, ZeroTotalBudgetMeansUnlimited) {
+  const DiskCache cache(dir_, "t", 0, 0);
+  for (std::uint64_t k = 1; k <= 8; ++k) cache.write(k, payload());
+  for (std::uint64_t k = 1; k <= 8; ++k) EXPECT_TRUE(cache.read(k).has_value());
+}
+
+// ---------------------------------------------------------------------------
 // CacheConfig::from_env
 // ---------------------------------------------------------------------------
 
@@ -287,6 +381,7 @@ class CacheConfigEnvTest : public ::testing::Test {
     ::unsetenv("CESM_CACHE");
     ::unsetenv("CESM_CACHE_MB");
     ::unsetenv("CESM_CACHE_DIR");
+    ::unsetenv("CESM_CACHE_DISK_MB");
   }
 };
 
@@ -310,6 +405,16 @@ TEST_F(CacheConfigEnvTest, DisableAndSize) {
 TEST_F(CacheConfigEnvTest, GarbageSizeIgnored) {
   ::setenv("CESM_CACHE_MB", "lots", 1);
   EXPECT_EQ(CacheConfig::from_env().max_bytes, 256ull << 20);
+}
+
+TEST_F(CacheConfigEnvTest, DiskBudgetParsedAndGuarded) {
+  EXPECT_EQ(CacheConfig::from_env().disk_max_bytes, 0u);  // default: unlimited
+  ::setenv("CESM_CACHE_DISK_MB", "12", 1);
+  EXPECT_EQ(CacheConfig::from_env().disk_max_bytes, 12ull << 20);
+  ::setenv("CESM_CACHE_DISK_MB", "99999999999999999999", 1);  // overflows u64 MiB
+  EXPECT_EQ(CacheConfig::from_env().disk_max_bytes, 0u);
+  ::setenv("CESM_CACHE_DISK_MB", "-1", 1);  // signs rejected by env_u64
+  EXPECT_EQ(CacheConfig::from_env().disk_max_bytes, 0u);
 }
 
 }  // namespace

@@ -47,8 +47,12 @@ int usage() {
                "  decompress <in.cnc> <out.cnc>\n"
                "  diff <a.cnc> <b.cnc>\n"
                "  suite [--full-grid] [--scale=paper] [--members=N] [--vars=N]\n"
-               "        [--chunk=N] [--spill-dir=DIR] [--no-bias] [--out=results.csv]\n"
+               "        [--chunk=N] [--spill-dir=DIR] [--jobs=N] [--reuse-spill]\n"
+               "        [--spill-budget-mb=N] [--no-bias] [--out=results.csv]\n"
                "    --full-grid streams each variable chunk-by-chunk (out-of-core)\n"
+               "    --jobs=N runs N variables concurrently under one shared\n"
+               "    CESM_MEM_MB budget (0 = one per worker); --reuse-spill\n"
+               "    content-addresses spill files so a later run skips synthesis\n"
                "    under the CESM_MEM_MB logical budget; verdicts are bitwise\n"
                "    identical to the in-core pipeline on the same chunk partition\n");
   return 2;
@@ -234,6 +238,9 @@ int cmd_suite(int argc, char** argv) {
   const std::string vars_s = opt_value(argc, argv, "--vars=");
   const std::string chunk_s = opt_value(argc, argv, "--chunk=");
   const std::string spill_dir = opt_value(argc, argv, "--spill-dir=");
+  const std::string jobs_s = opt_value(argc, argv, "--jobs=");
+  const bool reuse_spill = has_flag(argc, argv, "--reuse-spill");
+  const std::string spill_budget_s = opt_value(argc, argv, "--spill-budget-mb=");
   const std::string out = opt_value(argc, argv, "--out=");
 
   climate::EnsembleSpec espec;
@@ -255,6 +262,14 @@ int cmd_suite(int argc, char** argv) {
   core::OocConfig cfg;
   if (!chunk_s.empty()) cfg.chunk_elems = std::strtoull(chunk_s.c_str(), nullptr, 10);
   if (!spill_dir.empty()) cfg.spill_dir = spill_dir;
+  if (!jobs_s.empty()) {
+    cfg.parallel_variables = std::strtoull(jobs_s.c_str(), nullptr, 10);
+  }
+  cfg.reuse_spill = reuse_spill;
+  if (!spill_budget_s.empty()) {
+    cfg.spill_budget_bytes =
+        std::strtoull(spill_budget_s.c_str(), nullptr, 10) << 20;
+  }
   cfg.memory_budget_bytes = util::memory_budget_bytes().value_or(0);
   cfg.suite.run_bias = !has_flag(argc, argv, "--no-bias");
   cfg.suite.chunk_elems = cfg.chunk_elems;
