@@ -35,6 +35,12 @@
 //                pipeline on the same chunk partition.
 // The JSON records peak RSS figures, phase breakdowns, and bitwise-parity
 // flags the CI gates (and the exit code) require to hold.
+//
+// The variant_sweep phase times the variant-sweep engine itself: the same
+// warmed suite slice swept direct-serial (plans off, variant_jobs=1),
+// plan-serial (shared encode-prep plans on), and plan-parallel (one
+// scheduler task per variant), with byte-parity of every plan-driven
+// stream and nonzero plan reuse baked into the exit code.
 
 #include <unistd.h>
 
@@ -50,6 +56,8 @@
 #include <vector>
 
 #include "common.h"
+#include "compress/prep.h"
+#include "compress/variants.h"
 #include "core/ensemble_cache.h"
 #include "core/export.h"
 #include "core/ooc.h"
@@ -489,10 +497,142 @@ SpillReuseBench run_spill_reuse_phase(const bench::Options& options) {
   return sr;
 }
 
+/// The variant-sweep engine leg: one warmed in-core suite slice swept
+/// three ways —
+///   direct_serial   variant_jobs=1, plan cache off: every variant encodes
+///                   from scratch, one after another (the pre-engine shape);
+///   plan_serial     plans on, still serial: isolates the shared
+///                   encode-prep reuse (fpzip map, ISABELA sort, GRIB2 scans);
+///   plan_parallel   variant_jobs=0: one scheduler task per variant, all
+///                   tasks sharing one plan store.
+/// The ensemble cache is warmed first so the timings cover the sweep
+/// itself (GRIB tuning + nine variant verifications per variable), not
+/// synthesis. All three sweeps must be bitwise identical, a traced pass
+/// records the engine's counters, and every paper variant's plan-driven
+/// stream is byte-compared against its direct encode on a real member
+/// field — the contract the engine rests on, held in the exit code.
+struct VariantSweepBench {
+  std::size_t workers = 0;
+  double direct_serial_seconds = 0.0;
+  double plan_serial_seconds = 0.0;
+  double plan_parallel_seconds = 0.0;
+  std::uint64_t plans_built = 0;
+  std::uint64_t plans_reused = 0;
+  std::uint64_t variant_tasks = 0;
+  bool stream_parity = false;  ///< plan vs direct bytes, every paper variant
+  bool identical = false;      ///< three sweeps bitwise + CSV identical
+
+  [[nodiscard]] double speedup() const {
+    return plan_parallel_seconds > 0.0
+               ? direct_serial_seconds / plan_parallel_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double plan_speedup() const {
+    return plan_serial_seconds > 0.0
+               ? direct_serial_seconds / plan_serial_seconds
+               : 0.0;
+  }
+};
+
+VariantSweepBench run_variant_sweep_phase(const bench::Options& options,
+                                          const std::vector<std::string>& variables,
+                                          int reps) {
+  VariantSweepBench vs;
+  ScopedScheduler scoped(options.threads);
+  vs.workers = scoped.scheduler().thread_count();
+  const climate::EnsembleGenerator ensemble = bench::make_ensemble(options);
+
+  // Warm the memoization tier: with synthesis and stats builds served
+  // from cache, the timed legs measure the sweep and nothing else.
+  core::EnsembleCache& cache = core::EnsembleCache::global();
+  util::CacheConfig on = util::CacheConfig::from_env();
+  on.enabled = true;
+  cache.configure(on);
+  for (const std::string& name : variables) {
+    (void)cache.stats(ensemble, ensemble.variable(name));
+  }
+
+  core::SuiteConfig direct_cfg = bench::suite_config(options);
+  // The bias regression round-trips every member once per variant and is
+  // identical across the legs; keep the timing on the sweep.
+  direct_cfg.run_bias = false;
+  direct_cfg.variant_jobs = 1;
+  direct_cfg.plan_cache_bytes = 0;
+  core::SuiteConfig plan_serial_cfg = direct_cfg;
+  plan_serial_cfg.plan_cache_bytes = core::SuiteConfig{}.plan_cache_bytes;
+  core::SuiteConfig plan_parallel_cfg = plan_serial_cfg;
+  plan_parallel_cfg.variant_jobs = 0;  // one scheduler task per variant
+
+  core::SuiteResults direct, plan_serial, plan_parallel;
+  const auto timed = [&](const core::SuiteConfig& cfg, core::SuiteResults& out) {
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch sw;
+      out = core::run_suite(ensemble, cfg, variables);
+      best = std::min(best, sw.seconds());
+    }
+    return best;
+  };
+  vs.direct_serial_seconds = timed(direct_cfg, direct);
+  vs.plan_serial_seconds = timed(plan_serial_cfg, plan_serial);
+  vs.plan_parallel_seconds = timed(plan_parallel_cfg, plan_parallel);
+
+  vs.identical =
+      identical_results(direct, plan_serial, "sweep_direct", "sweep_plan_serial") &&
+      identical_results(direct, plan_parallel, "sweep_direct",
+                        "sweep_plan_parallel") &&
+      core::suite_results_csv(direct) == core::suite_results_csv(plan_serial) &&
+      core::suite_results_csv(direct) == core::suite_results_csv(plan_parallel);
+
+  // Traced pass under the parallel config: the engine's own counters.
+  {
+    const bool had_trace = trace::enabled();
+    trace::reset();
+    trace::set_enabled(true);
+    const core::SuiteResults traced =
+        core::run_suite(ensemble, plan_parallel_cfg, variables);
+    if (traced.variables.empty()) vs.identical = false;  // keep it observable
+    const auto counters = trace::counters();
+    const auto counter = [&](const char* key) {
+      const auto it = counters.find(key);
+      return it == counters.end() ? std::uint64_t{0} : it->second;
+    };
+    vs.plans_built = counter("prep.plan_built");
+    vs.plans_reused = counter("prep.plan_reused");
+    vs.variant_tasks = counter("sweep.variant_tasks");
+    trace::reset();
+    if (!had_trace) trace::set_enabled(false);
+  }
+
+  // Byte parity of the plan-driven streams on a real member field, for
+  // every paper variant: build pass and reuse pass both.
+  vs.stream_parity = true;
+  const climate::VariableSpec& spec = ensemble.variable(variables.front());
+  const auto stats = cache.stats(ensemble, spec);
+  const climate::Field& field = stats->member(0);
+  const std::optional<float> fill =
+      spec.has_fill ? std::optional<float>(climate::kFillValue) : std::nullopt;
+  comp::PlanStore plans(256ull << 20);
+  for (const comp::CodecPtr& codec : comp::paper_variants(4, fill)) {
+    const Bytes direct_stream = codec->encode(field.data, field.shape);
+    if (plans.encode(*codec, field.data, field.shape, 0) != direct_stream ||
+        plans.encode(*codec, field.data, field.shape, 0) != direct_stream) {
+      std::fprintf(stderr, "PLAN PARITY FAILURE: %s plan stream != direct\n",
+                   codec->name().c_str());
+      vs.stream_parity = false;
+    }
+  }
+
+  // Leave the cache in its environment-default state.
+  cache.configure(util::CacheConfig::from_env());
+  return vs;
+}
+
 void write_json(std::ostream& out, const std::vector<ConfigResult>& configs,
                 const std::vector<PhaseRow>& phases, const CacheBench& cache,
                 const FullGridBench& fg, const MultiVarBench& mv,
-                const SpillReuseBench& sr, const bench::Options& options,
+                const SpillReuseBench& sr, const VariantSweepBench& vs,
+                const bench::Options& options,
                 std::size_t threads, std::size_t n_vars, int reps,
                 bool deterministic, double speedup_vs_fifo,
                 double speedup_vs_serial) {
@@ -623,6 +763,19 @@ void write_json(std::ostream& out, const std::vector<ConfigResult>& configs,
       << "    \"disk_tier\": " << (cache.disk_tier ? "true" : "false") << ",\n"
       << "    \"parity\": " << (cache.parity ? "true" : "false") << "\n"
       << "  },\n"
+      << "  \"variant_sweep\": {\n"
+      << "    \"workers\": " << vs.workers << ",\n"
+      << "    \"direct_serial_seconds\": " << vs.direct_serial_seconds << ",\n"
+      << "    \"plan_serial_seconds\": " << vs.plan_serial_seconds << ",\n"
+      << "    \"plan_parallel_seconds\": " << vs.plan_parallel_seconds << ",\n"
+      << "    \"speedup_plan_parallel_vs_direct\": " << vs.speedup() << ",\n"
+      << "    \"speedup_plan_serial_vs_direct\": " << vs.plan_speedup() << ",\n"
+      << "    \"plans_built\": " << vs.plans_built << ",\n"
+      << "    \"plans_reused\": " << vs.plans_reused << ",\n"
+      << "    \"variant_tasks\": " << vs.variant_tasks << ",\n"
+      << "    \"stream_parity\": " << (vs.stream_parity ? "true" : "false") << ",\n"
+      << "    \"parity\": " << (vs.identical ? "true" : "false") << "\n"
+      << "  },\n"
       << "  \"phases\": [\n";
   for (std::size_t i = 0; i < phases.size(); ++i) {
     out << "    {\"label\": \"" << phases[i].label << "\", "
@@ -723,6 +876,8 @@ int main(int argc, char** argv) {
   }
   csv_path += ".csv";
   const CacheBench cache_bench = run_cache_phase(options, variables, csv_path);
+  const VariantSweepBench variant_sweep =
+      run_variant_sweep_phase(options, variables, reps);
 
   std::printf("%-14s %10s %10s %9s %9s %8s %12s\n", "config", "seconds", "spawned",
               "stolen", "helped", "steal%", "busy (ms)");
@@ -755,6 +910,20 @@ int main(int argc, char** argv) {
               cache_bench.disk_tier ? ", disk tier on" : "");
   std::printf("cache parity (off == cold == warm, bitwise): %s\n",
               cache_bench.parity ? "yes" : "NO");
+  std::printf("variant sweep: direct-serial %.3fs  plan-serial %.3fs (%.2fx)  "
+              "plan-parallel %.3fs (%.2fx, %zu workers)\n",
+              variant_sweep.direct_serial_seconds,
+              variant_sweep.plan_serial_seconds, variant_sweep.plan_speedup(),
+              variant_sweep.plan_parallel_seconds, variant_sweep.speedup(),
+              variant_sweep.workers);
+  std::printf("  plans built %llu, reused %llu; %llu variant tasks\n",
+              static_cast<unsigned long long>(variant_sweep.plans_built),
+              static_cast<unsigned long long>(variant_sweep.plans_reused),
+              static_cast<unsigned long long>(variant_sweep.variant_tasks));
+  std::printf("  plan streams == direct streams (bytes): %s   "
+              "three sweeps identical (bitwise): %s\n",
+              variant_sweep.stream_parity ? "yes" : "NO",
+              variant_sweep.identical ? "yes" : "NO");
   if (full_grid.enabled) {
     std::printf("full grid: %s x%zu members (%llu elems each), chunk %zu\n",
                 full_grid.variable.c_str(), full_grid.members,
@@ -823,7 +992,7 @@ int main(int argc, char** argv) {
   // half-written JSON for the CI gate to parse.
   std::ostringstream out;
   write_json(out, configs, phases, cache_bench, full_grid, multi_var, spill_reuse,
-             options, threads, variables.size(), reps, deterministic,
+             variant_sweep, options, threads, variables.size(), reps, deterministic,
              speedup_vs_fifo, speedup_vs_serial);
   core::write_text_file(out_path, out.str());
   std::printf("wrote %s and %s\n", out_path.c_str(), csv_path.c_str());
@@ -839,8 +1008,14 @@ int main(int argc, char** argv) {
       !spill_reuse.enabled ||
       (spill_reuse.parity && spill_reuse.warm_synthesize_spans == 0 &&
        spill_reuse.cold_synthesize_spans > 0 && spill_reuse.warm_spills_reused > 0);
+  // The variant-sweep engine's contract: plan-driven streams byte-equal
+  // to direct encodes, bit-identical results at every scheduling shape,
+  // and plans actually shared (nonzero reuse across variants/tasks).
+  const bool variant_sweep_ok =
+      variant_sweep.identical && variant_sweep.stream_parity &&
+      variant_sweep.plans_reused > 0 && variant_sweep.variant_tasks > 0;
   return deterministic && cache_bench.parity && full_grid_ok && multi_var_ok &&
-                 spill_reuse_ok
+                 spill_reuse_ok && variant_sweep_ok
              ? 0
              : 1;
 }

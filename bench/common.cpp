@@ -22,7 +22,8 @@ namespace {
 [[noreturn]] void usage_and_exit(const char* prog) {
   std::printf(
       "usage: %s [--scale=reduced|paper] [--members=N] [--vars=N] [--no-bias] [--seed=N]\n"
-      "          [--threads=N] [--quick] [--full-grid] [--out=PATH] [--profile=out.json]\n"
+      "          [--threads=N] [--variant-jobs=N] [--quick] [--full-grid] [--out=PATH]\n"
+      "          [--profile=out.json]\n"
       "  --scale=reduced  3,456 columns x 8 levels (default for ensemble benches)\n"
       "  --scale=paper    48,672 columns x 30 levels (the paper's ne30-scale grid)\n"
       "  --members=N      perturbation ensemble size (paper: 101)\n"
@@ -31,6 +32,9 @@ namespace {
       "  --seed=N         seed for the random test-member choice\n"
       "  --threads=N      scheduler worker count (default: CESM_THREADS env,\n"
       "                   then hardware concurrency; clamped to the hardware)\n"
+      "  --variant-jobs=N concurrent variant-sweep tasks per variable\n"
+      "                   (1 = serial sweep [default], 0 = one task per\n"
+      "                   variant; results are bit-identical at any setting)\n"
       "  --quick          CI smoke mode (shrinks the bench's workload)\n"
       "  --full-grid      (bench_suite) out-of-core full-grid leg: stream one\n"
       "                   paper-scale variable under the CESM_MEM_MB budget and\n"
@@ -66,6 +70,9 @@ Options Options::parse(int argc, char** argv, bool default_paper_scale) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       o.threads = static_cast<std::size_t>(std::strtoull(arg.c_str() + 10, nullptr, 10));
       if (o.threads == 0) usage_and_exit(argv[0]);
+    } else if (arg.rfind("--variant-jobs=", 0) == 0) {
+      o.variant_jobs =
+          static_cast<std::size_t>(std::strtoull(arg.c_str() + 15, nullptr, 10));
     } else if (arg == "--quick") {
       o.quick = true;
     } else if (arg == "--full-grid") {
@@ -156,6 +163,7 @@ core::SuiteConfig suite_config(const Options& options) {
   core::SuiteConfig cfg;
   cfg.run_bias = options.run_bias;
   cfg.member_seed = options.seed;
+  cfg.variant_jobs = options.variant_jobs;
   return cfg;
 }
 

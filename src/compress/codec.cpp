@@ -17,7 +17,8 @@ class TracedCodec final : public Codec {
   explicit TracedCodec(CodecPtr inner)
       : inner_(std::move(inner)),
         encode_label_("encode:" + inner_->name()),
-        decode_label_("decode:" + inner_->name()) {}
+        decode_label_("decode:" + inner_->name()),
+        prep_label_("prep:" + inner_->name()) {}
 
   [[nodiscard]] std::string name() const override { return inner_->name(); }
   [[nodiscard]] std::string family() const override { return inner_->family(); }
@@ -72,10 +73,33 @@ class TracedCodec final : public Codec {
     return out;
   }
 
+  // Prep hooks forward transparently so a traced variant shares plans
+  // with (and produces the same streams as) its bare codec. A plan-driven
+  // encode carries the exact span and counters of a direct encode — the
+  // sweep's profile stays comparable whether plans are on or off.
+  [[nodiscard]] std::string prep_key() const override { return inner_->prep_key(); }
+
+  [[nodiscard]] PrepPlanPtr build_prep(std::span<const float> data,
+                                       const Shape& shape) const override {
+    trace::Span span(prep_label_);
+    return inner_->build_prep(data, shape);
+  }
+
+  [[nodiscard]] Bytes encode_with_prep(const PrepPlan& plan, std::span<const float> data,
+                                       const Shape& shape) const override {
+    trace::Span span(encode_label_);
+    Bytes out = inner_->encode_with_prep(plan, data, shape);
+    trace::counter_add("codec.encode_calls", 1);
+    trace::counter_add("codec.elements_in", data.size());
+    trace::counter_add("codec.bytes_out", out.size());
+    return out;
+  }
+
  private:
   CodecPtr inner_;
   std::string encode_label_;
   std::string decode_label_;
+  std::string prep_label_;
 };
 
 }  // namespace
@@ -92,6 +116,15 @@ Bytes Codec::encode64(std::span<const double>, const Shape&) const {
 
 std::vector<double> Codec::decode64(std::span<const std::uint8_t>) const {
   throw InvalidArgument(name() + " does not support 64-bit data");
+}
+
+PrepPlanPtr Codec::build_prep(std::span<const float>, const Shape&) const {
+  return nullptr;
+}
+
+Bytes Codec::encode_with_prep(const PrepPlan&, std::span<const float> data,
+                              const Shape& shape) const {
+  return encode(data, shape);
 }
 
 void Codec::decode_into(std::span<const std::uint8_t> stream,

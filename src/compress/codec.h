@@ -60,6 +60,22 @@ inline double compression_ratio(std::size_t compressed_bytes, std::size_t value_
          static_cast<double>(value_count * bytes_per_value);
 }
 
+/// Variant-invariant preprocessing shared across a codec family's sweep
+/// variants (see prep.h for the PlanStore that caches these). A plan is
+/// immutable from the caller's point of view; implementations may keep
+/// internal lazily-filled memo state behind their own lock, but
+/// resident_bytes() must stay constant over the plan's lifetime so cache
+/// accounting remains exact (reserve memo capacity at build time).
+class PrepPlan {
+ public:
+  virtual ~PrepPlan() = default;
+
+  /// Bytes held resident by this plan, including reserved memo capacity.
+  [[nodiscard]] virtual std::size_t resident_bytes() const = 0;
+};
+
+using PrepPlanPtr = std::shared_ptr<const PrepPlan>;
+
 /// Abstract compression method.
 class Codec {
  public:
@@ -99,6 +115,34 @@ class Codec {
                                        const Shape& shape) const;
   [[nodiscard]] virtual std::vector<double> decode64(
       std::span<const std::uint8_t> stream) const;
+
+  // --- Shared encode-prep plans (variant-sweep engine, see prep.h) ------
+  //
+  // A codec family whose variants differ only in a tuning knob (fpzip
+  // precision, ISABELA error bound, GRIB2 decimal scale) can expose the
+  // knob-invariant stage of encode() as a reusable plan. The contract is
+  // pure memoization: for any plan built by build_prep(data, shape) on a
+  // codec with the same prep_key(), encode_with_prep(plan, data, shape)
+  // must return a stream byte-identical to encode(data, shape).
+
+  /// Key identifying the preprocessing this codec can share. Codecs with
+  /// equal keys accept each other's plans for the same data. Empty (the
+  /// default) means "no plannable stage": PlanStore takes the direct path.
+  [[nodiscard]] virtual std::string prep_key() const { return {}; }
+
+  /// Compute the variant-invariant stage for `data`. Must throw exactly
+  /// the input-validation errors encode() would throw for the same field
+  /// (exception parity is part of the bit-identity contract). The default
+  /// returns nullptr, which PlanStore treats as "take the direct path".
+  [[nodiscard]] virtual PrepPlanPtr build_prep(std::span<const float> data,
+                                               const Shape& shape) const;
+
+  /// Encode using a plan built over the same data by a codec with the
+  /// same prep_key(). Byte-identical to encode(data, shape) by contract;
+  /// the default ignores the plan and calls encode().
+  [[nodiscard]] virtual Bytes encode_with_prep(const PrepPlan& plan,
+                                               std::span<const float> data,
+                                               const Shape& shape) const;
 };
 
 using CodecPtr = std::shared_ptr<const Codec>;

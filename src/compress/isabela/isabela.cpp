@@ -162,6 +162,28 @@ std::vector<T> isa_decode_impl(std::span<const std::uint8_t> stream) {
   return out;
 }
 
+// Variant-invariant stage of the float encode: ISABELA's dominant cost is
+// the per-window sort + B-spline fit, and the error bound (eps) only
+// enters the correction loop — so one plan serves every ISA-x.y variant.
+// `sorted` keeps the float-precision values the direct path casts through,
+// and `estimate` the spline evaluation over them, so the correction
+// quantization sees bit-identical doubles.
+struct IsaWindow {
+  std::vector<std::uint32_t> perm;
+  std::vector<float> sorted;
+  std::vector<double> coeffs;
+  std::vector<double> estimate;
+  double floor_abs = 0.0;
+};
+
+struct IsaPlan final : PrepPlan {
+  std::vector<IsaWindow> windows;
+  std::size_t n = 0;
+  std::size_t bytes = sizeof(IsaPlan);
+
+  [[nodiscard]] std::size_t resident_bytes() const override { return bytes; }
+};
+
 }  // namespace
 
 IsabelaCodec::IsabelaCodec(double rel_error_percent, std::size_t window,
@@ -198,6 +220,100 @@ Bytes IsabelaCodec::encode64(std::span<const double> data, const Shape& shape) c
 std::vector<double> IsabelaCodec::decode64(std::span<const std::uint8_t> stream) const {
   CESM_FAILPOINT("isabela.decode");
   return isa_decode_impl<double>(stream);
+}
+
+std::string IsabelaCodec::prep_key() const {
+  return "isa:w" + std::to_string(window_) + ":c" + std::to_string(coefficients_);
+}
+
+PrepPlanPtr IsabelaCodec::build_prep(std::span<const float> data,
+                                     const Shape& shape) const {
+  CESM_REQUIRE(shape.count() == data.size());
+  const std::size_t n = data.size();
+  const std::size_t nwin = (n + window_ - 1) / window_;
+
+  auto plan = std::make_shared<IsaPlan>();
+  plan->n = n;
+  plan->windows.resize(nwin);
+  for (std::size_t wi = 0; wi < nwin; ++wi) {
+    const std::size_t lo = wi * window_;
+    const std::size_t len = std::min(window_, n - lo);
+    IsaWindow& win = plan->windows[wi];
+
+    win.perm.resize(len);
+    sort_window(data.data() + lo, win.perm.data(), len);
+
+    win.sorted.resize(len);
+    for (std::size_t i = 0; i < len; ++i) win.sorted[i] = data[lo + win.perm[i]];
+
+    const std::size_t ncoef = std::max<std::size_t>(4, std::min(coefficients_, len));
+    const CubicBSpline spline = CubicBSpline::fit(win.sorted, ncoef);
+    win.coeffs = spline.coefficients();
+    win.estimate = spline.evaluate_all();
+
+    double max_abs = 0.0;
+    for (float v : win.sorted) {
+      max_abs = std::max(max_abs, std::fabs(static_cast<double>(v)));
+    }
+    win.floor_abs = std::max(1e-7 * max_abs, 1e-300);
+
+    plan->bytes += sizeof(IsaWindow) + win.perm.capacity() * sizeof(std::uint32_t) +
+                   win.sorted.capacity() * sizeof(float) +
+                   (win.coeffs.capacity() + win.estimate.capacity()) * sizeof(double);
+  }
+  return plan;
+}
+
+Bytes IsabelaCodec::encode_with_prep(const PrepPlan& plan, std::span<const float> data,
+                                     const Shape& shape) const {
+  const auto* p = dynamic_cast<const IsaPlan*>(&plan);
+  CESM_REQUIRE(p != nullptr && p->n == data.size());
+  CESM_REQUIRE(shape.count() == data.size());
+  const double eps_frac = rel_error_percent_ / 100.0;
+  CESM_REQUIRE(eps_frac > 0.0 && eps_frac < 1.0);
+  CESM_REQUIRE(window_ > 0 && window_ <= (1u << 20));
+  CESM_REQUIRE(coefficients_ >= 4 && coefficients_ <= 0xffff);
+
+  Bytes out;
+  ByteWriter w(out);
+  wire::write_header(w, kIsaMagic, shape);
+  w.u8(sizeof(float));
+  w.f64(eps_frac);
+  w.u32(static_cast<std::uint32_t>(window_));
+  w.u16(static_cast<std::uint16_t>(coefficients_));
+
+  for (const IsaWindow& win : p->windows) {
+    const std::size_t len = win.sorted.size();
+
+    Bytes payload;
+    ByteWriter pw(payload);
+    pw.u32(static_cast<std::uint32_t>(len));
+    pw.u16(static_cast<std::uint16_t>(win.coeffs.size()));
+    pw.f64(win.floor_abs);
+    for (double c : win.coeffs) pw.f64(c);
+
+    {
+      BitWriter bw(payload);
+      const unsigned pbits = bits_for(len);
+      for (std::uint32_t q : win.perm) bw.put(q, pbits);
+      bw.align();
+    }
+    {
+      RangeEncoder enc(payload);
+      ResidualCoder coder;
+      for (std::size_t i = 0; i < len; ++i) {
+        const double step = correction_step(win.estimate[i], eps_frac, win.floor_abs);
+        const double diff = static_cast<double>(win.sorted[i]) - win.estimate[i];
+        const auto m = static_cast<std::int64_t>(std::llround(diff / step));
+        coder.encode(enc, zigzag_encode(static_cast<std::uint64_t>(m)));
+      }
+      enc.finish();
+    }
+
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.raw(payload);
+  }
+  return out;
 }
 
 }  // namespace cesm::comp

@@ -45,6 +45,15 @@ class IsabelaCodec final : public Codec {
   [[nodiscard]] std::vector<double> decode64(
       std::span<const std::uint8_t> stream) const override;
 
+  /// Prep plan: per-window sort permutation + spline fit, shared by every
+  /// error-bound variant with the same window/coefficient parameters (the
+  /// bound only enters the correction coding; see prep.h).
+  [[nodiscard]] std::string prep_key() const override;
+  [[nodiscard]] PrepPlanPtr build_prep(std::span<const float> data,
+                                       const Shape& shape) const override;
+  [[nodiscard]] Bytes encode_with_prep(const PrepPlan& plan, std::span<const float> data,
+                                       const Shape& shape) const override;
+
   [[nodiscard]] double rel_error_percent() const { return rel_error_percent_; }
   [[nodiscard]] std::size_t window() const { return window_; }
 

@@ -1,5 +1,6 @@
 #include "compress/special.h"
 
+#include <bit>
 #include <vector>
 
 #include "compress/rangecoder.h"
@@ -10,7 +11,24 @@ namespace cesm::comp {
 
 namespace {
 constexpr std::uint32_t kSpcMagic = 0x31435053;  // "SPC1"
-}
+
+// The wrapper's variant-invariant stage: the patched field, the complete
+// stream prefix (magic + fill + RLE bitmap — none of it depends on the
+// inner variant), and the inner codec's own plan over the patched data
+// when it has one. APAX's three fixed-rate variants share the patch work
+// even though the inner codec is unplannable.
+struct SpecialPlan final : PrepPlan {
+  std::vector<float> patched;
+  Bytes prefix;
+  PrepPlanPtr inner;
+
+  [[nodiscard]] std::size_t resident_bytes() const override {
+    return patched.capacity() * sizeof(float) + prefix.capacity() + sizeof(*this) +
+           (inner ? inner->resident_bytes() : 0);
+  }
+};
+
+}  // namespace
 
 std::vector<std::uint8_t> patch_fill_values(std::span<float> data, float fill) {
   std::vector<std::uint8_t> valid(data.size(), 1);
@@ -42,10 +60,11 @@ SpecialValueCodec::SpecialValueCodec(CodecPtr inner, float fill_value)
   CESM_REQUIRE(inner_ != nullptr);
 }
 
-Bytes SpecialValueCodec::encode(std::span<const float> data, const Shape& shape) const {
-  std::vector<float> patched(data.begin(), data.end());
-  const std::vector<std::uint8_t> valid = patch_fill_values(patched, fill_);
+namespace {
 
+/// Emit the wrapper's stream prefix: magic, fill, and (when any point was
+/// patched) the run-length-coded validity bitmap.
+Bytes make_prefix(float fill, std::span<const std::uint8_t> valid) {
   bool any_missing = false;
   for (std::uint8_t v : valid) {
     if (!v) {
@@ -57,7 +76,7 @@ Bytes SpecialValueCodec::encode(std::span<const float> data, const Shape& shape)
   Bytes out;
   ByteWriter w(out);
   w.u32(kSpcMagic);
-  w.f32(fill_);
+  w.f32(fill);
   w.u8(any_missing ? 1 : 0);
   if (any_missing) {
     // Alternating run lengths starting with a (possibly empty) valid run,
@@ -79,7 +98,54 @@ Bytes SpecialValueCodec::encode(std::span<const float> data, const Shape& shape)
     w.u64(bitmap.size());
     w.raw(bitmap);
   }
+  return out;
+}
+
+}  // namespace
+
+Bytes SpecialValueCodec::encode(std::span<const float> data, const Shape& shape) const {
+  std::vector<float> patched(data.begin(), data.end());
+  const std::vector<std::uint8_t> valid = patch_fill_values(patched, fill_);
+
+  Bytes out = make_prefix(fill_, valid);
+  ByteWriter w(out);
   const Bytes inner_stream = inner_->encode(patched, shape);
+  w.raw(inner_stream);
+  return out;
+}
+
+std::string SpecialValueCodec::prep_key() const {
+  std::string key = "spc:f" + std::to_string(std::bit_cast<std::uint32_t>(fill_));
+  const std::string inner_key = inner_->prep_key();
+  if (!inner_key.empty()) key += '+' + inner_key;
+  // With an unplannable inner codec the plan still carries the patched
+  // field and prefix, which every such wrapper produces identically for
+  // the same fill — so the bare key is safely shared across them.
+  return key;
+}
+
+PrepPlanPtr SpecialValueCodec::build_prep(std::span<const float> data,
+                                          const Shape& shape) const {
+  auto plan = std::make_shared<SpecialPlan>();
+  plan->patched.assign(data.begin(), data.end());
+  const std::vector<std::uint8_t> valid = patch_fill_values(plan->patched, fill_);
+  plan->prefix = make_prefix(fill_, valid);
+  if (!inner_->prep_key().empty()) {
+    plan->inner = inner_->build_prep(plan->patched, shape);
+  }
+  return plan;
+}
+
+Bytes SpecialValueCodec::encode_with_prep(const PrepPlan& plan,
+                                          std::span<const float> data,
+                                          const Shape& shape) const {
+  const auto* p = dynamic_cast<const SpecialPlan*>(&plan);
+  CESM_REQUIRE(p != nullptr && p->patched.size() == data.size());
+  Bytes out = p->prefix;
+  ByteWriter w(out);
+  const Bytes inner_stream =
+      p->inner != nullptr ? inner_->encode_with_prep(*p->inner, p->patched, shape)
+                          : inner_->encode(p->patched, shape);
   w.raw(inner_stream);
   return out;
 }

@@ -31,6 +31,14 @@ class SpecialValueCodec final : public Codec {
   [[nodiscard]] Bytes encode(std::span<const float> data, const Shape& shape) const override;
   [[nodiscard]] std::vector<float> decode(std::span<const std::uint8_t> stream) const override;
 
+  /// Prep plan: patched field + bitmap prefix (inner-variant invariant),
+  /// composed with the inner codec's own plan when it has one (prep.h).
+  [[nodiscard]] std::string prep_key() const override;
+  [[nodiscard]] PrepPlanPtr build_prep(std::span<const float> data,
+                                       const Shape& shape) const override;
+  [[nodiscard]] Bytes encode_with_prep(const PrepPlan& plan, std::span<const float> data,
+                                       const Shape& shape) const override;
+
   [[nodiscard]] float fill_value() const { return fill_; }
   [[nodiscard]] const Codec& inner() const { return *inner_; }
 

@@ -1,5 +1,6 @@
 #include "compress/variants.h"
 
+#include <bit>
 #include <charconv>
 
 #include "compress/apax/apax.h"
@@ -33,6 +34,26 @@ std::vector<CodecPtr> paper_variants(int grib_decimal_scale,
   v.push_back(with_fill_handling(std::make_shared<IsabelaCodec>(1.0), fill_value));
   // Trace every variant uniformly so --profile covers all nine methods.
   for (CodecPtr& codec : v) codec = traced(std::move(codec));
+  return v;
+}
+
+std::vector<CodecPtr> VariantPool::assemble(int grib_decimal_scale,
+                                            std::optional<float> fill_value) const {
+  const std::uint64_t key =
+      fill_value ? std::uint64_t{std::bit_cast<std::uint32_t>(*fill_value)} : ~0ull;
+  std::vector<CodecPtr> v;
+  v.reserve(9);
+  // GRIB2 carries the per-variable tuned scale, so it is always fresh.
+  v.push_back(traced(std::make_shared<Grib2Codec>(grib_decimal_scale, fill_value)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<CodecPtr>& tail = tails_[key];
+    if (tail.empty()) {
+      const std::vector<CodecPtr> all = paper_variants(grib_decimal_scale, fill_value);
+      tail.assign(all.begin() + 1, all.end());
+    }
+    v.insert(v.end(), tail.begin(), tail.end());
+  }
   return v;
 }
 

@@ -8,6 +8,9 @@
 //   ISA-0.1/0.5/1.0 — per-point relative error (%), window 1024
 //   NetCDF-4     — lossless deflate baseline
 
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,5 +44,23 @@ std::vector<CodecPtr> family_ladder(const std::string& family, int grib_decimal_
 /// Wrap `codec` so fill values survive the round trip when the codec has
 /// no native special-value support; returns `codec` unchanged otherwise.
 CodecPtr with_fill_handling(CodecPtr codec, std::optional<float> fill_value);
+
+/// Shares the paper-variant codec instances across run_variable calls.
+/// Only GRIB2 depends on the per-variable decimal scale; the other eight
+/// variants are keyed on the fill value alone and built once per key, so
+/// a suite run stops reconstructing (and re-tracing) the same stateless
+/// codecs for every variable. Codecs are immutable and the pool is
+/// mutex-guarded, so one pool serves concurrent run_variable calls.
+class VariantPool {
+ public:
+  /// The same nine variants, in the same order, as paper_variants().
+  [[nodiscard]] std::vector<CodecPtr> assemble(int grib_decimal_scale,
+                                               std::optional<float> fill_value) const;
+
+ private:
+  mutable std::mutex mu_;
+  /// Non-GRIB2 tail keyed by fill bits (the sentinel ~0ull means "no fill").
+  mutable std::map<std::uint64_t, std::vector<CodecPtr>> tails_;
+};
 
 }  // namespace cesm::comp

@@ -16,10 +16,12 @@ GribTuning rmsz_guided_decimal_scale(const EnsembleStats& stats,
                                      const PvtThresholds& thresholds,
                                      int significant_digits,
                                      int max_extra_digits,
-                                     std::size_t chunk_elems) {
+                                     std::size_t chunk_elems,
+                                     comp::PlanStore* plans) {
   CESM_REQUIRE(!test_members.empty());
   trace::Span span("grib.tune");
-  const PvtVerifier verifier(stats, thresholds);
+  PvtVerifier verifier(stats, thresholds);
+  verifier.set_plan_store(plans);
 
   // Magnitude-based starting point from the probe member's range.
   const climate::Field& probe = stats.member(test_members.front());

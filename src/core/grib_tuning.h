@@ -24,13 +24,19 @@ struct GribTuning {
 /// codec's native bitmap support. The probe uses the first entry of
 /// `test_members` (tests 1–3 only; the bias sweep stays with the caller).
 /// Nonzero `chunk_elems` measures every attempt through a ChunkedCodec
-/// with that partition (see SuiteConfig::chunk_elems).
+/// with that partition (see SuiteConfig::chunk_elems). `plans`, when
+/// non-null, shares each member's bitmap/min-max scan across the whole
+/// candidate ladder and leaves the winning scale's wavelet lift cached
+/// for the suite's GRIB2 variant verify (see prep.h); only usable with
+/// chunk_elems == 0 — the chunked wrapper is unplannable and plans are
+/// keyed per whole member here.
 GribTuning rmsz_guided_decimal_scale(const EnsembleStats& stats,
                                      std::optional<float> fill,
                                      std::span<const std::size_t> test_members,
                                      const PvtThresholds& thresholds = {},
                                      int significant_digits = 4,
                                      int max_extra_digits = 6,
-                                     std::size_t chunk_elems = 0);
+                                     std::size_t chunk_elems = 0,
+                                     comp::PlanStore* plans = nullptr);
 
 }  // namespace cesm::core

@@ -405,6 +405,20 @@ struct StreamContext {
   const comp::ChunkedCodec& chunked;
   std::size_t max_chunk;
   const PvtThresholds& thresholds;
+  /// Shared encode-prep plan store (prep.h); null = direct encodes. Plans
+  /// are keyed per (member, chunk) so every variant of a family reuses the
+  /// chunk's variant-invariant stage. Streams stay byte-identical.
+  comp::PlanStore* plans = nullptr;
+
+  /// Encode one chunk of one member through the wrapped variant's inner
+  /// codec, plan-driven when a store is attached.
+  [[nodiscard]] Bytes encode_chunk(const comp::Codec& inner, std::span<const float> x,
+                                   const comp::Shape& cs, std::size_t member,
+                                   std::size_t c) const {
+    if (plans == nullptr) return inner.encode(x, cs);
+    return plans->encode(inner, x, cs,
+                         static_cast<std::uint64_t>(member) * store.chunk_count() + c);
+  }
 };
 
 /// Tests 1–3 for one member, chunk-at-a-time: encode + decode each chunk
@@ -433,7 +447,7 @@ MemberEvaluation evaluate_member_streaming(const StreamContext& ctx,
       ctx.store, static_cast<std::uint32_t>(member), b0, b1,
       [&](std::size_t c, std::span<const float> x) {
         const comp::Shape cs = ctx.chunked.chunk_shape(shape, offsets[c], offsets[c + 1]);
-        const Bytes stream = inner.encode(x, cs);
+        const Bytes stream = ctx.encode_chunk(inner, x, cs, member, c);
         sizes[c] = stream.size();
         const std::span<float> out(recon.data(), x.size());
         inner.decode_into(stream, out);
@@ -476,7 +490,7 @@ double reconstructed_rmsz_streaming(const StreamContext& ctx, std::size_t member
       ctx.store, static_cast<std::uint32_t>(member), b0, b1,
       [&](std::size_t c, std::span<const float> x) {
         const comp::Shape cs = ctx.chunked.chunk_shape(shape, offsets[c], offsets[c + 1]);
-        const Bytes stream = inner.encode(x, cs);
+        const Bytes stream = ctx.encode_chunk(inner, x, cs, member, c);
         const std::span<float> out(recon.data(), x.size());
         inner.decode_into(stream, out);
         const std::span<const std::uint8_t> mask_slice =
@@ -537,55 +551,77 @@ VariableVerdict verify_streaming(const StreamContext& ctx,
   return verdict;
 }
 
+/// Record a codec-error verdict for a streaming variant whose verify
+/// threw `message`, re-scored under the same lossless stand-in as the
+/// in-core leg when the fallback policy is on.
+VariableVerdict codec_error_verdict_streaming(const ncio::ChunkStoreReader& store,
+                                              const StreamingStats& stats,
+                                              const comp::ChunkedCodec& chunked,
+                                              std::size_t max_chunk,
+                                              std::span<const std::size_t> test_members,
+                                              const OocConfig& config,
+                                              comp::PlanStore* plans,
+                                              const std::string& message) {
+  const SuiteConfig& suite = config.suite;
+  trace::counter_add("suite.codec_errors", 1);
+  VariableVerdict verdict;
+  verdict.variable = store.variable();
+  verdict.codec = chunked.name();
+  verdict.codec_error = true;
+  verdict.error_message = message;
+  if (suite.lossless_fallback) {
+    const comp::CodecPtr stand_in =
+        lossless_stand_in(chunked.name(), store.fill(), config.chunk_elems);
+    const auto* stand_in_chunked =
+        dynamic_cast<const comp::ChunkedCodec*>(stand_in.get());
+    CESM_REQUIRE(stand_in_chunked != nullptr);
+    const StreamContext fallback_ctx{store,     stats,             *stand_in_chunked,
+                                     max_chunk, suite.thresholds, plans};
+    try {
+      VariableVerdict lossless =
+          verify_streaming(fallback_ctx, test_members, suite.run_bias,
+                           suite.thresholds.bias_confidence);
+      // Informational only: the variant's pass flags stay false — what
+      // we are certifying is the lossy method (see suite.cpp).
+      verdict.members = std::move(lossless.members);
+      verdict.mean_cr = lossless.mean_cr;
+      verdict.bias = lossless.bias;
+      verdict.bias_evaluated = lossless.bias_evaluated;
+      verdict.fallback_codec = stand_in->name();
+      trace::counter_add("suite.lossless_fallbacks", 1);
+    } catch (const Error&) {
+      // The stand-in failed too: keep the bare codec-error verdict.
+    }
+  }
+  return verdict;
+}
+
 /// Mirror of the in-core verify_with_fallback: a thrown cesm::Error
-/// becomes a codec-error verdict (never a pass), re-scored under the same
-/// lossless stand-in when the fallback policy is on.
+/// becomes a codec-error verdict (never a pass). Non-null `injected` is an
+/// error raised by the caller's catalog-order failpoint pre-pass (see
+/// suite.cpp): the verify is skipped and the codec-error path runs.
 VariableVerdict verify_with_fallback_streaming(const ncio::ChunkStoreReader& store,
                                                const StreamingStats& stats,
                                                const comp::ChunkedCodec& chunked,
                                                std::size_t max_chunk,
                                                std::span<const std::size_t> test_members,
-                                               const OocConfig& config) {
+                                               const OocConfig& config,
+                                               comp::PlanStore* plans,
+                                               const std::string* injected = nullptr) {
   const SuiteConfig& suite = config.suite;
-  const StreamContext ctx{store, stats, chunked, max_chunk, suite.thresholds};
+  if (injected != nullptr) {
+    return codec_error_verdict_streaming(store, stats, chunked, max_chunk, test_members,
+                                         config, plans, *injected);
+  }
+  const StreamContext ctx{store, stats, chunked, max_chunk, suite.thresholds, plans};
   try {
-    CESM_FAILPOINT("suite.verify_variant");
     return verify_streaming(ctx, test_members, suite.run_bias,
                             suite.thresholds.bias_confidence);
   } catch (const InvalidArgument&) {
     throw;  // caller bug, not a codec failure: keep the old contract
   } catch (const Error& e) {
-    trace::counter_add("suite.codec_errors", 1);
-    VariableVerdict verdict;
-    verdict.variable = store.variable();
-    verdict.codec = chunked.name();
-    verdict.codec_error = true;
-    verdict.error_message = e.what();
-    if (suite.lossless_fallback) {
-      const comp::CodecPtr stand_in =
-          lossless_stand_in(chunked.name(), store.fill(), config.chunk_elems);
-      const auto* stand_in_chunked =
-          dynamic_cast<const comp::ChunkedCodec*>(stand_in.get());
-      CESM_REQUIRE(stand_in_chunked != nullptr);
-      const StreamContext fallback_ctx{store, stats, *stand_in_chunked, max_chunk,
-                                       suite.thresholds};
-      try {
-        VariableVerdict lossless =
-            verify_streaming(fallback_ctx, test_members, suite.run_bias,
-                             suite.thresholds.bias_confidence);
-        // Informational only: the variant's pass flags stay false — what
-        // we are certifying is the lossy method (see suite.cpp).
-        verdict.members = std::move(lossless.members);
-        verdict.mean_cr = lossless.mean_cr;
-        verdict.bias = lossless.bias;
-        verdict.bias_evaluated = lossless.bias_evaluated;
-        verdict.fallback_codec = stand_in->name();
-        trace::counter_add("suite.lossless_fallbacks", 1);
-      } catch (const Error&) {
-        // The stand-in failed too: keep the bare codec-error verdict.
-      }
-    }
-    return verdict;
+    return codec_error_verdict_streaming(store, stats, chunked, max_chunk, test_members,
+                                         config, plans, e.what());
   }
 }
 
@@ -596,7 +632,8 @@ GribTuning tune_decimal_scale_streaming(const ncio::ChunkStoreReader& store,
                                         const StreamingStats& stats,
                                         std::size_t max_chunk,
                                         std::span<const std::size_t> test_members,
-                                        const OocConfig& config) {
+                                        const OocConfig& config,
+                                        comp::PlanStore* plans) {
   CESM_REQUIRE(!test_members.empty());
   trace::Span span("grib.tune");
   const SuiteConfig& suite = config.suite;
@@ -612,7 +649,7 @@ GribTuning tune_decimal_scale_streaming(const ncio::ChunkStoreReader& store,
         std::make_shared<comp::Grib2Codec>(d, store.fill()), config.chunk_elems);
     const auto* chunked = dynamic_cast<const comp::ChunkedCodec*>(codec.get());
     CESM_REQUIRE(chunked != nullptr);
-    const StreamContext ctx{store, stats, *chunked, max_chunk, suite.thresholds};
+    const StreamContext ctx{store, stats, *chunked, max_chunk, suite.thresholds, plans};
     ++tuning.attempts;
     trace::counter_add("grib.tune_attempts", 1);
     // Serial with early break: the break only skips work, never changes
@@ -780,6 +817,12 @@ VariableResult run_variable_streaming(const climate::EnsembleGenerator& ensemble
                                 hash_combine(suite.member_seed, spec.stream));
   const std::size_t probe = result.test_members.front();
 
+  // Shared encode-prep plans for the verify phase, keyed per (member,
+  // chunk). Cached plans charge the variable's own budget; one that does
+  // not fit is silently not cached, so the CESM_MEM_MB cap is never at
+  // risk. Declared after `budget` so its charges release first.
+  comp::PlanStore plans(config.plan_cache_bytes, &budget);
+
   // Characterization + lossless baselines: summaries come from the pass-2
   // member moments; the CRs from chunk-at-a-time encodes sized through
   // packed_stream_bytes — byte-identical to the in-core chunked streams.
@@ -791,12 +834,16 @@ VariableResult run_variable_streaming(const climate::EnsembleGenerator& ensemble
     std::vector<float> b1(max_chunk);
     std::vector<std::size_t> sizes(store.chunk_count());
     const std::vector<std::size_t>& offsets = store.chunk_offsets();
-    walk_member_chunks(store, static_cast<std::uint32_t>(probe), b0, b1,
-                       [&](std::size_t c, std::span<const float> x) {
-                         const comp::Shape cs = chunked->chunk_shape(
-                             store.shape(), offsets[c], offsets[c + 1]);
-                         sizes[c] = inner.encode(x, cs).size();
-                       });
+    walk_member_chunks(
+        store, static_cast<std::uint32_t>(probe), b0, b1,
+        [&](std::size_t c, std::span<const float> x) {
+          const comp::Shape cs =
+              chunked->chunk_shape(store.shape(), offsets[c], offsets[c + 1]);
+          sizes[c] = plans
+                         .encode(inner, x, cs,
+                                 static_cast<std::uint64_t>(probe) * store.chunk_count() + c)
+                         .size();
+        });
     return comp::compression_ratio(chunked->packed_stream_bytes(store.shape(), sizes),
                                    store.total_elems());
   };
@@ -807,19 +854,46 @@ VariableResult run_variable_streaming(const climate::EnsembleGenerator& ensemble
   result.fpzip32_cr = streamed_cr(
       with_chunking(std::make_shared<comp::FpzCodec>(32), config.chunk_elems));
 
-  const GribTuning tuning =
-      tune_decimal_scale_streaming(store, stats, max_chunk, result.test_members, config);
+  const GribTuning tuning = tune_decimal_scale_streaming(
+      store, stats, max_chunk, result.test_members, config, &plans);
   result.grib_decimal_scale = tuning.decimal_scale;
   result.grib_tuning_passed = tuning.passed;
 
   const std::vector<comp::CodecPtr> variants =
       comp::paper_variants(result.grib_decimal_scale, result.fill);
-  for (const comp::CodecPtr& codec : variants) {
-    const comp::CodecPtr wrapped = with_chunking(codec, config.chunk_elems);
+
+  // Failpoint pre-pass in catalog order — same rationale as run_variable
+  // (suite.cpp): injected-fault attribution is independent of
+  // variant_jobs and worker count.
+  std::vector<std::string> injected(variants.size());
+  std::vector<std::uint8_t> has_injection(variants.size(), 0);
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    try {
+      CESM_FAILPOINT("suite.verify_variant");
+    } catch (const Error& e) {
+      has_injection[v] = 1;
+      injected[v] = e.what();
+    }
+  }
+
+  result.verdicts.resize(variants.size());
+  const auto verify_one = [&](std::size_t v) {
+    trace::counter_add("sweep.variant_tasks", 1);
+    const comp::CodecPtr wrapped = with_chunking(variants[v], config.chunk_elems);
     const auto* chunked = dynamic_cast<const comp::ChunkedCodec*>(wrapped.get());
     CESM_REQUIRE(chunked != nullptr);
-    result.verdicts.push_back(verify_with_fallback_streaming(
-        store, stats, *chunked, max_chunk, result.test_members, config));
+    result.verdicts[v] = verify_with_fallback_streaming(
+        store, stats, *chunked, max_chunk, result.test_members, config, &plans,
+        has_injection[v] != 0 ? &injected[v] : nullptr);
+  };
+  const std::size_t grain = variant_grain(suite.variant_jobs, variants.size());
+  if (grain >= variants.size()) {
+    for (std::size_t v = 0; v < variants.size(); ++v) verify_one(v);
+  } else {
+    // Verdict slots are fixed, so the CSV is byte-identical to the serial
+    // sweep; each chunk walk allocates its own lane buffers, already
+    // covered by the buffer_lanes()-wide verify_bytes charge above.
+    parallel_for(0, variants.size(), verify_one, grain);
   }
   budget.release(verify_bytes);
 

@@ -57,7 +57,8 @@ MemberEvaluation PvtVerifier::evaluate_member(const comp::Codec& codec,
   CESM_REQUIRE(member < stats_.member_count());
   const climate::Field& original = stats_.member(member);
 
-  const comp::RoundTrip rt = comp::round_trip(codec, original.data, original.shape);
+  const comp::RoundTrip rt =
+      comp::planned_round_trip(plans_, codec, original.data, original.shape, member);
   trace::counter_add("pvt.member_roundtrips", 1);
   // Reuse the ensemble's shared validity mask (every member agrees on it
   // by EnsembleStats' construction) instead of reallocating
@@ -118,7 +119,9 @@ void PvtVerifier::reconstructed_rmsz_into(const comp::Codec& codec,
     parallel_for(0, len, [&](std::size_t i) {
       const std::size_t m = pending[lo + i];
       const climate::Field& original = stats_.member(m);
-      const Bytes stream = codec.encode(original.data, original.shape);
+      const Bytes stream = plans_ != nullptr
+                               ? plans_->encode(codec, original.data, original.shape, m)
+                               : codec.encode(original.data, original.shape);
       const std::span<float> out = recon.subspan(i * n, n);
       codec.decode_into(stream, out);
       trace::counter_add("pvt.member_roundtrips", 1);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "compress/codec.h"
+#include "compress/prep.h"
 #include "core/bias.h"
 #include "core/metrics.h"
 #include "core/rmsz.h"
@@ -126,6 +127,13 @@ class PvtVerifier {
   static std::vector<std::size_t> pick_members(std::size_t count, std::size_t member_count,
                                                std::uint64_t seed);
 
+  /// Attach a shared encode-prep plan store (see prep.h): every encode
+  /// this verifier performs is then plan-driven, keyed by member index.
+  /// The store may be shared across verifiers (it is thread-safe); plans
+  /// never change the produced streams, so verdicts are bit-identical
+  /// with or without one. Null detaches.
+  void set_plan_store(comp::PlanStore* plans) { plans_ = plans; }
+
   [[nodiscard]] const EnsembleStats& stats() const { return stats_; }
   [[nodiscard]] const PvtThresholds& thresholds() const { return thresholds_; }
 
@@ -142,6 +150,7 @@ class PvtVerifier {
 
   const EnsembleStats& stats_;
   PvtThresholds thresholds_;
+  comp::PlanStore* plans_ = nullptr;
   /// Reusable verify-loop scratch (bias-sweep score buffer). Mutable so
   /// the logically-const verify() can recycle capacity across calls.
   mutable util::ScratchArena scratch_;

@@ -39,6 +39,11 @@ std::size_t SuiteResults::failed_variable_count() const {
 }
 
 std::size_t SuiteResults::variant_index(const std::string& name) const {
+  if (const auto it = variant_lookup.find(name); it != variant_lookup.end()) {
+    return it->second;
+  }
+  // Hand-assembled results may fill variant_names without running
+  // derive_variant_names; keep the scan as their fallback.
   for (std::size_t i = 0; i < variant_names.size(); ++i) {
     if (variant_names[i] == name) return i;
   }
@@ -71,46 +76,64 @@ comp::CodecPtr lossless_stand_in(const std::string& failed_codec,
 
 namespace {
 
-/// verify() one variant; a thrown cesm::Error becomes a codec-error
-/// verdict (never a pass), re-scored under the lossless stand-in when the
+/// Record a codec-error verdict (never a pass) for a variant whose verify
+/// threw `message`, re-scored under the lossless stand-in when the
 /// fallback policy is on.
+VariableVerdict codec_error_verdict(const PvtVerifier& verifier, const comp::Codec& codec,
+                                    std::optional<float> fill,
+                                    std::span<const std::size_t> test_members,
+                                    const SuiteConfig& config,
+                                    const std::string& message) {
+  trace::counter_add("suite.codec_errors", 1);
+  VariableVerdict verdict;
+  verdict.variable = verifier.stats().member(0).name;
+  verdict.codec = codec.name();
+  verdict.codec_error = true;
+  verdict.error_message = message;
+  if (config.lossless_fallback) {
+    const comp::CodecPtr stand_in =
+        lossless_stand_in(codec.name(), fill, config.chunk_elems);
+    try {
+      VariableVerdict lossless =
+          verifier.verify(*stand_in, test_members, config.run_bias);
+      // Informational only: the variant's pass flags stay false — the
+      // data really delivered came from the stand-in, and what we are
+      // certifying is the lossy method.
+      verdict.members = std::move(lossless.members);
+      verdict.mean_cr = lossless.mean_cr;
+      verdict.bias = lossless.bias;
+      verdict.bias_evaluated = lossless.bias_evaluated;
+      verdict.fallback_codec = stand_in->name();
+      trace::counter_add("suite.lossless_fallbacks", 1);
+    } catch (const Error&) {
+      // The stand-in failed too (e.g. its decode is also poisoned):
+      // keep the bare codec-error verdict.
+    }
+  }
+  return verdict;
+}
+
+/// verify() one variant; a thrown cesm::Error becomes a codec-error
+/// verdict. Non-null `injected` is an error already raised for this
+/// variant by the caller's catalog-order failpoint pre-pass: the verify is
+/// skipped and the codec-error path runs directly — exactly what the
+/// in-line CESM_FAILPOINT("suite.verify_variant") used to produce, but
+/// with the injection decided at a deterministic point so parallel sweeps
+/// attribute faults to the same variants as the serial schedule.
 VariableVerdict verify_with_fallback(const PvtVerifier& verifier, const comp::Codec& codec,
                                      std::optional<float> fill,
                                      std::span<const std::size_t> test_members,
-                                     const SuiteConfig& config) {
+                                     const SuiteConfig& config,
+                                     const std::string* injected = nullptr) {
+  if (injected != nullptr) {
+    return codec_error_verdict(verifier, codec, fill, test_members, config, *injected);
+  }
   try {
-    CESM_FAILPOINT("suite.verify_variant");
     return verifier.verify(codec, test_members, config.run_bias);
   } catch (const InvalidArgument&) {
     throw;  // caller bug, not a codec failure: keep the old contract
   } catch (const Error& e) {
-    trace::counter_add("suite.codec_errors", 1);
-    VariableVerdict verdict;
-    verdict.variable = verifier.stats().member(0).name;
-    verdict.codec = codec.name();
-    verdict.codec_error = true;
-    verdict.error_message = e.what();
-    if (config.lossless_fallback) {
-      const comp::CodecPtr stand_in =
-          lossless_stand_in(codec.name(), fill, config.chunk_elems);
-      try {
-        VariableVerdict lossless =
-            verifier.verify(*stand_in, test_members, config.run_bias);
-        // Informational only: the variant's pass flags stay false — the
-        // data really delivered came from the stand-in, and what we are
-        // certifying is the lossy method.
-        verdict.members = std::move(lossless.members);
-        verdict.mean_cr = lossless.mean_cr;
-        verdict.bias = lossless.bias;
-        verdict.bias_evaluated = lossless.bias_evaluated;
-        verdict.fallback_codec = stand_in->name();
-        trace::counter_add("suite.lossless_fallbacks", 1);
-      } catch (const Error&) {
-        // The stand-in failed too (e.g. its decode is also poisoned):
-        // keep the bare codec-error verdict.
-      }
-    }
-    return verdict;
+    return codec_error_verdict(verifier, codec, fill, test_members, config, e.what());
   }
 }
 
@@ -118,7 +141,8 @@ VariableVerdict verify_with_fallback(const PvtVerifier& verifier, const comp::Co
 
 VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
                             const climate::VariableSpec& spec,
-                            const SuiteConfig& config) {
+                            const SuiteConfig& config,
+                            const comp::VariantPool* pool) {
   trace::Span span("suite.variable");
   trace::counter_add("suite.variables", 1);
   // test_members.front() below (and every downstream verify) requires at
@@ -140,7 +164,15 @@ VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
   const std::shared_ptr<const EnsembleStats> stats_ptr =
       EnsembleCache::global().stats(ensemble, spec);
   const EnsembleStats& stats = *stats_ptr;
-  const PvtVerifier verifier(stats, config.thresholds);
+
+  // One plan store per variable: the variant-invariant encode stages
+  // (fpzip ordered map, ISABELA sort + fit, GRIB2 scans and wavelet lift)
+  // are computed once per member here and reused across the lossless
+  // probe, the GRIB2 tuning ladder and every variant verify below. Plans
+  // are pure memoization — every stream stays byte-identical (prep.h).
+  comp::PlanStore plans(config.plan_cache_bytes);
+  PvtVerifier verifier(stats, config.thresholds);
+  verifier.set_plan_store(&plans);
 
   result.test_members = PvtVerifier::pick_members(
       config.test_member_count, stats.member_count(),
@@ -154,26 +186,73 @@ VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
       probe, *with_chunking(std::make_shared<comp::DeflateCodec>(), config.chunk_elems));
   result.netcdf4_cr = result.character.lossless_cr;
   {
+    // The probe's fpzip-32 stream seeds the plan store: when the variable
+    // has no fill value, the fpzip variants below reuse the ordered map
+    // this encode builds for the probe member.
     const comp::CodecPtr fpz32 =
         with_chunking(std::make_shared<comp::FpzCodec>(32), config.chunk_elems);
-    const Bytes s = fpz32->encode(probe.data, probe.shape);
+    const Bytes s =
+        plans.encode(*fpz32, probe.data, probe.shape, result.test_members.front());
     result.fpzip32_cr = comp::compression_ratio(s.size(), probe.data.size());
   }
 
-  // RMSZ-guided GRIB2 decimal scale (§5.4).
+  // RMSZ-guided GRIB2 decimal scale (§5.4). Sharing `plans` leaves the
+  // winning scale's wavelet lift cached for the GRIB2 variant verify.
   const GribTuning tuning = rmsz_guided_decimal_scale(
       stats, result.fill, result.test_members, config.thresholds,
       config.grib_significant_digits, config.grib_max_extra_digits,
-      config.chunk_elems);
+      config.chunk_elems, &plans);
   result.grib_decimal_scale = tuning.decimal_scale;
   result.grib_tuning_passed = tuning.passed;
 
   const std::vector<comp::CodecPtr> variants =
-      comp::paper_variants(result.grib_decimal_scale, result.fill);
-  for (const comp::CodecPtr& codec : variants) {
-    const comp::CodecPtr wrapped = with_chunking(codec, config.chunk_elems);
-    result.verdicts.push_back(verify_with_fallback(verifier, *wrapped, result.fill,
-                                                   result.test_members, config));
+      pool != nullptr ? pool->assemble(result.grib_decimal_scale, result.fill)
+                      : comp::paper_variants(result.grib_decimal_scale, result.fill);
+
+  // Failpoint pre-pass: hit "suite.verify_variant" once per variant in
+  // catalog order before any verify runs, so stateful triggers (once,
+  // nth, prob) select the same variants at every variant_jobs setting as
+  // the historical serial loop did.
+  std::vector<std::string> injected(variants.size());
+  std::vector<std::uint8_t> has_injection(variants.size(), 0);
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    try {
+      CESM_FAILPOINT("suite.verify_variant");
+    } catch (const Error& e) {
+      has_injection[v] = 1;
+      injected[v] = e.what();
+    }
+  }
+
+  result.verdicts.resize(variants.size());
+  const std::size_t grain = variant_grain(config.variant_jobs, variants.size());
+  if (grain >= variants.size()) {
+    // Serial catalog order (the default): one verifier, whose scratch
+    // arena warms on the first variant and serves the rest allocation-free.
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      trace::counter_add("sweep.variant_tasks", 1);
+      const comp::CodecPtr wrapped = with_chunking(variants[v], config.chunk_elems);
+      result.verdicts[v] =
+          verify_with_fallback(verifier, *wrapped, result.fill, result.test_members,
+                               config, has_injection[v] != 0 ? &injected[v] : nullptr);
+    }
+  } else {
+    // Parallel sweep: verdicts land in fixed catalog-order slots, so the
+    // results are byte-identical to the serial path at any worker count.
+    // verify() must not run concurrently on one verifier (shared scratch
+    // arena), so each task builds its own; they all share `plans`.
+    parallel_for(
+        0, variants.size(),
+        [&](std::size_t v) {
+          trace::counter_add("sweep.variant_tasks", 1);
+          const comp::CodecPtr wrapped = with_chunking(variants[v], config.chunk_elems);
+          PvtVerifier task_verifier(stats, config.thresholds);
+          task_verifier.set_plan_store(&plans);
+          result.verdicts[v] = verify_with_fallback(
+              task_verifier, *wrapped, result.fill, result.test_members, config,
+              has_injection[v] != 0 ? &injected[v] : nullptr);
+        },
+        grain);
   }
   return result;
 }
@@ -186,11 +265,12 @@ namespace {
 /// tearing down the other 100+ variables of the sweep.
 VariableResult run_variable_guarded(const climate::EnsembleGenerator& ensemble,
                                     const climate::VariableSpec& spec,
-                                    const SuiteConfig& config) {
+                                    const SuiteConfig& config,
+                                    const comp::VariantPool* pool) {
   std::size_t failures = 0;
   for (;;) {
     try {
-      return run_variable(ensemble, spec, config);
+      return run_variable(ensemble, spec, config, pool);
     } catch (const InvalidArgument&) {
       throw;  // caller bug: retrying cannot help and hiding it would lie
     } catch (const Error& e) {
@@ -235,9 +315,13 @@ SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
   const std::vector<const climate::VariableSpec*> specs =
       resolve_suite_specs(ensemble, variables);
 
+  // One variant pool per run: the eight tuning-independent codecs are
+  // assembled once and shared by every variable's sweep (only the GRIB2
+  // entry, which carries the tuned decimal scale, is built per variable).
+  comp::VariantPool pool;
   results.variables.resize(specs.size());
   parallel_for(0, specs.size(), [&](std::size_t i) {
-    results.variables[i] = run_variable_guarded(ensemble, *specs[i], config);
+    results.variables[i] = run_variable_guarded(ensemble, *specs[i], config, &pool);
   });
   if (const std::size_t failed = results.failed_variable_count(); failed > 0) {
     trace::counter_add("suite.variables_failed_total", failed);
@@ -279,6 +363,11 @@ void derive_variant_names(SuiteResults& results) {
     for (const comp::CodecPtr& codec : comp::paper_variants(4)) {
       results.variant_names.push_back(codec->name());
     }
+  }
+  results.variant_lookup.clear();
+  results.variant_lookup.reserve(results.variant_names.size());
+  for (std::size_t i = 0; i < results.variant_names.size(); ++i) {
+    results.variant_lookup.emplace(results.variant_names[i], i);
   }
 }
 

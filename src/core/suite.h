@@ -11,9 +11,11 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "climate/ensemble.h"
+#include "compress/variants.h"
 #include "core/grib_tuning.h"
 #include "core/metrics.h"
 #include "core/pvt.h"
@@ -39,6 +41,23 @@ struct SuiteConfig {
   /// 0 (the default) keeps the unwrapped codecs and existing results.
   /// Must be >= 1024 when set (ChunkedCodec's floor).
   std::size_t chunk_elems = 0;
+
+  // --- variant-sweep engine (docs/codecs.md) ---
+  /// Concurrent variant tasks per variable: 1 (the default) runs the
+  /// sweep serially in catalog order — today's schedule, one verifier
+  /// arena warmed across the sweep; 0 spawns one task per variant; N
+  /// splits the sweep into about N tasks. Results land in fixed
+  /// catalog-order slots, so the suite CSV is byte-identical at every
+  /// setting and worker count.
+  std::size_t variant_jobs = 1;
+  /// Byte cap for the per-variable shared encode-prep plan cache
+  /// (compress/prep.h): the variant-invariant stage of each codec family
+  /// (fpzip ordered map, ISABELA sort + spline fit, GRIB2 bitmap/scan +
+  /// wavelet lift) is computed once per member and reused across the
+  /// family's variants, the GRIB2 tuning ladder, and the lossless
+  /// baselines. Plans never change the emitted streams (bit-identity
+  /// contract). 0 disables plan sharing entirely.
+  std::size_t plan_cache_bytes = 128ull << 20;
 
   // --- robustness policy (exercised by cesm::fail injection) ---
   /// When a lossy variant's verify throws, record a codec-error verdict
@@ -92,10 +111,15 @@ struct SuiteResults {
   /// Variables whose processing failed outright (see VariableResult).
   [[nodiscard]] std::size_t failed_variable_count() const;
 
-  /// Index of a variant by its table name; throws if absent.
+  /// Index of a variant by its table name; throws if absent. O(1) via the
+  /// lookup table derive_variant_names builds; falls back to a scan of
+  /// variant_names for hand-assembled results that never went through it.
   [[nodiscard]] std::size_t variant_index(const std::string& name) const;
 
   [[nodiscard]] const VariableResult& variable(const std::string& name) const;
+
+  /// name -> position in variant_names, rebuilt by derive_variant_names.
+  std::unordered_map<std::string, std::size_t> variant_lookup;
 };
 
 /// The variable set a suite run covers: the whole catalog when
@@ -115,9 +139,24 @@ SuiteResults run_suite(const climate::EnsembleGenerator& ensemble,
                        std::vector<std::string> variables = {});
 
 /// Single-variable version (used by the spotlight benches and tests).
+/// `pool`, when non-null, supplies the variant catalog from a shared
+/// cache (run_suite passes one so the eight tuning-independent codecs are
+/// constructed once per suite run instead of once per variable).
 VariableResult run_variable(const climate::EnsembleGenerator& ensemble,
                             const climate::VariableSpec& spec,
-                            const SuiteConfig& config = {});
+                            const SuiteConfig& config = {},
+                            const comp::VariantPool* pool = nullptr);
+
+/// Scheduler grain for sweeping `n` variants under
+/// SuiteConfig::variant_jobs: 1 -> n (one serial task, catalog order),
+/// 0 -> 1 (one task per variant), N -> about N contiguous tasks. Shared by
+/// the in-core and streaming sweeps.
+[[nodiscard]] inline std::size_t variant_grain(std::size_t variant_jobs,
+                                               std::size_t n) {
+  if (n == 0) return 1;
+  if (variant_jobs <= 1) return variant_jobs == 0 ? 1 : n;
+  return (n + variant_jobs - 1) / variant_jobs;
+}
 
 /// Wrap `codec` in a ChunkedCodec with the suite's chunk partition;
 /// passthrough when chunk_elems == 0. The single construction point both

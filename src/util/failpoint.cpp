@@ -23,6 +23,7 @@ constexpr const char* kRegisteredSites[] = {
     "apax.decode",        //
     "cache.disk_read",    //
     "chunked.decode",     //
+    "comp.prep_plan",     //
     "deflate.decode",     //
     "fpc.decode",         //
     "fpz.decode",         //

@@ -99,13 +99,13 @@ void expect_identical(const SuiteResults& x, const SuiteResults& y) {
   }
 }
 
-SuiteResults run_with_threads(std::size_t threads) {
+SuiteResults run_with_threads(std::size_t threads, const SuiteConfig& cfg = fast_config()) {
   ScopedScheduler scoped(threads);
   // A fresh generator per run: ensemble synthesis itself uses the
   // scheduler, so this also checks that the synthesized inputs are
   // thread-count independent.
   const climate::EnsembleGenerator ensemble(tiny_spec());
-  return run_suite(ensemble, fast_config(), {"U", "SST", "CLDLOW"});
+  return run_suite(ensemble, cfg, {"U", "SST", "CLDLOW"});
 }
 
 TEST(SuiteDeterminism, BitIdenticalAcrossSchedulerSizes) {
@@ -123,6 +123,33 @@ TEST(SuiteDeterminism, RepeatedWideRunsAgree) {
   const SuiteResults a = run_with_threads(4);
   const SuiteResults b = run_with_threads(4);
   expect_identical(a, b);
+}
+
+TEST(SuiteDeterminism, BitIdenticalAcrossVariantJobsSettings) {
+  // The variant-sweep engine's scheduling knob must be invisible in the
+  // results: serial catalog order (jobs=1), about-4-task splitting
+  // (jobs=4) and one-task-per-variant (jobs=0) all land verdicts in the
+  // same fixed slots with the same bits.
+  const SuiteResults serial = run_with_threads(4);  // variant_jobs = 1 default
+  SuiteConfig four = fast_config();
+  four.variant_jobs = 4;
+  expect_identical(serial, run_with_threads(4, four));
+  SuiteConfig full = fast_config();
+  full.variant_jobs = 0;
+  expect_identical(serial, run_with_threads(4, full));
+}
+
+TEST(SuiteDeterminism, BitIdenticalWithPlanCacheDisabled) {
+  // Shared encode-prep plans are pure memoization: a run with the plan
+  // cache off (every encode direct) must be bit-identical to the default.
+  const SuiteResults planned = run_with_threads(2);
+  SuiteConfig direct = fast_config();
+  direct.plan_cache_bytes = 0;
+  expect_identical(planned, run_with_threads(2, direct));
+  // And the parallel sweep with plans matches the direct serial run too.
+  SuiteConfig parallel_planned = fast_config();
+  parallel_planned.variant_jobs = 0;
+  expect_identical(planned, run_with_threads(2, parallel_planned));
 }
 
 }  // namespace

@@ -27,6 +27,7 @@
 #include "compress/isabela/isabela.h"
 #include "compress/isobar.h"
 #include "compress/mafisc.h"
+#include "compress/prep.h"
 #include "compress/special.h"
 #include "core/ensemble_cache.h"
 #include "core/export.h"
@@ -115,6 +116,20 @@ const std::map<std::string, std::function<void()>>& site_scenarios() {
        [] {
          decode_roundtrip(
              comp::ChunkedCodec(std::make_shared<comp::DeflateCodec>(), 1024));
+       }},
+      {"comp.prep_plan",
+       [] {
+         // Absorbed by the plan store: a fault during plan build falls
+         // back to the direct encode, so the scenario completes and the
+         // stream must still come out byte-exact.
+         comp::PlanStore plans(1 << 20);
+         const comp::FpzCodec fpz(24);
+         const auto data = testgen::smooth_field(4096, 0xFA17ull);
+         const Bytes direct = fpz.encode(data, comp::Shape::d2(4, 1024));
+         const Bytes planned = plans.encode(fpz, data, comp::Shape::d2(4, 1024), 0);
+         if (planned != direct) {
+           throw Error("prep-plan stream diverged from direct encode");
+         }
        }},
       {"deflate.decode", [] { decode_roundtrip(comp::DeflateCodec()); }},
       {"fpc.decode", [] { decode_roundtrip(comp::FpcCodec()); }},
@@ -345,6 +360,22 @@ TEST_F(SuiteRobustness, ContinueOnErrorOffRestoresThrowingBehavior) {
   core::SuiteConfig cfg = fast_config();
   cfg.continue_on_variable_error = false;
   EXPECT_THROW(core::run_suite(shared_ensemble(), cfg, {"U"}), fail::InjectedFault);
+}
+
+TEST_F(SuiteRobustness, PrepPlanFaultFallsBackToDirectEncodeNotCodecError) {
+  // Plans are pure memoization: a fault at every plan build just forces
+  // the direct encode path, so the sweep completes with zero codec-error
+  // verdicts — unlike a decode fault, nothing the suite measures is lost.
+  fail::ScopedFailpoint fp("comp.prep_plan", fail::Trigger::always());
+  const core::SuiteResults results =
+      core::run_suite(shared_ensemble(), fast_config(), {"U"});
+  EXPECT_GE(fail::fire_count("comp.prep_plan"), 1u);
+  ASSERT_EQ(results.variables.size(), 1u);
+  EXPECT_EQ(results.failed_variable_count(), 0u);
+  ASSERT_EQ(results.variables[0].verdicts.size(), 9u);
+  for (const core::VariableVerdict& v : results.variables[0].verdicts) {
+    EXPECT_FALSE(v.codec_error) << v.codec;
+  }
 }
 
 TEST_F(SuiteRobustness, FallbackDisabledStillRecordsCodecError) {

@@ -48,13 +48,17 @@ int usage() {
                "  diff <a.cnc> <b.cnc>\n"
                "  suite [--full-grid] [--scale=paper] [--members=N] [--vars=N]\n"
                "        [--chunk=N] [--spill-dir=DIR] [--jobs=N] [--reuse-spill]\n"
-               "        [--spill-budget-mb=N] [--no-bias] [--out=results.csv]\n"
+               "        [--spill-budget-mb=N] [--variant-jobs=N] [--no-bias]\n"
+               "        [--out=results.csv]\n"
                "    --full-grid streams each variable chunk-by-chunk (out-of-core)\n"
                "    --jobs=N runs N variables concurrently under one shared\n"
                "    CESM_MEM_MB budget (0 = one per worker); --reuse-spill\n"
                "    content-addresses spill files so a later run skips synthesis\n"
                "    under the CESM_MEM_MB logical budget; verdicts are bitwise\n"
-               "    identical to the in-core pipeline on the same chunk partition\n");
+               "    identical to the in-core pipeline on the same chunk partition\n"
+               "    --variant-jobs=N sweeps N codec variants concurrently per\n"
+               "    variable (1 = serial, 0 = one task per variant); the CSV is\n"
+               "    byte-identical at every setting\n");
   return 2;
 }
 
@@ -241,6 +245,7 @@ int cmd_suite(int argc, char** argv) {
   const std::string jobs_s = opt_value(argc, argv, "--jobs=");
   const bool reuse_spill = has_flag(argc, argv, "--reuse-spill");
   const std::string spill_budget_s = opt_value(argc, argv, "--spill-budget-mb=");
+  const std::string variant_jobs_s = opt_value(argc, argv, "--variant-jobs=");
   const std::string out = opt_value(argc, argv, "--out=");
 
   climate::EnsembleSpec espec;
@@ -273,6 +278,12 @@ int cmd_suite(int argc, char** argv) {
   cfg.memory_budget_bytes = util::memory_budget_bytes().value_or(0);
   cfg.suite.run_bias = !has_flag(argc, argv, "--no-bias");
   cfg.suite.chunk_elems = cfg.chunk_elems;
+  if (!variant_jobs_s.empty()) {
+    // Scheduling only: verdicts land in fixed catalog-order slots, so the
+    // CSV is byte-identical at any setting (1 = serial, 0 = one task per
+    // variant, N = about N concurrent tasks per variable).
+    cfg.suite.variant_jobs = std::strtoull(variant_jobs_s.c_str(), nullptr, 10);
+  }
 
   core::SuiteResults results;
   if (full_grid) {
